@@ -1,0 +1,123 @@
+//! Airfoil CLI: run the benchmark with any backend/optimization combo.
+//!
+//! ```text
+//! airfoil [--cells N] [--iters N] [--threads N]
+//!         [--backend seq|forkjoin|dataflow]
+//!         [--prefetch FACTOR] [--persistent] [--print-every N]
+//! ```
+
+use airfoil_cfd::{solver, Problem, SolverConfig};
+use op2_core::hpx_rt::PersistentChunker;
+use op2_core::{Op2, Op2Config};
+use op2_mesh::{quad_stats, QuadMesh};
+
+struct Args {
+    cells: usize,
+    iters: usize,
+    threads: usize,
+    backend: String,
+    prefetch: Option<usize>,
+    persistent: bool,
+    print_every: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cells: 20_000,
+        iters: 100,
+        threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        backend: "dataflow".to_owned(),
+        prefetch: None,
+        persistent: false,
+        print_every: 100,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--cells" => args.cells = value("--cells").parse().expect("--cells"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--backend" => args.backend = value("--backend"),
+            "--prefetch" => args.prefetch = Some(value("--prefetch").parse().expect("--prefetch")),
+            "--persistent" => args.persistent = true,
+            "--print-every" => {
+                args.print_every = value("--print-every").parse().expect("--print-every")
+            }
+            "--paper-scale" => args.cells = 720_000,
+            "--help" | "-h" => {
+                println!(
+                    "airfoil: OP2/HPX Airfoil benchmark\n\
+                     --cells N          target cell count (default 20000)\n\
+                     --paper-scale      ~720K cells (the paper's mesh size)\n\
+                     --iters N          outer iterations (default 100)\n\
+                     --threads N        worker threads\n\
+                     --backend B        seq | forkjoin | dataflow\n\
+                     --prefetch F       enable prefetching, distance factor F\n\
+                     --persistent       persistent_auto_chunk_size policy\n\
+                     --print-every N    residual print period (default 100)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = match args.backend.as_str() {
+        "seq" => Op2Config::seq(),
+        "forkjoin" => Op2Config::fork_join(args.threads),
+        "dataflow" if args.persistent => {
+            Op2Config::dataflow_persistent(args.threads, PersistentChunker::new())
+        }
+        "dataflow" => Op2Config::dataflow(args.threads),
+        other => panic!("unknown backend {other}"),
+    };
+    if let Some(f) = args.prefetch {
+        config = config.with_prefetch(f);
+    }
+
+    let mesh = QuadMesh::with_cells(args.cells);
+    println!("mesh: {}", quad_stats(&mesh));
+    println!(
+        "backend: {} threads={} prefetch={:?} persistent={}",
+        config.backend, config.threads, config.prefetch_distance, args.persistent
+    );
+
+    let op2 = Op2::new(config);
+    let problem = Problem::declare(&op2, &mesh);
+    let result = solver::run(
+        &op2,
+        &problem,
+        &SolverConfig {
+            niter: args.iters,
+            window: 16,
+            print_every: args.print_every,
+        },
+    );
+
+    println!(
+        "completed {} iters in {:.3}s  ({:.2} ms/iter), final rms = {:.6e}",
+        args.iters,
+        result.elapsed.as_secs_f64(),
+        result.elapsed.as_secs_f64() * 1e3 / args.iters as f64,
+        result.final_rms()
+    );
+    println!("-- per-loop stats --");
+    for (name, stat) in op2.loop_stats() {
+        println!(
+            "  {name:12} x{:6}  total {:8.3}s",
+            stat.invocations,
+            stat.total.as_secs_f64()
+        );
+    }
+    let (plans, hits) = op2.plan_cache_stats();
+    println!("plans built: {plans}, cache hits: {hits}");
+    println!("runtime: {}", op2.runtime().stats());
+}

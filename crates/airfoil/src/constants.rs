@@ -1,0 +1,38 @@
+//! Flow constants of the Airfoil benchmark (verbatim from the OP2
+//! distribution's `airfoil.cpp` initialization).
+
+/// Ratio of specific heats.
+pub const GAM: f64 = 1.4;
+/// `GAM - 1`.
+pub const GM1: f64 = 0.4;
+/// CFL number.
+pub const CFL: f64 = 0.9;
+/// Artificial-dissipation coefficient.
+pub const EPS: f64 = 0.05;
+/// Free-stream Mach number.
+pub const MACH: f64 = 0.4;
+
+/// Free-stream conserved variables `[ρ, ρu, ρv, ρE]`.
+pub fn qinf() -> [f64; 4] {
+    let p = 1.0f64;
+    let r = 1.0f64;
+    let u = (GAM * p / r).sqrt() * MACH;
+    let e = p / (r * GM1) + 0.5 * u * u;
+    [r, r * u, 0.0, r * e]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qinf_matches_original_values() {
+        let q = qinf();
+        assert!((q[0] - 1.0).abs() < 1e-15);
+        assert!((q[1] - 0.4 * 1.4f64.sqrt()).abs() < 1e-15);
+        assert_eq!(q[2], 0.0);
+        // e = 1/0.4 + 0.5 u^2
+        let u = q[1];
+        assert!((q[3] - (2.5 + 0.5 * u * u)).abs() < 1e-15);
+    }
+}

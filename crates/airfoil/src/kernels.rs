@@ -1,0 +1,238 @@
+//! The five Airfoil user kernels (paper §II-B), ported line-for-line from
+//! the OP2 distribution (`save_soln.h`, `adt_calc.h`, `res_calc.h`,
+//! `bres_calc.h`, `update.h`), in double precision.
+
+use crate::constants::{CFL, EPS, GAM, GM1};
+
+/// `save_soln`: copy the four conserved variables of a cell.
+#[inline]
+pub fn save_soln(q: &[f64], qold: &mut [f64]) {
+    qold[..4].copy_from_slice(&q[..4]);
+}
+
+/// `adt_calc`: local timestep bound (area / wavespeed) of a quad cell from
+/// its four corner nodes.
+#[inline]
+pub fn adt_calc(x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]) {
+    let ri = 1.0 / q[0];
+    let u = ri * q[1];
+    let v = ri * q[2];
+    let c = (GAM * GM1 * (ri * q[3] - 0.5 * (u * u + v * v))).sqrt();
+
+    let mut acc;
+    let (mut dx, mut dy) = (x2[0] - x1[0], x2[1] - x1[1]);
+    acc = (u * dy - v * dx).abs() + c * (dx * dx + dy * dy).sqrt();
+    dx = x3[0] - x2[0];
+    dy = x3[1] - x2[1];
+    acc += (u * dy - v * dx).abs() + c * (dx * dx + dy * dy).sqrt();
+    dx = x4[0] - x3[0];
+    dy = x4[1] - x3[1];
+    acc += (u * dy - v * dx).abs() + c * (dx * dx + dy * dy).sqrt();
+    dx = x1[0] - x4[0];
+    dy = x1[1] - x4[1];
+    acc += (u * dy - v * dx).abs() + c * (dx * dx + dy * dy).sqrt();
+    adt[0] = acc / CFL;
+}
+
+/// `res_calc`: central flux with scalar artificial dissipation through an
+/// interior edge; increments the residuals of both adjacent cells.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn res_calc(
+    x1: &[f64],
+    x2: &[f64],
+    q1: &[f64],
+    q2: &[f64],
+    adt1: &[f64],
+    adt2: &[f64],
+    res1: &mut [f64],
+    res2: &mut [f64],
+) {
+    let dx = x1[0] - x2[0];
+    let dy = x1[1] - x2[1];
+
+    let mut ri = 1.0 / q1[0];
+    let p1 = GM1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+    let vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+    ri = 1.0 / q2[0];
+    let p2 = GM1 * (q2[3] - 0.5 * ri * (q2[1] * q2[1] + q2[2] * q2[2]));
+    let vol2 = ri * (q2[1] * dy - q2[2] * dx);
+
+    let mu = 0.5 * (adt1[0] + adt2[0]) * EPS;
+
+    let mut f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0]);
+    res1[0] += f;
+    res2[0] -= f;
+    f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) + mu * (q1[1] - q2[1]);
+    res1[1] += f;
+    res2[1] -= f;
+    f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) + mu * (q1[2] - q2[2]);
+    res1[2] += f;
+    res2[2] -= f;
+    f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3]);
+    res1[3] += f;
+    res2[3] -= f;
+}
+
+/// `bres_calc`: boundary-edge flux — wall pressure for `bound == 1`,
+/// far-field characteristic flux against `qinf` otherwise.
+#[inline]
+pub fn bres_calc(
+    x1: &[f64],
+    x2: &[f64],
+    q1: &[f64],
+    adt1: &[f64],
+    res1: &mut [f64],
+    bound: &[i32],
+    qinf: &[f64; 4],
+) {
+    let dx = x1[0] - x2[0];
+    let dy = x1[1] - x2[1];
+
+    let mut ri = 1.0 / q1[0];
+    let p1 = GM1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+
+    if bound[0] == 1 {
+        res1[1] += p1 * dy;
+        res1[2] -= p1 * dx;
+    } else {
+        let vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+        ri = 1.0 / qinf[0];
+        let p2 = GM1 * (qinf[3] - 0.5 * ri * (qinf[1] * qinf[1] + qinf[2] * qinf[2]));
+        let vol2 = ri * (qinf[1] * dy - qinf[2] * dx);
+
+        let mu = adt1[0] * EPS;
+
+        let mut f = 0.5 * (vol1 * q1[0] + vol2 * qinf[0]) + mu * (q1[0] - qinf[0]);
+        res1[0] += f;
+        f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * qinf[1] + p2 * dy) + mu * (q1[1] - qinf[1]);
+        res1[1] += f;
+        f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * qinf[2] - p2 * dx) + mu * (q1[2] - qinf[2]);
+        res1[2] += f;
+        f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (qinf[3] + p2)) + mu * (q1[3] - qinf[3]);
+        res1[3] += f;
+    }
+}
+
+/// `update`: explicit pseudo-timestep update; zeroes the residual and
+/// accumulates the squared change into the `rms` reduction.
+#[inline]
+pub fn update(qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]) {
+    let adti = 1.0 / adt[0];
+    for n in 0..4 {
+        let del = adti * res[n];
+        q[n] = qold[n] - del;
+        res[n] = 0.0;
+        rms[0] += del * del;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::qinf;
+
+    #[test]
+    fn save_soln_copies() {
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let mut qold = [0.0; 4];
+        save_soln(&q, &mut qold);
+        assert_eq!(qold, q);
+    }
+
+    #[test]
+    fn adt_positive_for_free_stream() {
+        // Unit square cell, free-stream flow.
+        let q = qinf();
+        let mut adt = [0.0];
+        adt_calc(
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[0.0, 1.0],
+            &q,
+            &mut adt,
+        );
+        assert!(adt[0] > 0.0 && adt[0].is_finite());
+    }
+
+    #[test]
+    fn res_calc_is_antisymmetric_between_cells() {
+        // Uniform flow: whatever flows out of cell 1 flows into cell 2.
+        let q = qinf();
+        let adt = [1.0];
+        let mut r1 = [0.0; 4];
+        let mut r2 = [0.0; 4];
+        res_calc(
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &q,
+            &q,
+            &adt,
+            &adt,
+            &mut r1,
+            &mut r2,
+        );
+        for n in 0..4 {
+            assert!((r1[n] + r2[n]).abs() < 1e-14, "component {n} not conservative");
+        }
+    }
+
+    #[test]
+    fn uniform_flow_has_zero_dissipation() {
+        // With q1 == q2 the dissipation term vanishes; flux is pure
+        // convection, still antisymmetric.
+        let q = qinf();
+        let adt = [0.37];
+        let mut r1 = [0.0; 4];
+        let mut r2 = [0.0; 4];
+        res_calc(&[0.2, 0.1], &[0.5, 0.9], &q, &q, &adt, &adt, &mut r1, &mut r2);
+        assert!(r1.iter().zip(&r2).all(|(a, b)| (a + b).abs() < 1e-14));
+    }
+
+    #[test]
+    fn wall_bc_only_adds_pressure_to_momentum() {
+        let q = qinf();
+        let adt = [1.0];
+        let mut r = [0.0; 4];
+        bres_calc(
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &q,
+            &adt,
+            &mut r,
+            &[1],
+            &qinf(),
+        );
+        assert_eq!(r[0], 0.0, "wall adds no mass flux");
+        assert_eq!(r[3], 0.0, "wall adds no energy flux");
+        assert!(r[1] != 0.0 || r[2] != 0.0, "wall adds pressure force");
+    }
+
+    #[test]
+    fn farfield_at_free_stream_is_nearly_fluxless_in_dissipation() {
+        // q == qinf: dissipation term zero; convective part may be
+        // non-zero but must be finite.
+        let q = qinf();
+        let adt = [1.0];
+        let mut r = [0.0; 4];
+        bres_calc(&[0.0, 0.0], &[0.0, 1.0], &q, &adt, &mut r, &[2], &qinf());
+        assert!(r.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn update_zeroes_residual_and_accumulates_rms() {
+        let qold = [1.0, 1.0, 1.0, 1.0];
+        let mut q = [0.0; 4];
+        let mut res = [0.1, 0.2, 0.3, 0.4];
+        let adt = [2.0];
+        let mut rms = [0.0];
+        update(&qold, &mut q, &mut res, &adt, &mut rms);
+        assert_eq!(res, [0.0; 4]);
+        assert!((q[0] - (1.0 - 0.05)).abs() < 1e-15);
+        let expected: f64 = [0.05f64, 0.1, 0.15, 0.2].iter().map(|d| d * d).sum();
+        assert!((rms[0] - expected).abs() < 1e-15);
+    }
+}

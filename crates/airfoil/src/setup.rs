@@ -1,0 +1,113 @@
+//! Declaring the Airfoil problem to OP2 (paper §II: sets, maps, dats).
+
+use op2_core::{Dat, Map, Op2, Set};
+use op2_mesh::QuadMesh;
+
+use crate::constants::qinf;
+
+/// The declared OP2 problem: every set, map and dat of the Airfoil code,
+/// mirroring `airfoil.cpp`.
+pub struct Problem {
+    /// Mesh nodes.
+    pub nodes: Set,
+    /// Interior edges.
+    pub edges: Set,
+    /// Boundary edges.
+    pub bedges: Set,
+    /// Cells.
+    pub cells: Set,
+    /// edge → 2 nodes.
+    pub pedge: Map,
+    /// edge → 2 cells.
+    pub pecell: Map,
+    /// bedge → 2 nodes.
+    pub pbedge: Map,
+    /// bedge → 1 cell.
+    pub pbecell: Map,
+    /// cell → 4 nodes.
+    pub pcell: Map,
+    /// Node coordinates (dim 2).
+    pub p_x: Dat<f64>,
+    /// Conserved variables (dim 4).
+    pub p_q: Dat<f64>,
+    /// Saved solution (dim 4).
+    pub p_qold: Dat<f64>,
+    /// Local timestep (dim 1).
+    pub p_adt: Dat<f64>,
+    /// Residual (dim 4).
+    pub p_res: Dat<f64>,
+    /// Boundary flags (dim 1).
+    pub p_bound: Dat<i32>,
+    /// Free-stream state.
+    pub qinf: [f64; 4],
+}
+
+impl Problem {
+    /// Declares sets, maps and dats for `mesh` and initializes the flow to
+    /// free stream (exactly the original program's setup).
+    pub fn declare(op2: &Op2, mesh: &QuadMesh) -> Problem {
+        let nodes = op2.decl_set(mesh.nnode, "nodes");
+        let edges = op2.decl_set(mesh.nedge, "edges");
+        let bedges = op2.decl_set(mesh.nbedge, "bedges");
+        let cells = op2.decl_set(mesh.ncell, "cells");
+
+        let pedge = op2.decl_map(&edges, &nodes, 2, mesh.edge_nodes.clone(), "pedge");
+        let pecell = op2.decl_map(&edges, &cells, 2, mesh.edge_cells.clone(), "pecell");
+        let pbedge = op2.decl_map(&bedges, &nodes, 2, mesh.bedge_nodes.clone(), "pbedge");
+        let pbecell = op2.decl_map(&bedges, &cells, 1, mesh.bedge_cells.clone(), "pbecell");
+        let pcell = op2.decl_map(&cells, &nodes, 4, mesh.cell_nodes.clone(), "pcell");
+
+        let qinf = qinf();
+        let mut q0 = Vec::with_capacity(mesh.ncell * 4);
+        for _ in 0..mesh.ncell {
+            q0.extend_from_slice(&qinf);
+        }
+
+        let p_x = op2.decl_dat(&nodes, 2, "p_x", mesh.x.clone());
+        let p_q = op2.decl_dat(&cells, 4, "p_q", q0);
+        let p_qold = op2.decl_dat(&cells, 4, "p_qold", vec![0.0; mesh.ncell * 4]);
+        let p_adt = op2.decl_dat(&cells, 1, "p_adt", vec![0.0; mesh.ncell]);
+        let p_res = op2.decl_dat(&cells, 4, "p_res", vec![0.0; mesh.ncell * 4]);
+        let p_bound = op2.decl_dat(&bedges, 1, "p_bound", mesh.bound.clone());
+
+        Problem {
+            nodes,
+            edges,
+            bedges,
+            cells,
+            pedge,
+            pecell,
+            pbedge,
+            pbecell,
+            pcell,
+            p_x,
+            p_q,
+            p_qold,
+            p_adt,
+            p_res,
+            p_bound,
+            qinf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::Op2Config;
+    use op2_mesh::channel_with_bump;
+
+    #[test]
+    fn declares_consistent_problem() {
+        let op2 = Op2::new(Op2Config::seq());
+        let mesh = channel_with_bump(10, 5);
+        let p = Problem::declare(&op2, &mesh);
+        assert_eq!(p.cells.size(), 50);
+        assert_eq!(p.p_q.len(), 200);
+        assert_eq!(p.pcell.dim(), 4);
+        // Free-stream initialization.
+        let q = p.p_q.snapshot();
+        assert_eq!(&q[0..4], &p.qinf);
+        assert_eq!(&q[196..200], &p.qinf);
+    }
+}

@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the runtime substrate and the OP2 layer:
+//! the component costs behind the paper's end-to-end figures (future
+//! overhead, dataflow chaining, chunked loops, plan coloring, prefetch
+//! iterator, one Airfoil iteration per backend).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use airfoil_cfd::{solver, Problem, SolverConfig};
+use hpx_rt::{
+    dataflow, for_each, for_each_prefetch, make_prefetcher_context, par, ready, ChunkPolicy,
+    Runtime,
+};
+use op2_core::{Op2, Op2Config};
+use op2_mesh::channel_with_bump;
+
+fn bench_futures(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    c.bench_function("future/spawn_get_roundtrip", |b| {
+        b.iter(|| rt.spawn_future(|| 42u64).get())
+    });
+    c.bench_function("future/dataflow_chain_64", |b| {
+        b.iter(|| {
+            let mut f = ready(0u64);
+            for _ in 0..64 {
+                f = dataflow(&rt, |(x,)| x + 1, (f,));
+            }
+            f.get()
+        })
+    });
+    c.bench_function("future/when_all_64", |b| {
+        b.iter(|| {
+            let futs: Vec<_> = (0..64).map(|i| rt.spawn_future(move || i)).collect();
+            hpx_rt::when_all(futs).get()
+        })
+    });
+}
+
+fn bench_for_each(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    let data: Vec<f64> = (0..1_000_000).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("for_each_1M");
+    for (name, chunk) in [
+        ("static_4096", ChunkPolicy::Static { size: 4096 }),
+        ("num_chunks_8", ChunkPolicy::NumChunks { chunks: 8 }),
+        ("auto", ChunkPolicy::default()),
+        ("guided_min1024", ChunkPolicy::Guided { min: 1024 }),
+    ] {
+        group.bench_function(name, |b| {
+            let policy = par().with_chunk(chunk.clone());
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                for_each(&rt, &policy, 0..data.len(), |i| {
+                    acc.fetch_add(data[i] as u64, Ordering::Relaxed);
+                });
+                acc.into_inner()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefetch(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    let n = 1 << 21;
+    let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let b_: Vec<f64> = (0..n).map(|i| (i * 7) as f64).collect();
+    let mut group = c.benchmark_group("prefetch_2M_gather");
+    group.bench_function("standard_iterator", |bch| {
+        bch.iter(|| {
+            let acc = AtomicU64::new(0);
+            for_each(&rt, &par(), 0..n, |i| {
+                acc.fetch_add((a[i] + b_[i]) as u64, Ordering::Relaxed);
+            });
+            acc.into_inner()
+        })
+    });
+    group.bench_function("prefetching_iterator_d15", |bch| {
+        bch.iter(|| {
+            let ctx = make_prefetcher_context(0..n, 15, (&a[..], &b_[..]));
+            let acc = AtomicU64::new(0);
+            for_each_prefetch(&rt, &par(), &ctx, |i| {
+                acc.fetch_add((a[i] + b_[i]) as u64, Ordering::Relaxed);
+            });
+            acc.into_inner()
+        })
+    });
+    group.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    // Plan construction cost on a paper-shaped edge->cell conflict.
+    let mesh = channel_with_bump(200, 100);
+    c.bench_function("plan/color_20k_cells_mesh", |b| {
+        b.iter(|| {
+            // Fresh context so the plan cache never hits.
+            let op2 = Op2::new(Op2Config::seq());
+            let edges = op2.decl_set(mesh.nedge, "edges");
+            let cells = op2.decl_set(mesh.ncell, "cells");
+            let pecell = op2.decl_map(&edges, &cells, 2, mesh.edge_cells.clone(), "pecell");
+            let res = op2.decl_dat(&cells, 4, "res", vec![0.0f64; mesh.ncell * 4]);
+            let infos = vec![
+                op2_core::ArgSpec::info(&op2_core::arg_inc_via(&res, &pecell, 0)),
+                op2_core::ArgSpec::info(&op2_core::arg_inc_via(&res, &pecell, 1)),
+            ];
+            op2_core::plan_for(&op2, &edges, &infos).expect("colored plan")
+        })
+    });
+}
+
+fn bench_airfoil_iteration(c: &mut Criterion) {
+    let mesh = channel_with_bump(100, 50);
+    let mut group = c.benchmark_group("airfoil_5k_cells_iter");
+    group.sample_size(10);
+    for (name, config) in [
+        ("forkjoin_2t", Op2Config::fork_join(2)),
+        ("dataflow_2t", Op2Config::dataflow(2)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let op2 = Op2::new(config.clone());
+            let problem = Problem::declare(&op2, &mesh);
+            b.iter(|| {
+                solver::run(
+                    &op2,
+                    &problem,
+                    &SolverConfig {
+                        niter: 1,
+                        window: 0,
+                        print_every: 0,
+                    },
+                )
+                .final_rms()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn tight(c: Criterion) -> Criterion {
+    c.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = tight(Criterion::default());
+    targets = bench_futures, bench_for_each, bench_prefetch, bench_plan, bench_airfoil_iteration
+}
+criterion_main!(benches);

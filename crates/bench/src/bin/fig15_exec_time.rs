@@ -1,0 +1,33 @@
+//! **Fig 15**: Airfoil execution time, `#pragma omp parallel for` baseline
+//! vs `dataflow`, across thread counts. The paper reports parity at one
+//! thread and a widening dataflow advantage as threads grow.
+
+use op2_bench::{parse_sweep_args, run_airfoil, tables::ms, Table, Variant};
+
+fn main() {
+    let args = parse_sweep_args();
+    println!(
+        "Fig 15 — Airfoil execution time (cells={}, iters={}, min of {} reps)\n",
+        args.cells, args.iters, args.reps
+    );
+    let mut table = Table::new(vec!["threads", "omp_ms", "dataflow_ms", "dataflow/omp"]);
+    for &t in &args.threads {
+        let omp = run_airfoil(Variant::OpenMp, t, args.cells, args.iters, args.reps);
+        let df = run_airfoil(Variant::Dataflow, t, args.cells, args.iters, args.reps);
+        let rel = df.time.as_secs_f64() / omp.time.as_secs_f64();
+        table.row(vec![
+            t.to_string(),
+            ms(omp.time),
+            ms(df.time),
+            format!("{rel:.3}"),
+        ]);
+        // Physics must agree or the comparison is meaningless.
+        let drift = (omp.final_rms - df.final_rms).abs() / omp.final_rms.max(1e-300);
+        assert!(drift < 1e-6, "backends disagree on rms: {drift:e}");
+    }
+    print!("{}", table.render());
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,42 @@
+//! **Fig 17**: dataflow with vs without `persistent_auto_chunk_size`
+//! (§IV-B). With the shared chunker, dependent loops get chunks of equal
+//! *duration*, shrinking the waiting time between interleaved loops; the
+//! paper reports ≈40% improvement at 32 threads.
+
+use op2_bench::{parse_sweep_args, run_airfoil, tables::ms, Table, Variant};
+
+fn main() {
+    let args = parse_sweep_args();
+    println!(
+        "Fig 17 — persistent_auto_chunk_size ablation (cells={}, iters={}, min of {} reps)\n",
+        args.cells, args.iters, args.reps
+    );
+    let mut table = Table::new(vec![
+        "threads",
+        "dataflow_ms",
+        "persistent_ms",
+        "improvement_%",
+    ]);
+    for &t in &args.threads {
+        let base = run_airfoil(Variant::Dataflow, t, args.cells, args.iters, args.reps);
+        let pers = run_airfoil(
+            Variant::DataflowPersistent,
+            t,
+            args.cells,
+            args.iters,
+            args.reps,
+        );
+        let improvement = (base.time.as_secs_f64() / pers.time.as_secs_f64() - 1.0) * 100.0;
+        table.row(vec![
+            t.to_string(),
+            ms(base.time),
+            ms(pers.time),
+            format!("{improvement:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

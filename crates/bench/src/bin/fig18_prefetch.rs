@@ -1,0 +1,47 @@
+//! **Fig 18**: the prefetching iterator (§V) applied on top of the
+//! dataflow + persistent-chunking configuration, distance factor 15 (the
+//! paper's optimum). The paper reports ≈45% average speedup improvement.
+
+use op2_bench::{parse_sweep_args, run_airfoil, tables::ms, Table, Variant};
+
+fn main() {
+    let args = parse_sweep_args();
+    println!(
+        "Fig 18 — prefetching ablation (cells={}, iters={}, distance=15, min of {} reps)\n",
+        args.cells, args.iters, args.reps
+    );
+    let mut table = Table::new(vec![
+        "threads",
+        "dataflow_ms",
+        "prefetch_ms",
+        "improvement_%",
+    ]);
+    for &t in &args.threads {
+        let base = run_airfoil(
+            Variant::DataflowPersistent,
+            t,
+            args.cells,
+            args.iters,
+            args.reps,
+        );
+        let pf = run_airfoil(
+            Variant::DataflowPrefetch { distance: 15 },
+            t,
+            args.cells,
+            args.iters,
+            args.reps,
+        );
+        let improvement = (base.time.as_secs_f64() / pf.time.as_secs_f64() - 1.0) * 100.0;
+        table.row(vec![
+            t.to_string(),
+            ms(base.time),
+            ms(pf.time),
+            format!("{improvement:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

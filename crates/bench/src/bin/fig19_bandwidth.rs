@@ -1,0 +1,33 @@
+//! **Fig 19**: data transfer rate of `hpx::for_each` with the standard
+//! random-access iterator vs the prefetching iterator, inside a dataflow
+//! task, across thread counts — the streaming (`update`-shaped) loop.
+
+use op2_bench::{bandwidth_run, parse_sweep_args, Table};
+
+fn main() {
+    let args = parse_sweep_args();
+    // Reuse --cells as the element count of the streaming loop (x16 to
+    // defeat the last-level cache) and --iters as passes.
+    let elements = (args.cells * 16).max(1 << 20);
+    let passes = args.iters.max(3);
+    println!(
+        "Fig 19 — transfer rate, standard vs prefetching iterator \
+         (elements={elements}, passes={passes})\n"
+    );
+    let mut table = Table::new(vec!["threads", "standard_GiBps", "prefetch_GiBps", "gain_%"]);
+    for &t in &args.threads {
+        let plain = bandwidth_run(t, elements, passes, None);
+        let pf = bandwidth_run(t, elements, passes, Some(15));
+        table.row(vec![
+            t.to_string(),
+            format!("{plain:.2}"),
+            format!("{pf:.2}"),
+            format!("{:.1}", (pf / plain - 1.0) * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

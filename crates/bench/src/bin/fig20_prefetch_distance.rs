@@ -1,0 +1,35 @@
+//! **Fig 20**: transfer rate of the prefetching iterator for different
+//! `prefetch_distance_factor` values. The paper finds very small
+//! distances too expensive, very large ones useless, and 15 optimal for
+//! the Airfoil-shaped loop.
+
+use op2_bench::{bandwidth_run, parse_sweep_args, Table};
+
+const DISTANCES: [usize; 8] = [1, 2, 5, 10, 15, 25, 50, 100];
+
+fn main() {
+    let args = parse_sweep_args();
+    let elements = (args.cells * 16).max(1 << 20);
+    let passes = args.iters.max(3);
+    println!(
+        "Fig 20 — transfer rate vs prefetch_distance_factor \
+         (elements={elements}, passes={passes})\n"
+    );
+    let mut header = vec!["threads".to_string(), "no_prefetch".to_string()];
+    header.extend(DISTANCES.iter().map(|d| format!("d={d}")));
+    let mut table = Table::new(header);
+    for &t in &args.threads {
+        let mut row = vec![t.to_string()];
+        row.push(format!("{:.2}", bandwidth_run(t, elements, passes, None)));
+        for &d in &DISTANCES {
+            row.push(format!("{:.2}", bandwidth_run(t, elements, passes, Some(d))));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("\n(all values GiB/s; paper optimum: d=15)");
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

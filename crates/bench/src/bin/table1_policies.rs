@@ -1,0 +1,81 @@
+//! **Table I**: the execution policies implemented in HPX, demonstrated
+//! on a fixed reduction workload (per-chunk partials, no shared-cacheline
+//! contention). `seq`/`par` block; `seq(task)`/`par(task)` return
+//! futures; `par_vec` delegates vectorization to the compiler (see the
+//! `hpx_rt::policy` docs).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hpx_rt::{par, par_task, par_vec, reduce, reduce_async, seq, seq_task, Runtime};
+use op2_bench::Table;
+
+fn main() {
+    let rt = Runtime::new(std::thread::available_parallelism().map_or(2, |n| n.get()));
+    let n = 4_000_000usize;
+    let data: Arc<Vec<f64>> = Arc::new((0..n).map(|i| (i as f64).sqrt()).collect());
+    let expected = reduce(&rt, &seq(), 0..n, 0.0f64, |i| data[i].sin(), |a, b| a + b);
+
+    println!("Table I — execution policies (workload: {n}-element sin-sum reduction)\n");
+    let mut table = Table::new(vec!["policy", "description", "implemented_by", "time_ms"]);
+
+    let timed_sync = |policy: hpx_rt::ExecutionPolicy| {
+        let t = Instant::now();
+        let v = reduce(&rt, &policy, 0..n, 0.0f64, |i| data[i].sin(), |a, b| a + b);
+        assert!((v - expected).abs() < 1e-6 * expected.abs());
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    let timed_async = |policy: hpx_rt::ExecutionPolicy| {
+        let d = Arc::clone(&data);
+        let t = Instant::now();
+        let fut = reduce_async(
+            &rt,
+            policy,
+            0..n,
+            0.0f64,
+            move |i| d[i].sin(),
+            |a, b| a + b,
+        );
+        let v = fut.get();
+        assert!((v - expected).abs() < 1e-6 * expected.abs());
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    table.row(vec![
+        "seq".into(),
+        "sequential execution".into(),
+        "Parallelism TS, HPX".into(),
+        format!("{:.2}", timed_sync(seq())),
+    ]);
+    table.row(vec![
+        "par".into(),
+        "parallel execution".into(),
+        "Parallelism TS, HPX".into(),
+        format!("{:.2}", timed_sync(par())),
+    ]);
+    table.row(vec![
+        "par_vec".into(),
+        "parallel and vectorized execution".into(),
+        "Parallelism TS".into(),
+        format!("{:.2}", timed_sync(par_vec())),
+    ]);
+    table.row(vec![
+        "seq(task)".into(),
+        "sequential and asynchronous execution".into(),
+        "HPX".into(),
+        format!("{:.2}", timed_async(seq_task())),
+    ]);
+    table.row(vec![
+        "par(task)".into(),
+        "parallel and asynchronous execution".into(),
+        "HPX".into(),
+        format!("{:.2}", timed_async(par_task())),
+    ]);
+
+    print!("{}", table.render());
+
+    if let Some(path) = std::env::args().skip_while(|a| a != "--csv").nth(1) {
+        table.write_csv(std::path::Path::new(&path)).expect("csv");
+        eprintln!("wrote {path}");
+    }
+}

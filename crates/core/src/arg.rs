@@ -1,0 +1,546 @@
+//! Loop arguments (`op_arg_dat` / `op_arg_gbl`, paper §II-A and Fig 7).
+//!
+//! An argument couples a [`Dat`] (or [`Global`]) with an access descriptor
+//! and, for indirect access, a [`Map`] slot. Access is encoded in the
+//! *type* (the [`AccessTag`] parameter) so the kernel receives `&[T]` for
+//! `OP_READ` and `&mut [T]` otherwise — the Rust equivalent of OP2's
+//! access-mode-checked argument marshalling.
+
+use hpx_rt::{PrefetchSet, SharedFuture};
+
+use crate::dat::Dat;
+use crate::gbl::{Global, Reducible};
+use crate::map::Map;
+use crate::set::Set;
+use crate::types::{Access, OpType};
+
+/// Shape of an argument, used for planning and dependency analysis.
+#[derive(Clone, Debug)]
+pub struct ArgInfo {
+    /// Declared access mode.
+    pub access: Access,
+    /// Direct, indirect-through-a-map, or global.
+    pub kind: ArgKind,
+}
+
+/// See [`ArgInfo`].
+#[derive(Clone, Debug)]
+pub enum ArgKind {
+    /// The argument indexes the iteration set directly (`OP_ID`).
+    Direct,
+    /// The argument indexes through `map` slot `idx`.
+    Indirect {
+        /// The mapping used for the indirection.
+        map: Map,
+        /// Which of the map's `dim` slots.
+        idx: usize,
+    },
+    /// A global (reduction or broadcast) argument.
+    Global,
+}
+
+/// One argument of a parallel loop.
+///
+/// # Safety
+///
+/// Implementations must return views that are valid for the lifetime of the
+/// borrow and must only alias as permitted by the access mode: `Read` views
+/// may alias anything read-only; mutable views must target rows that the
+/// executor guarantees exclusive (direct partitioning, plan coloring, or
+/// task-local buffers).
+pub unsafe trait ArgSpec: Clone + Send + Sync + 'static {
+    /// What the kernel receives per element: `&[T]` or `&mut [T]`.
+    type View<'e>
+    where
+        Self: 'e;
+    /// Per-chunk scratch (reduction buffers; `()` for dat args).
+    type TaskLocal: Send + 'static;
+
+    /// Validates the argument against the loop's iteration set.
+    fn check_against(&self, iter_set: &Set, loop_name: &str);
+    /// Creates the per-chunk scratch.
+    fn task_local(&self) -> Self::TaskLocal;
+    /// Builds the kernel view for element `elem`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be a loop executor upholding the plan/coloring
+    /// discipline (see [`crate::dat`] safety model).
+    unsafe fn view<'e>(&'e self, elem: usize, tl: &'e mut Self::TaskLocal) -> Self::View<'e>;
+    /// Commits per-chunk scratch (chunk keyed by its start element).
+    fn commit(&self, chunk_start: usize, tl: Self::TaskLocal);
+    /// Runs once after all chunks of the loop completed.
+    fn finalize(&self);
+    /// Shape for planning.
+    fn info(&self) -> ArgInfo;
+    /// Dependency futures this argument must wait for (dataflow backend).
+    fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>);
+    /// Records the loop's completion future (dataflow backend).
+    fn record_completion(&self, done: &SharedFuture<()>);
+    /// Panics if a conflicting user guard is live.
+    fn assert_borrowable(&self);
+    /// Registers containers for the prefetching iterator (§V). Indirect
+    /// dat rows are gathered through the map, so only the map table itself
+    /// is registered for them.
+    fn add_prefetch(&self, set: &mut PrefetchSet);
+    /// For the debug aliasing check: `(dat id, target row)` when this
+    /// argument yields a mutable view into shared storage.
+    fn mut_target(&self, elem: usize) -> Option<(u64, usize)>;
+}
+
+// ---------------------------------------------------------------------------
+// Dat arguments
+// ---------------------------------------------------------------------------
+
+/// Type-level access mode of a [`DatArg`].
+pub trait AccessTag: Send + Sync + 'static {
+    /// The runtime access descriptor.
+    const ACCESS: Access;
+}
+
+/// `OP_READ` marker.
+pub struct ReadTag;
+/// `OP_WRITE` marker.
+pub struct WriteTag;
+/// `OP_RW` marker.
+pub struct RwTag;
+/// `OP_INC` marker.
+pub struct IncTag;
+
+impl AccessTag for ReadTag {
+    const ACCESS: Access = Access::Read;
+}
+impl AccessTag for WriteTag {
+    const ACCESS: Access = Access::Write;
+}
+impl AccessTag for RwTag {
+    const ACCESS: Access = Access::Rw;
+}
+impl AccessTag for IncTag {
+    const ACCESS: Access = Access::Inc;
+}
+
+/// A dat argument with access mode `A` (see module docs). Construct with
+/// [`arg_read`], [`arg_inc_via`], etc.
+pub struct DatArg<T: OpType, A: AccessTag> {
+    dat: Dat<T>,
+    map: Option<(Map, usize)>,
+    _access: std::marker::PhantomData<A>,
+}
+
+impl<T: OpType, A: AccessTag> Clone for DatArg<T, A> {
+    fn clone(&self) -> Self {
+        DatArg {
+            dat: self.dat.clone(),
+            map: self.map.clone(),
+            _access: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: OpType, A: AccessTag> DatArg<T, A> {
+    fn new(dat: &Dat<T>, map: Option<(&Map, usize)>) -> Self {
+        if let Some((m, idx)) = map {
+            assert!(
+                idx < m.dim(),
+                "arg on dat '{}': map slot {idx} out of range for map '{}' (dim {})",
+                dat.name(),
+                m.name(),
+                m.dim()
+            );
+            assert!(
+                m.to_set().same(dat.set()),
+                "arg on dat '{}': map '{}' targets set '{}', dat lives on set '{}'",
+                dat.name(),
+                m.name(),
+                m.to_set().name(),
+                dat.set().name()
+            );
+        }
+        DatArg {
+            dat: dat.clone(),
+            map: map.map(|(m, i)| (m.clone(), i)),
+            _access: std::marker::PhantomData,
+        }
+    }
+
+    /// Target row for iteration element `e`.
+    #[inline(always)]
+    fn target(&self, e: usize) -> usize {
+        match &self.map {
+            None => e,
+            Some((m, i)) => m.at(e, *i),
+        }
+    }
+
+    fn check_impl(&self, iter_set: &Set, loop_name: &str) {
+        match &self.map {
+            None => assert!(
+                self.dat.set().same(iter_set),
+                "loop '{loop_name}': direct arg on dat '{}' (set '{}') does not match iteration set '{}'",
+                self.dat.name(),
+                self.dat.set().name(),
+                iter_set.name()
+            ),
+            Some((m, _)) => assert!(
+                m.from_set().same(iter_set),
+                "loop '{loop_name}': map '{}' maps from set '{}', not from iteration set '{}'",
+                m.name(),
+                m.from_set().name(),
+                iter_set.name()
+            ),
+        }
+    }
+
+    fn info_impl(&self) -> ArgInfo {
+        ArgInfo {
+            access: A::ACCESS,
+            kind: match &self.map {
+                None => ArgKind::Direct,
+                Some((m, i)) => ArgKind::Indirect {
+                    map: m.clone(),
+                    idx: *i,
+                },
+            },
+        }
+    }
+
+    fn add_prefetch_impl(&self, set: &mut PrefetchSet) {
+        // Direct (linear-stride) accesses are deliberately *not*
+        // registered: modern hardware stride prefetchers already saturate
+        // them, and per-iteration software prefetch code only bloats the
+        // hot loop (measured in EXPERIMENTS.md; the paper's 2016 testbed
+        // behaved differently — hpx-rt's `for_each_prefetch` still offers
+        // linear prefetching for the Fig 19/20 experiments).
+        //
+        // Indirect accesses are the real payoff: read the map entry for
+        // iteration i+d (cheap, sequential) and prefetch the gathered dat
+        // row, which no hardware prefetcher can predict. The map's index
+        // Vec outlives the loop because the argument (cloned into the
+        // block body) keeps the Map alive.
+        if let Some((m, idx)) = &self.map {
+            set.add_gather_raw(
+                m.indices(),
+                m.dim(),
+                *idx,
+                // SAFETY(clippy): address computation only.
+                unsafe { self.dat.ptr() }.cast_const().cast(),
+                self.dat.dim() * std::mem::size_of::<T>(),
+                self.dat.set().size(),
+            );
+        }
+    }
+}
+
+macro_rules! impl_dat_arg {
+    // $tag: the access tag; $view: view type; $mut_target: expression
+    (read) => {
+        // SAFETY: Read views are shared references; aliasing is harmless.
+        unsafe impl<T: OpType> ArgSpec for DatArg<T, ReadTag> {
+            type View<'e> = &'e [T];
+            type TaskLocal = ();
+
+            fn check_against(&self, iter_set: &Set, loop_name: &str) {
+                self.check_impl(iter_set, loop_name);
+            }
+            fn task_local(&self) {}
+            #[inline(always)]
+            unsafe fn view<'e>(&'e self, elem: usize, _tl: &'e mut ()) -> &'e [T] {
+                let t = self.target(elem);
+                let dim = self.dat.dim();
+                // SAFETY: executor discipline (module docs); row in bounds
+                // by map/dat construction.
+                unsafe { std::slice::from_raw_parts(self.dat.ptr().add(t * dim), dim) }
+            }
+            fn commit(&self, _chunk_start: usize, _tl: ()) {}
+            fn finalize(&self) {}
+            fn info(&self) -> ArgInfo {
+                self.info_impl()
+            }
+            fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>) {
+                self.dat.collect_deps(false, out);
+            }
+            fn record_completion(&self, done: &SharedFuture<()>) {
+                self.dat.record_completion(false, done);
+            }
+            fn assert_borrowable(&self) {
+                self.dat.assert_borrowable(false);
+            }
+            fn add_prefetch(&self, set: &mut PrefetchSet) {
+                self.add_prefetch_impl(set);
+            }
+            fn mut_target(&self, _elem: usize) -> Option<(u64, usize)> {
+                None
+            }
+        }
+    };
+    (mut $tag:ty) => {
+        // SAFETY: mutable views are made exclusive by the executor: direct
+        // args are partitioned by element, indirect ones serialized by
+        // plan coloring; the debug aliasing check guards within-element
+        // overlap.
+        unsafe impl<T: OpType> ArgSpec for DatArg<T, $tag> {
+            type View<'e> = &'e mut [T];
+            type TaskLocal = ();
+
+            fn check_against(&self, iter_set: &Set, loop_name: &str) {
+                self.check_impl(iter_set, loop_name);
+            }
+            fn task_local(&self) {}
+            #[inline(always)]
+            unsafe fn view<'e>(&'e self, elem: usize, _tl: &'e mut ()) -> &'e mut [T] {
+                let t = self.target(elem);
+                let dim = self.dat.dim();
+                // SAFETY: exclusivity per the impl-level comment.
+                unsafe { std::slice::from_raw_parts_mut(self.dat.ptr().add(t * dim), dim) }
+            }
+            fn commit(&self, _chunk_start: usize, _tl: ()) {}
+            fn finalize(&self) {}
+            fn info(&self) -> ArgInfo {
+                self.info_impl()
+            }
+            fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>) {
+                self.dat.collect_deps(true, out);
+            }
+            fn record_completion(&self, done: &SharedFuture<()>) {
+                self.dat.record_completion(true, done);
+            }
+            fn assert_borrowable(&self) {
+                self.dat.assert_borrowable(true);
+            }
+            fn add_prefetch(&self, set: &mut PrefetchSet) {
+                self.add_prefetch_impl(set);
+            }
+            fn mut_target(&self, elem: usize) -> Option<(u64, usize)> {
+                Some((self.dat.id(), self.target(elem)))
+            }
+        }
+    };
+}
+
+impl_dat_arg!(read);
+impl_dat_arg!(mut WriteTag);
+impl_dat_arg!(mut RwTag);
+impl_dat_arg!(mut IncTag);
+
+// ---------------------------------------------------------------------------
+// Global arguments
+// ---------------------------------------------------------------------------
+
+/// Increment (reduction) argument on a [`Global`]; the kernel receives a
+/// `&mut [T]` accumulation buffer that is task-local and merged
+/// deterministically after the loop.
+pub struct GblIncArg<T: Reducible> {
+    gbl: Global<T>,
+}
+
+impl<T: Reducible> Clone for GblIncArg<T> {
+    fn clone(&self) -> Self {
+        GblIncArg {
+            gbl: self.gbl.clone(),
+        }
+    }
+}
+
+// SAFETY: views point into the per-chunk task-local buffer — never shared.
+unsafe impl<T: Reducible> ArgSpec for GblIncArg<T> {
+    type View<'e> = &'e mut [T];
+    type TaskLocal = Vec<T>;
+
+    fn check_against(&self, _iter_set: &Set, _loop_name: &str) {}
+    fn task_local(&self) -> Vec<T> {
+        self.gbl.task_local()
+    }
+    #[inline(always)]
+    unsafe fn view<'e>(&'e self, _elem: usize, tl: &'e mut Vec<T>) -> &'e mut [T] {
+        tl.as_mut_slice()
+    }
+    fn commit(&self, chunk_start: usize, tl: Vec<T>) {
+        self.gbl.commit(chunk_start, tl);
+    }
+    fn finalize(&self) {
+        self.gbl.finalize();
+    }
+    fn info(&self) -> ArgInfo {
+        ArgInfo {
+            access: Access::Inc,
+            kind: ArgKind::Global,
+        }
+    }
+    fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>) {
+        // Serialize loops incrementing the same global: their partial
+        // buffers and finalize steps must not interleave.
+        if let Some(p) = self.gbl_pending() {
+            out.push(p);
+        }
+    }
+    fn record_completion(&self, done: &SharedFuture<()>) {
+        self.gbl.record_completion(done);
+    }
+    fn assert_borrowable(&self) {}
+    fn add_prefetch(&self, _set: &mut PrefetchSet) {}
+    fn mut_target(&self, _elem: usize) -> Option<(u64, usize)> {
+        None
+    }
+}
+
+impl<T: Reducible> GblIncArg<T> {
+    fn gbl_pending(&self) -> Option<SharedFuture<()>> {
+        // Re-use Global::get ordering state without waiting.
+        self.gbl.pending_future()
+    }
+}
+
+/// Read-only (broadcast) argument on a [`Global`]; the kernel receives
+/// `&[T]` of the current value.
+pub struct GblReadArg<T: Reducible> {
+    gbl: Global<T>,
+}
+
+impl<T: Reducible> Clone for GblReadArg<T> {
+    fn clone(&self) -> Self {
+        GblReadArg {
+            gbl: self.gbl.clone(),
+        }
+    }
+}
+
+// SAFETY: read-only view of a buffer whose writers are ordered before this
+// loop via the pending future collected in `collect_deps`.
+unsafe impl<T: Reducible> ArgSpec for GblReadArg<T> {
+    type View<'e> = &'e [T];
+    type TaskLocal = ();
+
+    fn check_against(&self, _iter_set: &Set, _loop_name: &str) {}
+    fn task_local(&self) {}
+    #[inline(always)]
+    unsafe fn view<'e>(&'e self, _elem: usize, _tl: &'e mut ()) -> &'e [T] {
+        // SAFETY: the value vector is never resized; writers are ordered
+        // before this loop by `collect_deps`.
+        unsafe { std::slice::from_raw_parts(self.gbl.raw_value_ptr(), self.gbl.dim()) }
+    }
+    fn commit(&self, _chunk_start: usize, _tl: ()) {}
+    fn finalize(&self) {}
+    fn info(&self) -> ArgInfo {
+        ArgInfo {
+            access: Access::Read,
+            kind: ArgKind::Global,
+        }
+    }
+    fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>) {
+        if let Some(p) = self.gbl.pending_future() {
+            out.push(p);
+        }
+    }
+    fn record_completion(&self, _done: &SharedFuture<()>) {}
+    fn assert_borrowable(&self) {}
+    fn add_prefetch(&self, _set: &mut PrefetchSet) {}
+    fn mut_target(&self, _elem: usize) -> Option<(u64, usize)> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constructors (the `op_arg_dat` / `op_arg_gbl` surface)
+// ---------------------------------------------------------------------------
+
+/// Direct `OP_READ` argument.
+pub fn arg_read<T: OpType>(dat: &Dat<T>) -> DatArg<T, ReadTag> {
+    DatArg::new(dat, None)
+}
+
+/// Direct `OP_WRITE` argument.
+pub fn arg_write<T: OpType>(dat: &Dat<T>) -> DatArg<T, WriteTag> {
+    DatArg::new(dat, None)
+}
+
+/// Direct `OP_RW` argument.
+pub fn arg_rw<T: OpType>(dat: &Dat<T>) -> DatArg<T, RwTag> {
+    DatArg::new(dat, None)
+}
+
+/// Direct `OP_INC` argument.
+pub fn arg_inc<T: OpType>(dat: &Dat<T>) -> DatArg<T, IncTag> {
+    DatArg::new(dat, None)
+}
+
+/// Indirect `OP_READ` argument through `map` slot `idx`.
+pub fn arg_read_via<T: OpType>(dat: &Dat<T>, map: &Map, idx: usize) -> DatArg<T, ReadTag> {
+    DatArg::new(dat, Some((map, idx)))
+}
+
+/// Indirect `OP_WRITE` argument through `map` slot `idx`.
+pub fn arg_write_via<T: OpType>(dat: &Dat<T>, map: &Map, idx: usize) -> DatArg<T, WriteTag> {
+    DatArg::new(dat, Some((map, idx)))
+}
+
+/// Indirect `OP_RW` argument through `map` slot `idx`.
+pub fn arg_rw_via<T: OpType>(dat: &Dat<T>, map: &Map, idx: usize) -> DatArg<T, RwTag> {
+    DatArg::new(dat, Some((map, idx)))
+}
+
+/// Indirect `OP_INC` argument through `map` slot `idx` — the access that
+/// requires plan coloring (paper §II-A: "increment to avoid race
+/// conditions due to indirect data access").
+pub fn arg_inc_via<T: OpType>(dat: &Dat<T>, map: &Map, idx: usize) -> DatArg<T, IncTag> {
+    DatArg::new(dat, Some((map, idx)))
+}
+
+/// Global reduction argument (`op_arg_gbl(…, OP_INC)`), e.g. Airfoil's
+/// `rms` residual.
+pub fn arg_gbl_inc<T: Reducible>(gbl: &Global<T>) -> GblIncArg<T> {
+    GblIncArg { gbl: gbl.clone() }
+}
+
+/// Global broadcast argument (`op_arg_gbl(…, OP_READ)`).
+pub fn arg_gbl_read<T: Reducible>(gbl: &Global<T>) -> GblReadArg<T> {
+    GblReadArg { gbl: gbl.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "map slot 2 out of range")]
+    fn rejects_bad_map_slot() {
+        let edges = Set::new(2, "edges");
+        let nodes = Set::new(2, "nodes");
+        let m = Map::new(&edges, &nodes, 2, vec![0, 1, 1, 0], "pedge");
+        let d = Dat::new(&nodes, 1, "x", vec![0.0f64; 2]);
+        let _ = arg_read_via(&d, &m, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets set")]
+    fn rejects_map_to_wrong_set() {
+        let edges = Set::new(2, "edges");
+        let nodes = Set::new(2, "nodes");
+        let cells = Set::new(2, "cells");
+        let m = Map::new(&edges, &nodes, 1, vec![0, 1], "pedge");
+        let d = Dat::new(&cells, 1, "q", vec![0.0f64; 2]);
+        let _ = arg_inc_via(&d, &m, 0);
+    }
+
+    #[test]
+    fn info_reports_kind_and_access() {
+        let cells = Set::new(3, "cells");
+        let d = Dat::new(&cells, 2, "q", vec![0.0f64; 6]);
+        let info = ArgSpec::info(&arg_write(&d));
+        assert_eq!(info.access, Access::Write);
+        assert!(matches!(info.kind, ArgKind::Direct));
+    }
+
+    #[test]
+    fn mut_target_reports_row() {
+        let edges = Set::new(2, "edges");
+        let cells = Set::new(3, "cells");
+        let m = Map::new(&edges, &cells, 2, vec![0, 1, 1, 2], "ecell");
+        let d = Dat::new(&cells, 1, "res", vec![0.0f64; 3]);
+        let a = arg_inc_via(&d, &m, 1);
+        assert_eq!(a.mut_target(0), Some((d.id(), 1)));
+        assert_eq!(a.mut_target(1), Some((d.id(), 2)));
+        let r = arg_read_via(&d, &m, 0);
+        assert_eq!(ArgSpec::mut_target(&r, 0), None);
+    }
+}

@@ -1,0 +1,381 @@
+//! Dats: data defined on sets (paper §II-A, `op_decl_dat`), plus the
+//! per-dat dependency state that lets the dataflow backend chain loops.
+//!
+//! # Safety model
+//!
+//! The payload lives in an `UnsafeCell<Vec<T>>`. Mutable access happens on
+//! exactly two disciplined paths:
+//!
+//! 1. **Loop executors** (`crate::driver`): race-freedom is guaranteed by
+//!    the execution plan — direct mutable args touch disjoint rows because
+//!    chunks partition the set; indirect mutable args are serialized by
+//!    block coloring; loop-vs-loop ordering is enforced by the per-dat
+//!    last-writer/readers futures ([`DepState`]).
+//! 2. **User guards** ([`Dat::read`] / [`Dat::write`]) which first wait for
+//!    the relevant futures and are tracked by a borrow counter so a guard
+//!    held across a conflicting `par_loop` submission panics instead of
+//!    racing.
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::Arc;
+
+use hpx_rt::SharedFuture;
+
+use crate::set::Set;
+use crate::types::{next_entity_id, OpType};
+
+/// Dependency state used by the dataflow backend: the completion future of
+/// the last loop that wrote this dat, and of every reader since.
+#[derive(Default)]
+pub(crate) struct DepState {
+    pub last_write: Option<SharedFuture<()>>,
+    pub readers: Vec<SharedFuture<()>>,
+}
+
+pub(crate) struct DatInner<T> {
+    pub id: u64,
+    pub set: Set,
+    pub dim: usize,
+    pub name: String,
+    data: UnsafeCell<Vec<T>>,
+    pub deps: Mutex<DepState>,
+    /// User-guard tracking: >0 read guards, -1 write guard, 0 free.
+    borrow: AtomicIsize,
+}
+
+// SAFETY: see the module-level safety model; all mutable access is
+// serialized by plans/futures (executors) or the borrow counter (guards).
+unsafe impl<T: Send + Sync> Send for DatInner<T> {}
+unsafe impl<T: Send + Sync> Sync for DatInner<T> {}
+
+/// Data on a set: `set.size()` rows of `dim` scalars. Cheap to clone (an
+/// `Arc` handle); clones alias the same storage.
+pub struct Dat<T: OpType> {
+    inner: Arc<DatInner<T>>,
+}
+
+impl<T: OpType> Clone for Dat<T> {
+    fn clone(&self) -> Self {
+        Dat {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: OpType> Dat<T> {
+    pub(crate) fn new(set: &Set, dim: usize, name: &str, data: Vec<T>) -> Self {
+        assert!(dim > 0, "dat '{name}': dim must be positive");
+        assert_eq!(
+            data.len(),
+            set.size() * dim,
+            "dat '{name}': expected {} values ({} x {dim}), got {}",
+            set.size() * dim,
+            set.size(),
+            data.len()
+        );
+        Dat {
+            inner: Arc::new(DatInner {
+                id: next_entity_id(),
+                set: set.clone(),
+                dim,
+                name: name.to_owned(),
+                data: UnsafeCell::new(data),
+                deps: Mutex::new(DepState::default()),
+                borrow: AtomicIsize::new(0),
+            }),
+        }
+    }
+
+    /// The set this dat is defined on.
+    pub fn set(&self) -> &Set {
+        &self.inner.set
+    }
+
+    /// Scalars per set element.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// Declared name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Total scalar count (`set.size() * dim`).
+    pub fn len(&self) -> usize {
+        self.inner.set.size() * self.inner.dim
+    }
+
+    /// True for a dat on an empty set.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw base pointer for the executors.
+    ///
+    /// # Safety
+    ///
+    /// Dereferencing requires the caller to uphold the module-level model.
+    #[inline(always)]
+    pub(crate) unsafe fn ptr(&self) -> *mut T {
+        // SAFETY: UnsafeCell grants the raw pointer; the Vec itself is
+        // never resized after construction, so the pointer is stable.
+        unsafe { (*self.inner.data.get()).as_mut_ptr() }
+    }
+
+    // ---- dependency bookkeeping (dataflow backend) ----------------------
+
+    /// Futures this access must wait for: writers wait for everything
+    /// (write-after-write, write-after-read); readers only for the last
+    /// writer.
+    pub(crate) fn collect_deps(&self, mutates: bool, out: &mut Vec<SharedFuture<()>>) {
+        let mut deps = self.inner.deps.lock();
+        if let Some(w) = &deps.last_write {
+            out.push(w.clone());
+        }
+        if mutates {
+            out.append(&mut deps.readers);
+        }
+    }
+
+    /// Records a loop's completion future against this dat.
+    pub(crate) fn record_completion(&self, mutates: bool, done: &SharedFuture<()>) {
+        let mut deps = self.inner.deps.lock();
+        if mutates {
+            deps.last_write = Some(done.clone());
+            deps.readers.clear();
+        } else {
+            deps.readers.push(done.clone());
+        }
+    }
+
+    fn wait_last_write(&self) {
+        let w = self.inner.deps.lock().last_write.clone();
+        if let Some(w) = w {
+            w.wait();
+        }
+    }
+
+    fn wait_all(&self) {
+        let (w, readers) = {
+            let deps = self.inner.deps.lock();
+            (deps.last_write.clone(), deps.readers.clone())
+        };
+        if let Some(w) = w {
+            w.wait();
+        }
+        for r in readers {
+            r.wait();
+        }
+    }
+
+    // ---- guard-based user access ----------------------------------------
+
+    /// Waits for all pending writes, then returns a read view of the rows.
+    ///
+    /// # Panics
+    ///
+    /// If a write guard is live.
+    pub fn read(&self) -> DatReadGuard<'_, T> {
+        self.wait_last_write();
+        let prev = self.inner.borrow.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            prev >= 0,
+            "dat '{}': read() while a write guard is live",
+            self.inner.name
+        );
+        DatReadGuard { dat: self }
+    }
+
+    /// Waits for all pending loops touching this dat, then returns an
+    /// exclusive view (setup/initialization use).
+    ///
+    /// # Panics
+    ///
+    /// If any other guard is live.
+    pub fn write(&self) -> DatWriteGuard<'_, T> {
+        self.wait_all();
+        let prev =
+            self.inner
+                .borrow
+                .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Acquire);
+        assert!(
+            prev.is_ok(),
+            "dat '{}': write() while another guard is live",
+            self.inner.name
+        );
+        DatWriteGuard { dat: self }
+    }
+
+    /// Waits for pending writes and clones the payload out.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.read().to_vec()
+    }
+
+    /// Panics unless a new loop argument with the given mutability could
+    /// run now without racing a live user guard.
+    pub(crate) fn assert_borrowable(&self, mutates: bool) {
+        let b = self.inner.borrow.load(Ordering::Acquire);
+        if mutates {
+            assert!(
+                b == 0,
+                "dat '{}': submitted as a mutable loop argument while a user guard is live",
+                self.inner.name
+            );
+        } else {
+            assert!(
+                b >= 0,
+                "dat '{}': submitted as a loop argument while a write guard is live",
+                self.inner.name
+            );
+        }
+    }
+}
+
+impl<T: OpType> std::fmt::Debug for Dat<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dat")
+            .field("name", &self.inner.name)
+            .field("set", &self.inner.set.name())
+            .field("dim", &self.inner.dim)
+            .finish()
+    }
+}
+
+/// Shared read view of a dat (see [`Dat::read`]).
+pub struct DatReadGuard<'a, T: OpType> {
+    dat: &'a Dat<T>,
+}
+
+impl<T: OpType> std::ops::Deref for DatReadGuard<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // SAFETY: guard construction waited for writers and registered in
+        // the borrow counter; conflicting loop submissions panic.
+        unsafe { std::slice::from_raw_parts(self.dat.ptr(), self.dat.len()) }
+    }
+}
+
+impl<T: OpType> DatReadGuard<'_, T> {
+    /// The `dim` scalars of row `e`.
+    pub fn row(&self, e: usize) -> &[T] {
+        let d = self.dat.dim();
+        &self[e * d..(e + 1) * d]
+    }
+}
+
+impl<T: OpType> Drop for DatReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.dat.inner.borrow.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Exclusive view of a dat (see [`Dat::write`]).
+pub struct DatWriteGuard<'a, T: OpType> {
+    dat: &'a Dat<T>,
+}
+
+impl<T: OpType> std::ops::Deref for DatWriteGuard<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // SAFETY: exclusive per borrow counter.
+        unsafe { std::slice::from_raw_parts(self.dat.ptr(), self.dat.len()) }
+    }
+}
+
+impl<T: OpType> std::ops::DerefMut for DatWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: exclusive per borrow counter.
+        unsafe { std::slice::from_raw_parts_mut(self.dat.ptr(), self.dat.len()) }
+    }
+}
+
+impl<T: OpType> DatWriteGuard<'_, T> {
+    /// Mutable view of the `dim` scalars of row `e`.
+    pub fn row_mut(&mut self, e: usize) -> &mut [T] {
+        let d = self.dat.dim();
+        let start = e * d;
+        &mut self[start..start + d]
+    }
+}
+
+impl<T: OpType> Drop for DatWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.dat.inner.borrow.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Dat<f64> {
+        let set = Set::new(4, "cells");
+        Dat::new(&set, 2, "q", vec![0.0; 8])
+    }
+
+    #[test]
+    fn rows_and_len() {
+        let d = mk();
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.dim(), 2);
+        {
+            let mut w = d.write();
+            w.row_mut(2).copy_from_slice(&[1.0, 2.0]);
+        }
+        let r = d.read();
+        assert_eq!(r.row(2), &[1.0, 2.0]);
+        assert_eq!(r.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn multiple_read_guards_allowed() {
+        let d = mk();
+        let a = d.read();
+        let b = d.read();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "write() while another guard is live")]
+    fn write_conflicts_with_read_guard() {
+        let d = mk();
+        let _r = d.read();
+        let _w = d.write();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 8 values")]
+    fn rejects_wrong_payload_length() {
+        let set = Set::new(4, "cells");
+        let _ = Dat::new(&set, 2, "q", vec![0.0; 7]);
+    }
+
+    #[test]
+    fn dep_bookkeeping_orders_writers_after_readers() {
+        let d = mk();
+        let r1 = SharedFuture::ready(());
+        d.record_completion(false, &r1);
+        let mut deps = Vec::new();
+        d.collect_deps(true, &mut deps);
+        assert_eq!(deps.len(), 1, "writer must wait for the reader");
+        // After collecting for a writer, readers are drained.
+        let mut deps2 = Vec::new();
+        d.collect_deps(true, &mut deps2);
+        assert!(deps2.is_empty());
+    }
+
+    #[test]
+    fn snapshot_clones() {
+        let d = mk();
+        let s = d.snapshot();
+        assert_eq!(s, vec![0.0; 8]);
+    }
+}

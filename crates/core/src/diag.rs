@@ -1,0 +1,42 @@
+//! Debug-build diagnostics.
+
+/// Asserts that no two mutable views of one kernel invocation alias the
+/// same dat row — e.g. `res_calc` incrementing both cells of an edge must
+/// see two *different* cells. Violations are mesh bugs (degenerate
+/// elements) that would otherwise be undefined behaviour.
+#[inline]
+pub fn check_mut_overlap(targets: &[Option<(u64, usize)>], elem: usize) {
+    for i in 0..targets.len() {
+        let Some(a) = targets[i] else { continue };
+        for b in targets.iter().skip(i + 1).flatten() {
+            assert!(
+                a != *b,
+                "aliasing mutable arguments: element {elem} reaches dat {} row {} through two \
+                 mutable arguments (degenerate mesh entity?)",
+                a.0,
+                a.1
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_targets_pass() {
+        check_mut_overlap(&[Some((1, 0)), Some((1, 1)), None, Some((2, 0))], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing mutable arguments")]
+    fn overlapping_targets_panic() {
+        check_mut_overlap(&[Some((1, 3)), None, Some((1, 3))], 9);
+    }
+
+    #[test]
+    fn same_row_different_dat_is_fine() {
+        check_mut_overlap(&[Some((1, 3)), Some((2, 3))], 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The loop driver: one entry point, three backends.
+//!
+//! * **Seq** — reference execution on the calling thread.
+//! * **ForkJoin** — the OpenMP-equivalent baseline: synchronous parallel
+//!   chunks with a global barrier after every loop and every color round.
+//! * **Dataflow** — the paper's design: the loop becomes a chain of
+//!   future continuations (one per color round) scheduled when the
+//!   arguments' dependency futures resolve; the caller gets the completion
+//!   future back immediately (paper Figs 8-11).
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hpx_rt::{when_all_shared, ExecutionPolicy, SharedFuture};
+
+use crate::arg::ArgInfo;
+use crate::config::Backend;
+use crate::plan::{conflicts_of, Plan};
+use crate::set::Set;
+use crate::world::{record_loop_time, Op2};
+
+/// Everything the driver needs, pre-assembled by the `par_loop*` fronts.
+pub(crate) struct LoopSpec {
+    pub name: String,
+    pub set: Set,
+    pub infos: Vec<ArgInfo>,
+    pub deps: Vec<SharedFuture<()>>,
+    /// Executes the kernel over a contiguous element range and commits
+    /// per-chunk state (reduction partials).
+    pub block_body: Arc<dyn Fn(Range<usize>) + Send + Sync>,
+    /// Runs once after all chunks: merges reductions.
+    pub finalize: Arc<dyn Fn() + Send + Sync>,
+}
+
+/// Runs (or schedules) the loop; returns its completion future.
+pub(crate) fn drive(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
+    match world.config().backend {
+        Backend::Seq => drive_sync(world, spec, /*parallel=*/ false),
+        Backend::ForkJoin => drive_sync(world, spec, /*parallel=*/ true),
+        Backend::Dataflow => drive_dataflow(world, spec),
+    }
+}
+
+fn policy_of(world: &Op2) -> ExecutionPolicy {
+    hpx_rt::par().with_chunk(world.config().chunk.clone())
+}
+
+fn drive_sync(world: &Op2, spec: LoopSpec, parallel: bool) -> SharedFuture<()> {
+    // Any pending dataflow loops from a mixed-backend context must drain
+    // first; under pure Seq/ForkJoin these futures are already ready.
+    for d in &spec.deps {
+        d.wait();
+    }
+    let n = spec.set.size();
+    let t0 = Instant::now();
+    if n > 0 {
+        if !parallel {
+            (spec.block_body)(0..n);
+        } else {
+            run_parallel_phases(world, &spec, n);
+        }
+    }
+    (spec.finalize)();
+    record_loop_time(&world.stats_handle(), &spec.name, t0.elapsed());
+    SharedFuture::ready(())
+}
+
+/// The synchronous parallel schedule: direct loops are one chunked
+/// parallel-for; indirect loops run color rounds, each ending in an
+/// implicit global barrier (the `for_each_chunk` join).
+fn run_parallel_phases(world: &Op2, spec: &LoopSpec, n: usize) {
+    let rt = world.runtime();
+    let policy = policy_of(world);
+    let conflicts = conflicts_of(&spec.infos);
+    if conflicts.is_empty() {
+        hpx_rt::for_each_chunk(rt, &policy, 0..n, |r| (spec.block_body)(r));
+        return;
+    }
+    let plan = world
+        .plans()
+        .get(&spec.set, world.config().block_size, &conflicts);
+    for color_list in &plan.color_blocks {
+        hpx_rt::for_each_chunk(rt, &policy, 0..color_list.len(), |br| {
+            for bi in br {
+                (spec.block_body)(plan.blocks[color_list[bi]].clone());
+            }
+        });
+        // <- implicit global barrier per color round (and per loop): this
+        // is precisely the synchronization the dataflow backend removes.
+    }
+}
+
+fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
+    let rt = world.runtime_arc();
+    let stats = world.stats_handle();
+    let policy = policy_of(world);
+    let n = spec.set.size();
+    let name = spec.name.clone();
+    let conflicts = conflicts_of(&spec.infos);
+
+    let start = when_all_shared(&spec.deps);
+
+    let done = if conflicts.is_empty() {
+        let body = Arc::clone(&spec.block_body);
+        let finalize = Arc::clone(&spec.finalize);
+        let rt2 = Arc::clone(&rt);
+        start.then(&rt, move |()| {
+            let t0 = Instant::now();
+            if n > 0 {
+                hpx_rt::for_each_chunk(&rt2, &policy, 0..n, |r| body(r));
+            }
+            finalize();
+            record_loop_time(&stats, &name, t0.elapsed());
+        })
+    } else {
+        let plan = world
+            .plans()
+            .get(&spec.set, world.config().block_size, &conflicts);
+        let t0_cell: Arc<parking_lot::Mutex<Option<Instant>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let t0c = Arc::clone(&t0_cell);
+        let mut fut = start.then_inline(move |()| {
+            *t0c.lock() = Some(Instant::now());
+        });
+        // One continuation per color round; rounds are ordered by the
+        // future chain, not by a barrier on the submitting thread.
+        for color in 0..plan.ncolors {
+            let plan_c = Arc::clone(&plan);
+            let body = Arc::clone(&spec.block_body);
+            let rt2 = Arc::clone(&rt);
+            let policy_c = policy.clone();
+            fut = fut.then(&rt, move |()| {
+                let blocks: &[usize] = &plan_c.color_blocks[color];
+                hpx_rt::for_each_chunk(&rt2, &policy_c, 0..blocks.len(), |br| {
+                    for bi in br {
+                        body(plan_c.blocks[blocks[bi]].clone());
+                    }
+                });
+            });
+        }
+        let finalize = Arc::clone(&spec.finalize);
+        fut.then_inline(move |()| {
+            finalize();
+            if let Some(t0) = *t0_cell.lock() {
+                record_loop_time(&stats, &name, t0.elapsed());
+            }
+        })
+    };
+    done.share()
+}
+
+/// A handle to a submitted loop (paper Fig 9: the kernel "returns an
+/// output argument as a future").
+///
+/// Under the dataflow backend the loop may still be running — or not yet
+/// started — when the handle is returned; under Seq/ForkJoin it is already
+/// complete. Dropping the handle is fine: the context tracks the loop for
+/// [`Op2::fence`].
+#[derive(Clone, Debug)]
+pub struct LoopHandle {
+    name: String,
+    done: SharedFuture<()>,
+}
+
+impl LoopHandle {
+    pub(crate) fn new(name: String, done: SharedFuture<()>) -> Self {
+        LoopHandle { name, done }
+    }
+
+    /// The loop's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True once the loop has completed.
+    pub fn is_done(&self) -> bool {
+        self.done.is_ready()
+    }
+
+    /// Blocks until the loop completes, re-panicking if the kernel
+    /// panicked.
+    pub fn wait(&self) {
+        self.done.get()
+    }
+
+    /// The completion future, usable as an explicit dataflow dependency.
+    pub fn future(&self) -> SharedFuture<()> {
+        self.done.clone()
+    }
+
+    /// Access the plan executed for this loop's shape — exposed for tests
+    /// and diagnostics via [`Op2::plan_cache_stats`].
+    #[doc(hidden)]
+    pub fn __done_for_tests(&self) -> &SharedFuture<()> {
+        &self.done
+    }
+}
+
+/// Fetches the cached plan for a loop shape — used by tests and the
+/// benchmark harness to inspect coloring.
+pub fn plan_for(world: &Op2, set: &Set, infos: &[ArgInfo]) -> Option<Arc<Plan>> {
+    let conflicts = conflicts_of(infos);
+    if conflicts.is_empty() {
+        return None;
+    }
+    Some(world.plans().get(set, world.config().block_size, &conflicts))
+}

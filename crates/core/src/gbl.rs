@@ -1,0 +1,262 @@
+//! Globals: loop-carried scalars with reduction semantics
+//! (`op_arg_gbl` — e.g. the Airfoil residual `rms`).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use hpx_rt::SharedFuture;
+
+use crate::types::OpType;
+
+/// The supported reduction operators for `OP_INC`-style global arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Sum (`OP_INC`).
+    Sum,
+    /// Minimum (`OP_MIN`).
+    Min,
+    /// Maximum (`OP_MAX`).
+    Max,
+}
+
+/// Scalars usable in global reductions.
+pub trait Reducible: OpType + PartialOrd {
+    /// The identity element of `op`.
+    fn identity(op: ReduceOp) -> Self;
+    /// `a ⊕ b` under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),+) => {$(
+        impl Reducible for $t {
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0.0,
+                    ReduceOp::Min => <$t>::INFINITY,
+                    ReduceOp::Max => <$t>::NEG_INFINITY,
+                }
+            }
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Min => if b < a { b } else { a },
+                    ReduceOp::Max => if b > a { b } else { a },
+                }
+            }
+        }
+    )+};
+}
+impl_reducible_float!(f32, f64);
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),+) => {$(
+        impl Reducible for $t {
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0,
+                    ReduceOp::Min => <$t>::MAX,
+                    ReduceOp::Max => <$t>::MIN,
+                }
+            }
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                }
+            }
+        }
+    )+};
+}
+impl_reducible_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub(crate) struct GlobalInner<T> {
+    pub dim: usize,
+    pub op: ReduceOp,
+    pub name: String,
+    value: Mutex<Vec<T>>,
+    /// Per-loop partials keyed by chunk start, merged deterministically.
+    partials: Mutex<Vec<(usize, Vec<T>)>>,
+    /// Completion of the most recent loop that increments this global.
+    pending: Mutex<Option<SharedFuture<()>>>,
+}
+
+/// A global value of `dim` scalars participating in reductions. Cheap to
+/// clone; clones alias the same state.
+///
+/// Protocol per loop iterationstep (matching OP2's `op_arg_gbl`): call
+/// [`Global::reset`], run the loop with [`crate::arg_gbl_inc`], then
+/// [`Global::get`] — which, under the dataflow backend, waits for the
+/// loop's completion future.
+pub struct Global<T: Reducible> {
+    inner: Arc<GlobalInner<T>>,
+}
+
+impl<T: Reducible> Clone for Global<T> {
+    fn clone(&self) -> Self {
+        Global {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Reducible> Global<T> {
+    /// A new global of `dim` scalars reduced with `op`, initialized to the
+    /// identity.
+    pub fn new(dim: usize, op: ReduceOp, name: &str) -> Self {
+        assert!(dim > 0, "global '{name}': dim must be positive");
+        Global {
+            inner: Arc::new(GlobalInner {
+                dim,
+                op,
+                name: name.to_owned(),
+                value: Mutex::new([T::identity(op)].repeat(dim)),
+                partials: Mutex::new(Vec::new()),
+                pending: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Sum-reduction global (the common `OP_INC` case).
+    pub fn sum(dim: usize, name: &str) -> Self {
+        Self::new(dim, ReduceOp::Sum, name)
+    }
+
+    /// Scalars per element.
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// Declared name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Resets the value to the reduction identity (waits for a pending
+    /// loop first so an in-flight reduction is not clobbered).
+    pub fn reset(&self) {
+        self.wait_pending();
+        let mut v = self.inner.value.lock();
+        v.iter_mut().for_each(|x| *x = T::identity(self.inner.op));
+        self.inner.partials.lock().clear();
+    }
+
+    /// Overwrites the value (waits for a pending loop first).
+    pub fn set(&self, values: &[T]) {
+        assert_eq!(values.len(), self.inner.dim, "global '{}': dim mismatch", self.inner.name);
+        self.wait_pending();
+        self.inner.value.lock().copy_from_slice(values);
+    }
+
+    /// Waits for the latest incrementing loop (if any), then returns the
+    /// reduced value.
+    pub fn get(&self) -> Vec<T> {
+        self.wait_pending();
+        self.inner.value.lock().clone()
+    }
+
+    /// Scalar convenience for `dim == 1` globals.
+    pub fn get_scalar(&self) -> T {
+        self.get()[0]
+    }
+
+    fn wait_pending(&self) {
+        let p = self.inner.pending.lock().clone();
+        if let Some(p) = p {
+            p.wait();
+        }
+    }
+
+    // ---- executor protocol ----------------------------------------------
+
+    /// A fresh accumulation buffer (identity-filled).
+    pub(crate) fn task_local(&self) -> Vec<T> {
+        [T::identity(self.inner.op)].repeat(self.inner.dim)
+    }
+
+    /// Commits one chunk's partial, keyed by chunk start for deterministic
+    /// merging.
+    pub(crate) fn commit(&self, chunk_start: usize, partial: Vec<T>) {
+        self.inner.partials.lock().push((chunk_start, partial));
+    }
+
+    /// Merges partials into the value in chunk order (so float reductions
+    /// are reproducible for a fixed chunk plan).
+    pub(crate) fn finalize(&self) {
+        let mut partials = std::mem::take(&mut *self.inner.partials.lock());
+        partials.sort_unstable_by_key(|(s, _)| *s);
+        let mut value = self.inner.value.lock();
+        for (_, p) in partials {
+            for (v, x) in value.iter_mut().zip(p) {
+                *v = T::combine(self.inner.op, *v, x);
+            }
+        }
+    }
+
+    /// Records the owning loop's completion future.
+    pub(crate) fn record_completion(&self, done: &SharedFuture<()>) {
+        *self.inner.pending.lock() = Some(done.clone());
+    }
+
+    /// The completion future of the latest incrementing loop, if any.
+    pub(crate) fn pending_future(&self) -> Option<SharedFuture<()>> {
+        self.inner.pending.lock().clone()
+    }
+
+    /// Current value snapshot without waiting (internal; used by read args
+    /// whose ordering is enforced through `pending`).
+    pub(crate) fn raw_value_ptr(&self) -> *const T {
+        self.inner.value.lock().as_ptr()
+    }
+}
+
+impl<T: Reducible> std::fmt::Debug for Global<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Global")
+            .field("name", &self.inner.name)
+            .field("dim", &self.inner.dim)
+            .field("op", &self.inner.op)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_reduction_merges_in_chunk_order() {
+        let g = Global::<f64>::sum(1, "rms");
+        g.commit(100, vec![2.0]);
+        g.commit(0, vec![1.0]);
+        g.commit(200, vec![3.0]);
+        g.finalize();
+        assert_eq!(g.get_scalar(), 6.0);
+    }
+
+    #[test]
+    fn reset_restores_identity() {
+        let g = Global::<f64>::sum(2, "r");
+        g.commit(0, vec![1.0, 2.0]);
+        g.finalize();
+        assert_eq!(g.get(), vec![1.0, 2.0]);
+        g.reset();
+        assert_eq!(g.get(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_identities() {
+        assert_eq!(f64::identity(ReduceOp::Min), f64::INFINITY);
+        assert_eq!(i32::identity(ReduceOp::Max), i32::MIN);
+        assert_eq!(f64::combine(ReduceOp::Min, 1.0, -2.0), -2.0);
+        assert_eq!(u32::combine(ReduceOp::Max, 1, 7), 7);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let g = Global::<i64>::new(3, ReduceOp::Sum, "v");
+        g.set(&[1, 2, 3]);
+        assert_eq!(g.get(), vec![1, 2, 3]);
+    }
+}

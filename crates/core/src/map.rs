@@ -1,0 +1,125 @@
+//! Maps: connectivity between sets (paper §II-A, `op_decl_map`).
+
+use std::sync::Arc;
+
+use crate::set::Set;
+use crate::types::next_entity_id;
+
+#[derive(Debug)]
+pub(crate) struct MapInner {
+    pub id: u64,
+    pub from: Set,
+    pub to: Set,
+    pub dim: usize,
+    pub indices: Vec<u32>,
+    pub name: String,
+}
+
+/// A declared mapping of arity `dim` from one set to another, e.g. the
+/// paper's `pedge` map from edges to their 2 nodes. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Map {
+    inner: Arc<MapInner>,
+}
+
+impl Map {
+    pub(crate) fn new(from: &Set, to: &Set, dim: usize, indices: Vec<u32>, name: &str) -> Self {
+        assert!(dim > 0, "map '{name}': dim must be positive");
+        assert_eq!(
+            indices.len(),
+            from.size() * dim,
+            "map '{name}': expected {} indices ({} x {dim}), got {}",
+            from.size() * dim,
+            from.size(),
+            indices.len()
+        );
+        let to_size = to.size() as u32;
+        for (pos, &t) in indices.iter().enumerate() {
+            assert!(
+                t < to_size,
+                "map '{name}': index {t} at position {pos} out of range for target set '{}' of size {to_size}",
+                to.name()
+            );
+        }
+        Map {
+            inner: Arc::new(MapInner {
+                id: next_entity_id(),
+                from: from.clone(),
+                to: to.clone(),
+                dim,
+                indices,
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Target element for source element `e`, slot `k` (`k < dim`).
+    #[inline(always)]
+    pub fn at(&self, e: usize, k: usize) -> usize {
+        debug_assert!(k < self.inner.dim);
+        self.inner.indices[e * self.inner.dim + k] as usize
+    }
+
+    /// Source set.
+    pub fn from_set(&self) -> &Set {
+        &self.inner.from
+    }
+
+    /// Target set.
+    pub fn to_set(&self) -> &Set {
+        &self.inner.to
+    }
+
+    /// Arity of the mapping.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// Declared name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The raw index table (row-major, `from.size()` rows of `dim`).
+    pub fn indices(&self) -> &[u32] {
+        &self.inner.indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets() -> (Set, Set) {
+        (Set::new(4, "edges"), Set::new(3, "nodes"))
+    }
+
+    #[test]
+    fn lookup() {
+        let (edges, nodes) = sets();
+        let m = Map::new(&edges, &nodes, 2, vec![0, 1, 1, 2, 2, 0, 0, 2], "pedge");
+        assert_eq!(m.at(0, 0), 0);
+        assert_eq!(m.at(0, 1), 1);
+        assert_eq!(m.at(3, 1), 2);
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_targets() {
+        let (edges, nodes) = sets();
+        let _ = Map::new(&edges, &nodes, 1, vec![0, 1, 2, 3], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn rejects_wrong_length() {
+        let (edges, nodes) = sets();
+        let _ = Map::new(&edges, &nodes, 2, vec![0, 1], "short");
+    }
+}

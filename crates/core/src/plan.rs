@@ -1,0 +1,372 @@
+//! Execution plans: mini-partition blocks + greedy block coloring.
+//!
+//! This is the shared-memory execution strategy of the OP2 library that the
+//! paper's backends inherit: the iteration set is partitioned into
+//! contiguous *blocks*; blocks that increment the same target element
+//! through any indirection map receive different *colors*; blocks of one
+//! color can run concurrently without races, and colors execute as
+//! successive rounds. The fork-join backend places a global barrier after
+//! every round; the dataflow backend chains rounds with futures.
+//!
+//! Plans are cached per (set, block size, indirection signature) exactly
+//! like OP2's `op_plan_get`.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::arg::{ArgInfo, ArgKind};
+use crate::map::Map;
+use crate::set::Set;
+
+/// A conflict source: a map slot used with a mutating access mode.
+#[derive(Clone)]
+pub(crate) struct Conflict {
+    pub map: Map,
+    pub idx: usize,
+}
+
+/// The execution plan of an indirect loop.
+#[derive(Debug)]
+pub struct Plan {
+    /// Block size used to partition the set.
+    pub block_size: usize,
+    /// Contiguous element ranges, one per block.
+    pub blocks: Vec<Range<usize>>,
+    /// Color of each block.
+    pub block_color: Vec<u32>,
+    /// Number of colors.
+    pub ncolors: usize,
+    /// Block ids grouped by color, ascending within a color.
+    pub color_blocks: Vec<Vec<usize>>,
+}
+
+impl Plan {
+    /// Builds a plan for a set of `n` elements. `conflicts` lists every
+    /// (map, slot) reached with a mutating access; an empty list yields a
+    /// single-color plan (a *direct* loop needs no coloring at all, but a
+    /// trivial plan keeps the executors uniform).
+    pub(crate) fn build(n: usize, block_size: usize, conflicts: &[Conflict]) -> Plan {
+        let block_size = block_size.max(1);
+        let nblocks = n.div_ceil(block_size);
+        let blocks: Vec<Range<usize>> = (0..nblocks)
+            .map(|b| b * block_size..((b + 1) * block_size).min(n))
+            .collect();
+
+        // Group conflict slots by map so each map's target masks are
+        // walked once per block.
+        let mut by_map: Vec<(Map, Vec<usize>)> = Vec::new();
+        for c in conflicts {
+            match by_map.iter_mut().find(|(m, _)| m.id() == c.map.id()) {
+                Some((_, idxs)) => {
+                    if !idxs.contains(&c.idx) {
+                        idxs.push(c.idx);
+                    }
+                }
+                None => by_map.push((c.map.clone(), vec![c.idx])),
+            }
+        }
+
+        if by_map.is_empty() || nblocks <= 1 {
+            let ncolors = usize::from(nblocks > 0);
+            return Plan {
+                block_size,
+                block_color: vec![0; nblocks],
+                ncolors,
+                color_blocks: if nblocks > 0 {
+                    vec![(0..nblocks).collect()]
+                } else {
+                    Vec::new()
+                },
+                blocks,
+            };
+        }
+
+        // Greedy coloring with a growable per-target color bitmask. Start
+        // with one 64-bit word per target; on the (rare) overflow, widen
+        // and restart.
+        let mut words = 1usize;
+        let block_color = loop {
+            match try_color(&blocks, &by_map, words) {
+                Some(colors) => break colors,
+                None => words += 1,
+            }
+        };
+        let ncolors = block_color.iter().copied().max().map_or(0, |c| c as usize + 1);
+        let mut color_blocks = vec![Vec::new(); ncolors];
+        for (b, &c) in block_color.iter().enumerate() {
+            color_blocks[c as usize].push(b);
+        }
+        Plan {
+            block_size,
+            blocks,
+            block_color,
+            ncolors,
+            color_blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn nblocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// One greedy pass with `words * 64` available colors. Returns `None` if
+/// some block found every color forbidden (caller widens and retries).
+fn try_color(blocks: &[Range<usize>], by_map: &[(Map, Vec<usize>)], words: usize) -> Option<Vec<u32>> {
+    // masks[m] is a flat [target_count x words] bitset of colors already
+    // used by blocks touching that target.
+    let mut masks: Vec<Vec<u64>> = by_map
+        .iter()
+        .map(|(m, _)| vec![0u64; m.to_set().size() * words])
+        .collect();
+    let mut colors = Vec::with_capacity(blocks.len());
+    let mut forbidden = vec![0u64; words];
+
+    for block in blocks {
+        forbidden.iter_mut().for_each(|w| *w = 0);
+        for (mi, (map, idxs)) in by_map.iter().enumerate() {
+            let mask = &masks[mi];
+            for e in block.clone() {
+                for &k in idxs {
+                    let t = map.at(e, k);
+                    let base = t * words;
+                    for w in 0..words {
+                        forbidden[w] |= mask[base + w];
+                    }
+                }
+            }
+        }
+        // First free color.
+        let mut color = None;
+        for (w, &bits) in forbidden.iter().enumerate() {
+            if bits != u64::MAX {
+                color = Some((w * 64 + (!bits).trailing_zeros() as usize) as u32);
+                break;
+            }
+        }
+        let color = color?;
+        colors.push(color);
+        let (cw, cb) = ((color / 64) as usize, color % 64);
+        for (mi, (map, idxs)) in by_map.iter().enumerate() {
+            let mask = &mut masks[mi];
+            for e in block.clone() {
+                for &k in idxs {
+                    let t = map.at(e, k);
+                    mask[t * words + cw] |= 1u64 << cb;
+                }
+            }
+        }
+    }
+    Some(colors)
+}
+
+/// Validates the fundamental plan invariant: no two blocks of the same
+/// color touch a common target through any conflict map. Used by debug
+/// assertions and the property tests.
+pub fn validate_coloring(plan: &Plan, conflicts: &[(Map, usize)]) -> Result<(), String> {
+    for (color, blocks) in plan.color_blocks.iter().enumerate() {
+        for (map, idx) in conflicts {
+            let mut owner: HashMap<usize, usize> = HashMap::new();
+            for &b in blocks {
+                for e in plan.blocks[b].clone() {
+                    let t = map.at(e, *idx);
+                    if let Some(prev) = owner.insert(t, b) {
+                        if prev != b {
+                            return Err(format!(
+                                "color {color}: blocks {prev} and {b} share target {t} of map '{}'",
+                                map.name()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Coverage: blocks tile 0..n.
+    let mut next = 0;
+    for r in &plan.blocks {
+        if r.start != next {
+            return Err(format!("block gap at {next}"));
+        }
+        next = r.end;
+    }
+    Ok(())
+}
+
+pub(crate) fn conflicts_of(infos: &[ArgInfo]) -> Vec<Conflict> {
+    infos
+        .iter()
+        .filter(|i| i.access.is_mut())
+        .filter_map(|i| match &i.kind {
+            ArgKind::Indirect { map, idx } => Some(Conflict {
+                map: map.clone(),
+                idx: *idx,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache (OP2 `op_plan_get`)
+// ---------------------------------------------------------------------------
+
+#[derive(PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    set: u64,
+    block_size: usize,
+    conflicts: Vec<(u64, usize)>,
+}
+
+#[derive(Default)]
+pub(crate) struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    hits: Mutex<u64>,
+}
+
+impl PlanCache {
+    pub fn get(&self, set: &Set, block_size: usize, conflicts: &[Conflict]) -> Arc<Plan> {
+        let mut key_conflicts: Vec<(u64, usize)> =
+            conflicts.iter().map(|c| (c.map.id(), c.idx)).collect();
+        key_conflicts.sort_unstable();
+        key_conflicts.dedup();
+        let key = PlanKey {
+            set: set.id(),
+            block_size,
+            conflicts: key_conflicts,
+        };
+        if let Some(p) = self.plans.lock().get(&key) {
+            *self.hits.lock() += 1;
+            return Arc::clone(p);
+        }
+        let plan = Arc::new(Plan::build(set.size(), block_size, conflicts));
+        #[cfg(debug_assertions)]
+        {
+            let pairs: Vec<(Map, usize)> =
+                conflicts.iter().map(|c| (c.map.clone(), c.idx)).collect();
+            if let Err(e) = validate_coloring(&plan, &pairs) {
+                panic!("plan validation failed for set '{}': {e}", set.name());
+            }
+        }
+        self.plans
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&plan));
+        plan
+    }
+
+    pub fn built(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of n edges over n nodes: edge e -> nodes (e, e+1 mod n).
+    fn ring(n: usize) -> (Set, Set, Map) {
+        let edges = Set::new(n, "edges");
+        let nodes = Set::new(n, "nodes");
+        let mut idx = Vec::with_capacity(2 * n);
+        for e in 0..n {
+            idx.push(e as u32);
+            idx.push(((e + 1) % n) as u32);
+        }
+        let m = Map::new(&edges, &nodes, 2, idx, "pedge");
+        (edges, nodes, m)
+    }
+
+    fn ring_conflicts(m: &Map) -> Vec<Conflict> {
+        vec![
+            Conflict { map: m.clone(), idx: 0 },
+            Conflict { map: m.clone(), idx: 1 },
+        ]
+    }
+
+    #[test]
+    fn direct_plan_single_color() {
+        let p = Plan::build(1000, 128, &[]);
+        assert_eq!(p.ncolors, 1);
+        assert_eq!(p.nblocks(), 8);
+        assert_eq!(p.color_blocks[0].len(), 8);
+    }
+
+    #[test]
+    fn ring_coloring_is_valid() {
+        let (_e, _n, m) = ring(1000);
+        let conflicts = ring_conflicts(&m);
+        let p = Plan::build(1000, 64, &conflicts);
+        assert!(p.ncolors >= 2, "adjacent blocks share boundary nodes");
+        let pairs: Vec<(Map, usize)> = conflicts.iter().map(|c| (c.map.clone(), c.idx)).collect();
+        validate_coloring(&p, &pairs).unwrap();
+    }
+
+    #[test]
+    fn every_block_appears_once_in_color_lists() {
+        let (_e, _n, m) = ring(500);
+        let p = Plan::build(500, 32, &ring_conflicts(&m));
+        let mut seen = vec![false; p.nblocks()];
+        for blocks in &p.color_blocks {
+            for &b in blocks {
+                assert!(!seen[b], "block {b} colored twice");
+                seen[b] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_set_plan() {
+        let p = Plan::build(0, 64, &[]);
+        assert_eq!(p.nblocks(), 0);
+        assert_eq!(p.ncolors, 0);
+    }
+
+    #[test]
+    fn single_block_needs_one_color() {
+        let (_e, _n, m) = ring(10);
+        let p = Plan::build(10, 64, &ring_conflicts(&m));
+        assert_eq!(p.nblocks(), 1);
+        assert_eq!(p.ncolors, 1);
+    }
+
+    #[test]
+    fn pathological_all_to_one_map_serializes() {
+        // Every edge increments node 0: every block conflicts with every
+        // other, so #colors == #blocks.
+        let edges = Set::new(256, "edges");
+        let nodes = Set::new(1, "node");
+        let m = Map::new(&edges, &nodes, 1, vec![0; 256], "all_to_one");
+        let conflicts = vec![Conflict { map: m.clone(), idx: 0 }];
+        let p = Plan::build(256, 2, &conflicts);
+        assert_eq!(p.ncolors, p.nblocks(), "total conflict must serialize");
+        assert!(p.ncolors > 64, "exercises the multi-word bitmask path");
+        validate_coloring(&p, &[(m, 0)]).unwrap();
+    }
+
+    #[test]
+    fn plan_cache_hits() {
+        let (_e, _n, m) = ring(100);
+        let set = m.from_set().clone();
+        let cache = PlanCache::default();
+        let c = ring_conflicts(&m);
+        let p1 = cache.get(&set, 16, &c);
+        let p2 = cache.get(&set, 16, &c);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.built(), 1);
+        assert_eq!(cache.hits(), 1);
+        // Different block size -> different plan.
+        let p3 = cache.get(&set, 32, &c);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.built(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Sets: the iteration domains of unstructured-mesh computation
+//! (paper §II-A: "Sets can be nodes, edges or faces").
+
+use std::sync::Arc;
+
+use crate::types::next_entity_id;
+
+#[derive(Debug)]
+pub(crate) struct SetInner {
+    pub id: u64,
+    pub size: usize,
+    pub name: String,
+}
+
+/// A declared set (`op_decl_set`). Cheap to clone (an `Arc` handle).
+#[derive(Debug, Clone)]
+pub struct Set {
+    inner: Arc<SetInner>,
+}
+
+impl Set {
+    pub(crate) fn new(size: usize, name: &str) -> Self {
+        Set {
+            inner: Arc::new(SetInner {
+                id: next_entity_id(),
+                size,
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Declared name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// True when both handles denote the same declared set.
+    pub fn same(&self, other: &Set) -> bool {
+        self.inner.id == other.inner.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_identity() {
+        let a = Set::new(10, "nodes");
+        let b = a.clone();
+        let c = Set::new(10, "nodes");
+        assert!(a.same(&b));
+        assert!(!a.same(&c), "distinct declarations are distinct sets");
+        assert_eq!(a.size(), 10);
+        assert_eq!(a.name(), "nodes");
+    }
+}

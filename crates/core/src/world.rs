@@ -1,0 +1,186 @@
+//! The OP2 context: declaration API, runtime handle, plan cache and
+//! bookkeeping.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpx_rt::{Runtime, SharedFuture};
+
+use crate::config::Op2Config;
+use crate::dat::Dat;
+use crate::map::Map;
+use crate::plan::PlanCache;
+use crate::set::Set;
+use crate::types::OpType;
+
+/// Cumulative statistics of one named loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoopStat {
+    /// Number of invocations.
+    pub invocations: u64,
+    /// Total execution time (submission-to-finalize span, measured inside
+    /// the executing tasks for the dataflow backend).
+    pub total: Duration,
+}
+
+pub(crate) type StatsHandle = Arc<Mutex<HashMap<String, LoopStat>>>;
+
+/// An OP2 execution context (the equivalent of `op_init` + the library
+/// state). Owns the thread pool; declaration methods mirror the OP2 API.
+///
+/// ```
+/// use op2_core::{Op2, Op2Config};
+/// let op2 = Op2::new(Op2Config::dataflow(2));
+/// let nodes = op2.decl_set(9, "nodes");
+/// let edges = op2.decl_set(12, "edges");
+/// let x = op2.decl_dat(&nodes, 1, "x", vec![0.0f64; 9]);
+/// assert_eq!(x.set().size(), 9);
+/// # let _ = edges;
+/// ```
+pub struct Op2 {
+    rt: Arc<Runtime>,
+    config: Op2Config,
+    plans: PlanCache,
+    outstanding: Mutex<Vec<SharedFuture<()>>>,
+    stats: StatsHandle,
+}
+
+impl Op2 {
+    /// Creates a context with its own worker pool.
+    pub fn new(config: Op2Config) -> Self {
+        let rt = Arc::new(Runtime::with_name(config.threads, "op2-worker"));
+        Op2 {
+            rt,
+            config,
+            plans: PlanCache::default(),
+            outstanding: Mutex::new(Vec::new()),
+            stats: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The underlying task runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    pub(crate) fn runtime_arc(&self) -> Arc<Runtime> {
+        Arc::clone(&self.rt)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Op2Config {
+        &self.config
+    }
+
+    /// Declares a set of `size` elements (`op_decl_set`).
+    pub fn decl_set(&self, size: usize, name: &str) -> Set {
+        Set::new(size, name)
+    }
+
+    /// Declares a map (`op_decl_map`); validates arity and ranges.
+    pub fn decl_map(&self, from: &Set, to: &Set, dim: usize, indices: Vec<u32>, name: &str) -> Map {
+        Map::new(from, to, dim, indices, name)
+    }
+
+    /// Declares data on a set (`op_decl_dat`); `data` holds
+    /// `set.size() * dim` scalars, row-major.
+    pub fn decl_dat<T: OpType>(&self, set: &Set, dim: usize, name: &str, data: Vec<T>) -> Dat<T> {
+        Dat::new(set, dim, name, data)
+    }
+
+    /// Waits for every outstanding loop, re-panicking if any kernel
+    /// panicked — the explicit global synchronization point (only needed
+    /// around I/O or timing boundaries in the dataflow backend).
+    pub fn fence(&self) {
+        let pending = std::mem::take(&mut *self.outstanding.lock());
+        for f in pending {
+            f.get();
+        }
+    }
+
+    pub(crate) fn track(&self, done: SharedFuture<()>) {
+        let mut o = self.outstanding.lock();
+        o.push(done);
+        // Bound growth across long runs: completed futures need no fence.
+        if o.len() > 1024 {
+            o.retain(|f| !f.is_ready());
+        }
+    }
+
+    pub(crate) fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    pub(crate) fn stats_handle(&self) -> StatsHandle {
+        Arc::clone(&self.stats)
+    }
+
+    /// Per-loop cumulative statistics, sorted by name.
+    pub fn loop_stats(&self) -> Vec<(String, LoopStat)> {
+        let mut v: Vec<(String, LoopStat)> = self
+            .stats
+            .lock()
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// `(plans built, cache hits)` — mirrors OP2's plan reuse counters.
+    pub fn plan_cache_stats(&self) -> (usize, u64) {
+        (self.plans.built(), self.plans.hits())
+    }
+}
+
+impl std::fmt::Debug for Op2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Op2")
+            .field("backend", &self.config.backend)
+            .field("threads", &self.config.threads)
+            .finish()
+    }
+}
+
+pub(crate) fn record_loop_time(stats: &StatsHandle, name: &str, elapsed: Duration) {
+    let mut map = stats.lock();
+    let entry = map.entry(name.to_owned()).or_default();
+    entry.invocations += 1;
+    entry.total += elapsed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Op2Config;
+
+    #[test]
+    fn declarations() {
+        let op2 = Op2::new(Op2Config::seq());
+        let nodes = op2.decl_set(3, "nodes");
+        let edges = op2.decl_set(2, "edges");
+        let m = op2.decl_map(&edges, &nodes, 2, vec![0, 1, 1, 2], "pedge");
+        let d = op2.decl_dat(&nodes, 2, "x", vec![0.0f64; 6]);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn fence_on_empty_context_is_noop() {
+        let op2 = Op2::new(Op2Config::fork_join(2));
+        op2.fence();
+        assert!(op2.loop_stats().is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let stats: StatsHandle = Arc::new(Mutex::new(HashMap::new()));
+        record_loop_time(&stats, "k", Duration::from_millis(2));
+        record_loop_time(&stats, "k", Duration::from_millis(3));
+        let s = stats.lock()["k"];
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.total, Duration::from_millis(5));
+    }
+}

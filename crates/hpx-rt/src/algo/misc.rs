@@ -1,0 +1,185 @@
+//! Small parallel algorithms built on the chunked engine.
+
+use std::ops::Range;
+
+use super::run_chunked;
+use super::transform::SendMutPtr;
+use crate::policy::ExecutionPolicy;
+use crate::runtime::Runtime;
+
+/// Sets every element of `dst` to a clone of `value`.
+pub fn fill<T>(rt: &Runtime, policy: &ExecutionPolicy, dst: &mut [T], value: T)
+where
+    T: Clone + Send + Sync,
+{
+    let dst_ptr = SendMutPtr(dst.as_mut_ptr());
+    run_chunked(rt, policy, dst.len(), &|r: Range<usize>| {
+        for i in r {
+            // SAFETY: chunks are disjoint and within bounds.
+            unsafe {
+                *dst_ptr.at(i) = value.clone();
+            }
+        }
+    });
+}
+
+/// Copies `src` into `dst` element-wise (the parallel `std::copy` of the
+/// paper's loop bodies, e.g. `save_soln`).
+///
+/// # Panics
+///
+/// If lengths differ.
+pub fn copy<T>(rt: &Runtime, policy: &ExecutionPolicy, src: &[T], dst: &mut [T])
+where
+    T: Copy + Send + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    let dst_ptr = SendMutPtr(dst.as_mut_ptr());
+    run_chunked(rt, policy, src.len(), &|r: Range<usize>| {
+        // Per-chunk memcpy: the compiler lowers this to memcpy.
+        let src_chunk = &src[r.clone()];
+        // SAFETY: disjoint chunk, same bounds as src.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src_chunk.as_ptr(), dst_ptr.at(r.start), src_chunk.len());
+        }
+    });
+}
+
+/// Counts indices for which `pred` holds.
+pub fn count_if<F>(rt: &Runtime, policy: &ExecutionPolicy, range: Range<usize>, pred: F) -> usize
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    crate::algo::reduce(
+        rt,
+        policy,
+        range,
+        0usize,
+        |i| usize::from(pred(i)),
+        |a, b| a + b,
+    )
+}
+
+/// Sums `map(i)` over the range (convenience over [`crate::reduce`]).
+pub fn sum<T, F>(rt: &Runtime, policy: &ExecutionPolicy, range: Range<usize>, map: F) -> T
+where
+    T: Send + Sync + Clone + std::ops::Add<Output = T> + Default,
+    F: Fn(usize) -> T + Sync,
+{
+    crate::algo::reduce(rt, policy, range, T::default(), map, |a, b| a + b)
+}
+
+/// Index and value of the minimum of `map(i)` (first occurrence on ties),
+/// or `None` for an empty range.
+pub fn min_element<T, F>(
+    rt: &Runtime,
+    policy: &ExecutionPolicy,
+    range: Range<usize>,
+    map: F,
+) -> Option<(usize, T)>
+where
+    T: Send + Sync + Clone + PartialOrd,
+    F: Fn(usize) -> T + Sync,
+{
+    crate::algo::reduce(
+        rt,
+        policy,
+        range,
+        None,
+        |i| Some((i, map(i))),
+        |a: Option<(usize, T)>, b| match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some((ia, va)), Some((ib, vb))) => {
+                if vb < va || (vb == va && ib < ia) {
+                    Some((ib, vb))
+                } else {
+                    Some((ia, va))
+                }
+            }
+        },
+    )
+}
+
+/// Index and value of the maximum of `map(i)` (first occurrence on ties),
+/// or `None` for an empty range.
+pub fn max_element<T, F>(
+    rt: &Runtime,
+    policy: &ExecutionPolicy,
+    range: Range<usize>,
+    map: F,
+) -> Option<(usize, T)>
+where
+    T: Send + Sync + Clone + PartialOrd,
+    F: Fn(usize) -> T + Sync,
+{
+    crate::algo::reduce(
+        rt,
+        policy,
+        range,
+        None,
+        |i| Some((i, map(i))),
+        |a: Option<(usize, T)>, b| match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some((ia, va)), Some((ib, vb))) => {
+                if vb > va || (vb == va && ib < ia) {
+                    Some((ib, vb))
+                } else {
+                    Some((ia, va))
+                }
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::par;
+
+    #[test]
+    fn fill_sets_all() {
+        let rt = Runtime::new(3);
+        let mut v = vec![0u32; 10_001];
+        fill(&rt, &par(), &mut v, 9);
+        assert!(v.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn copy_roundtrip() {
+        let rt = Runtime::new(3);
+        let src: Vec<u64> = (0..9999).map(|i| i * 3).collect();
+        let mut dst = vec![0u64; src.len()];
+        copy(&rt, &par(), &src, &mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn count_if_counts() {
+        let rt = Runtime::new(2);
+        let c = count_if(&rt, &par(), 0..1000, |i| i % 7 == 0);
+        assert_eq!(c, 143);
+    }
+
+    #[test]
+    fn sum_of_squares() {
+        let rt = Runtime::new(2);
+        let s: u64 = sum(&rt, &par(), 0..100, |i| (i * i) as u64);
+        assert_eq!(s, 328_350);
+    }
+
+    #[test]
+    fn min_max_with_ties_prefers_first() {
+        let rt = Runtime::new(4);
+        let data = [5, 1, 9, 1, 9, 5];
+        let min = min_element(&rt, &par(), 0..data.len(), |i| data[i]).unwrap();
+        let max = max_element(&rt, &par(), 0..data.len(), |i| data[i]).unwrap();
+        assert_eq!(min, (1, 1));
+        assert_eq!(max, (2, 9));
+    }
+
+    #[test]
+    fn min_of_empty_is_none() {
+        let rt = Runtime::new(1);
+        assert!(min_element(&rt, &par(), 3..3, |i| i).is_none());
+    }
+}

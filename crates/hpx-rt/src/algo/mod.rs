@@ -1,0 +1,136 @@
+//! Chunked parallel algorithms (paper §IV-A).
+//!
+//! All algorithms share one engine, [`run_chunked`]: the iteration space is
+//! divided according to the policy's [`ChunkPolicy`](crate::ChunkPolicy)
+//! (possibly after a timing probe that executes real iterations), each chunk
+//! becomes a stealable task, and the caller joins on a help-executing latch
+//! — so a worker that "blocks" on its own loop actually executes that
+//! loop's chunks.
+//!
+//! Synchronous algorithms may borrow stack data (`Fn(..) + Sync`);
+//! asynchronous (`_async`, returning [`Future`]) variants require `'static`
+//! bodies because the caller may return before the loop finishes.
+
+mod for_each;
+mod misc;
+mod reduce;
+mod scan;
+mod sort;
+mod transform;
+
+pub use for_each::{for_each, for_each_async, for_each_chunk, for_each_chunk_async};
+pub use misc::{copy, count_if, fill, max_element, min_element, sum};
+pub use reduce::{reduce, reduce_async};
+pub use scan::inclusive_scan;
+pub use sort::sort;
+pub use transform::transform;
+
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::future::Future;
+use crate::lco::{Latch, LatchGuard};
+use crate::policy::{Exec, ExecutionPolicy};
+use crate::runtime::{spawn_unchecked, Runtime, RuntimeInner};
+
+/// Runs `body` over `0..n` in policy-controlled chunks and returns the
+/// per-chunk results tagged with their start index, sorted by start.
+///
+/// This is the synchronous engine: it returns only after every chunk has
+/// finished (or re-panics the first chunk panic after all chunks finished).
+pub(crate) fn run_chunked<R: Send>(
+    rt: &Runtime,
+    policy: &ExecutionPolicy,
+    n: usize,
+    body: &(dyn Fn(Range<usize>) -> R + Sync),
+) -> Vec<(usize, R)> {
+    run_chunked_inner(rt.inner(), policy, n, body)
+}
+
+pub(crate) fn run_chunked_inner<R: Send>(
+    inner: &RuntimeInner,
+    policy: &ExecutionPolicy,
+    n: usize,
+    body: &(dyn Fn(Range<usize>) -> R + Sync),
+) -> Vec<(usize, R)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if policy.exec == Exec::Seq {
+        return vec![(0, body(0..n))];
+    }
+
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    // The timing probe executes real iterations; its result is chunk 0.
+    let plan = policy.chunk.plan(n, inner.num_threads(), &mut |r: Range<usize>| {
+        let t = Instant::now();
+        let v = body(r.clone());
+        let elapsed = t.elapsed();
+        results.lock().push((r.start, v));
+        elapsed
+    });
+
+    match plan.chunks.len() {
+        0 => {}
+        1 if plan.prefix_done == 0 => {
+            // Nothing to parallelize; run inline.
+            let c = plan.chunks[0].clone();
+            let v = body(c.clone());
+            results.lock().push((c.start, v));
+        }
+        _ => {
+            let latch = Latch::new(plan.chunks.len());
+            let panic_slot: Mutex<Option<crate::future::PanicPayload>> = Mutex::new(None);
+            for c in plan.chunks {
+                let latch_ref = &latch;
+                let results_ref = &results;
+                let panic_ref = &panic_slot;
+                // SAFETY: `latch.wait()` below keeps this frame alive until
+                // every chunk task has dropped its guard, so the borrows of
+                // `body`, `results`, `panic_slot` and `latch` outlive the
+                // tasks. A panicking chunk still counts down via the guard.
+                unsafe {
+                    spawn_unchecked(inner, move || {
+                        let _guard = LatchGuard(latch_ref);
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            body(c.clone())
+                        })) {
+                            Ok(v) => results_ref.lock().push((c.start, v)),
+                            Err(p) => {
+                                let mut slot = panic_ref.lock();
+                                slot.get_or_insert(p);
+                            }
+                        }
+                    });
+                }
+            }
+            latch.wait();
+            if let Some(p) = panic_slot.into_inner() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+
+    let mut out = results.into_inner();
+    out.sort_unstable_by_key(|(start, _)| *start);
+    out
+}
+
+/// Asynchronous engine: immediately returns a future of the per-chunk
+/// results. Internally a prologue task runs the synchronous engine (and
+/// help-executes its own chunks while joining them).
+pub(crate) fn run_chunked_async<R, F>(
+    rt: &Runtime,
+    policy: ExecutionPolicy,
+    n: usize,
+    body: Arc<F>,
+) -> Future<Vec<(usize, R)>>
+where
+    R: Send + 'static,
+    F: Fn(Range<usize>) -> R + Send + Sync + 'static,
+{
+    let inner = Arc::clone(rt.inner());
+    rt.spawn_future(move || run_chunked_inner(&inner, &policy, n, &*body))
+}

@@ -1,0 +1,136 @@
+//! Parallel reduction.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use super::{run_chunked, run_chunked_async};
+use crate::future::Future;
+use crate::policy::ExecutionPolicy;
+use crate::runtime::Runtime;
+
+/// Folds `map(i)` for every index of `range` with the associative operator
+/// `op`, starting each partial from a clone of `identity`.
+///
+/// Per-chunk partials are combined **in index order**, so for a fixed chunk
+/// plan the result is deterministic even for non-commutative-in-rounding
+/// float addition.
+///
+/// ```
+/// let rt = hpx_rt::Runtime::new(4);
+/// let s = hpx_rt::reduce(&rt, &hpx_rt::par(), 0..1001, 0u64, |i| i as u64, |a, b| a + b);
+/// assert_eq!(s, 500_500);
+/// ```
+pub fn reduce<R, M, O>(
+    rt: &Runtime,
+    policy: &ExecutionPolicy,
+    range: Range<usize>,
+    identity: R,
+    map: M,
+    op: O,
+) -> R
+where
+    R: Send + Sync + Clone,
+    M: Fn(usize) -> R + Sync,
+    O: Fn(R, R) -> R + Sync,
+{
+    let base = range.start;
+    let n = range.end.saturating_sub(range.start);
+    let partials = run_chunked(rt, policy, n, &|r: Range<usize>| {
+        let mut acc = identity.clone();
+        for i in r {
+            acc = op(acc, map(base + i));
+        }
+        acc
+    });
+    partials
+        .into_iter()
+        .fold(identity, |acc, (_, p)| op(acc, p))
+}
+
+/// Asynchronous [`reduce`]: returns the folded value as a future. Used by
+/// the dataflow OP2 backend for global reductions (e.g. the Airfoil
+/// residual).
+pub fn reduce_async<R, M, O>(
+    rt: &Runtime,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    identity: R,
+    map: M,
+    op: O,
+) -> Future<R>
+where
+    R: Send + Sync + Clone + 'static,
+    M: Fn(usize) -> R + Send + Sync + 'static,
+    O: Fn(R, R) -> R + Send + Sync + 'static,
+{
+    let base = range.start;
+    let n = range.end.saturating_sub(range.start);
+    let op = Arc::new(op);
+    let op2 = Arc::clone(&op);
+    let identity2 = identity.clone();
+    let body = {
+        let identity = identity.clone();
+        Arc::new(move |r: Range<usize>| {
+            let mut acc = identity.clone();
+            for i in r {
+                acc = op(acc, map(base + i));
+            }
+            acc
+        })
+    };
+    run_chunked_async(rt, policy, n, body).then_inline(move |partials| {
+        partials
+            .into_iter()
+            .fold(identity2, |acc, (_, p)| op2(acc, p))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{par, par_task, seq};
+    use crate::ChunkPolicy;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let rt = Runtime::new(4);
+        let par_sum = reduce(&rt, &par(), 0..100_000, 0u64, |i| i as u64, |a, b| a + b);
+        let seq_sum = reduce(&rt, &seq(), 0..100_000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(par_sum, seq_sum);
+        assert_eq!(par_sum, 4_999_950_000);
+    }
+
+    #[test]
+    fn deterministic_float_sum_with_fixed_chunks() {
+        let rt = Runtime::new(4);
+        let policy = par().with_chunk(ChunkPolicy::Static { size: 1000 });
+        let data: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        let a = reduce(&rt, &policy, 0..data.len(), 0.0f64, |i| data[i], |x, y| x + y);
+        let b = reduce(&rt, &policy, 0..data.len(), 0.0f64, |i| data[i], |x, y| x + y);
+        assert_eq!(a.to_bits(), b.to_bits(), "fixed plan must be bit-deterministic");
+    }
+
+    #[test]
+    fn empty_range_yields_identity() {
+        let rt = Runtime::new(2);
+        let v = reduce(&rt, &par(), 10..10, 42u32, |_| 0, |a, b| a + b);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn async_reduce() {
+        let rt = Runtime::new(2);
+        let fut = reduce_async(&rt, par_task(), 0..1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(fut.get(), 499_500);
+    }
+
+    #[test]
+    fn max_via_reduce() {
+        let rt = Runtime::new(3);
+        let data: Vec<i64> = (0..10_000u64)
+            .map(|i| ((i * 2654435761) % 10_007) as i64)
+            .collect();
+        let m = reduce(&rt, &par(), 0..data.len(), i64::MIN, |i| data[i], i64::max);
+        assert_eq!(m, *data.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,147 @@
+//! Two-phase parallel inclusive scan.
+
+use std::ops::Range;
+
+use super::run_chunked;
+use super::transform::SendMutPtr;
+use crate::policy::{par, Exec, ExecutionPolicy};
+use crate::runtime::Runtime;
+use crate::ChunkPolicy;
+
+/// Inclusive prefix "sum" with an arbitrary associative operator:
+/// `dst[i] = src[0] ⊕ src[1] ⊕ … ⊕ src[i]`.
+///
+/// Parallel two-phase algorithm: fixed even chunks fold local partials,
+/// carries are combined sequentially, then every chunk re-walks with its
+/// carry. Both sweeps are parallel; the carry pass is O(#chunks).
+///
+/// ```
+/// let rt = hpx_rt::Runtime::new(2);
+/// let src = [1u64, 2, 3, 4];
+/// let mut dst = [0u64; 4];
+/// hpx_rt::inclusive_scan(&rt, &hpx_rt::par(), &src, &mut dst, 0, |a, b| a + b);
+/// assert_eq!(dst, [1, 3, 6, 10]);
+/// ```
+pub fn inclusive_scan<T, O>(
+    rt: &Runtime,
+    policy: &ExecutionPolicy,
+    src: &[T],
+    dst: &mut [T],
+    identity: T,
+    op: O,
+) where
+    T: Clone + Send + Sync,
+    O: Fn(&T, &T) -> T + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "inclusive_scan: length mismatch");
+    let n = src.len();
+    if n == 0 {
+        return;
+    }
+    if policy.exec == Exec::Seq || n < 2 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = op(&acc, &src[i]);
+            dst[i] = acc.clone();
+        }
+        return;
+    }
+
+    // Both phases must see identical chunk boundaries, so use a fixed even
+    // split regardless of the caller's chunker.
+    let nchunks = (rt.num_threads() * 4).clamp(1, n);
+    let fixed = par().with_chunk(ChunkPolicy::NumChunks { chunks: nchunks });
+
+    // Phase 1: per-chunk fold.
+    let partials = run_chunked(rt, &fixed, n, &|r: Range<usize>| {
+        let mut acc = identity.clone();
+        for i in r {
+            acc = op(&acc, &src[i]);
+        }
+        acc
+    });
+
+    // Phase 2: sequential exclusive carries, keyed by chunk start.
+    let mut carries: Vec<(usize, T)> = Vec::with_capacity(partials.len());
+    let mut acc = identity.clone();
+    for (start, p) in &partials {
+        carries.push((*start, acc.clone()));
+        acc = op(&acc, p);
+    }
+
+    // Phase 3: re-walk each chunk with its carry. Chunk boundaries are
+    // recovered from consecutive carry keys.
+    let dst_ptr = SendMutPtr(dst.as_mut_ptr());
+    let bounds: Vec<(usize, usize, T)> = carries
+        .iter()
+        .enumerate()
+        .map(|(k, (start, carry))| {
+            let end = carries.get(k + 1).map_or(n, |(s, _)| *s);
+            (*start, end, carry.clone())
+        })
+        .collect();
+    #[allow(clippy::needless_range_loop)] // indexes src and dst_ptr in lockstep
+    run_chunked(rt, &par().with_chunk(ChunkPolicy::NumChunks { chunks: bounds.len() }), bounds.len(), &|r: Range<usize>| {
+        for k in r {
+            let (start, end, ref carry) = bounds[k];
+            let mut acc = carry.clone();
+            for i in start..end {
+                acc = op(&acc, &src[i]);
+                // SAFETY: chunk index ranges are disjoint across k.
+                unsafe {
+                    *dst_ptr.at(i) = acc.clone();
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::seq;
+
+    #[test]
+    fn matches_sequential_scan() {
+        let rt = Runtime::new(4);
+        let src: Vec<u64> = (1..=10_000).collect();
+        let mut par_dst = vec![0u64; src.len()];
+        let mut seq_dst = vec![0u64; src.len()];
+        inclusive_scan(&rt, &par(), &src, &mut par_dst, 0, |a, b| a + b);
+        inclusive_scan(&rt, &seq(), &src, &mut seq_dst, 0, |a, b| a + b);
+        assert_eq!(par_dst, seq_dst);
+        assert_eq!(par_dst[9_999], 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn single_element() {
+        let rt = Runtime::new(2);
+        let src = [7u32];
+        let mut dst = [0u32];
+        inclusive_scan(&rt, &par(), &src, &mut dst, 0, |a, b| a + b);
+        assert_eq!(dst, [7]);
+    }
+
+    #[test]
+    fn empty() {
+        let rt = Runtime::new(2);
+        let src: [u32; 0] = [];
+        let mut dst: [u32; 0] = [];
+        inclusive_scan(&rt, &par(), &src, &mut dst, 0, |a, b| a + b);
+    }
+
+    #[test]
+    fn non_commutative_operator_string_concat() {
+        let rt = Runtime::new(3);
+        let src: Vec<String> = ["a", "b", "c", "d", "e", "f", "g", "h"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut dst = vec![String::new(); src.len()];
+        inclusive_scan(&rt, &par(), &src, &mut dst, String::new(), |a, b| {
+            format!("{a}{b}")
+        });
+        assert_eq!(dst.last().unwrap(), "abcdefgh");
+        assert_eq!(dst[2], "abc");
+    }
+}

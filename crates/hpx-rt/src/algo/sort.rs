@@ -1,0 +1,206 @@
+//! Parallel sort: chunk-local sorts fanned out as tasks, followed by a
+//! tournament of pairwise parallel merges. Exercises nested fork-join on
+//! the help-first scheduler.
+
+use crate::lco::Latch;
+use crate::policy::{Exec, ExecutionPolicy};
+use crate::runtime::{spawn_unchecked, Runtime};
+
+/// Sorts `data` in place (unstable) using the pool: the slice is split
+/// into one run per worker (×2), runs are sorted concurrently, then
+/// merged pairwise level by level, with both halves of every level
+/// merging in parallel.
+///
+/// ```
+/// let rt = hpx_rt::Runtime::new(4);
+/// let mut v: Vec<i64> = (0..10_000).map(|i| (i * 2_654_435_761u64 % 1_000) as i64).collect();
+/// hpx_rt::sort(&rt, &hpx_rt::par(), &mut v);
+/// assert!(v.is_sorted());
+/// ```
+pub fn sort<T>(rt: &Runtime, policy: &ExecutionPolicy, data: &mut [T])
+where
+    T: Ord + Send,
+{
+    if policy.exec == Exec::Seq || data.len() < 2048 {
+        data.sort_unstable();
+        return;
+    }
+    let runs = (rt.num_threads() * 2).next_power_of_two();
+    let run_len = data.len().div_ceil(runs).max(1);
+
+    // Phase 1: sort each run concurrently (scoped borrow via latch-join).
+    {
+        let chunks: Vec<&mut [T]> = data.chunks_mut(run_len).collect();
+        let latch = Latch::new(chunks.len());
+        for chunk in chunks {
+            let latch_ref = &latch;
+            // SAFETY: `latch.wait()` below outlives every task; chunks are
+            // disjoint `&mut` borrows produced by `chunks_mut`.
+            unsafe {
+                spawn_unchecked(rt.inner(), move || {
+                    chunk.sort_unstable();
+                    latch_ref.count_down();
+                });
+            }
+        }
+        latch.wait();
+    }
+
+    // Phase 2: pairwise merge tournament; the two merges of each level
+    // run as parallel tasks (recursively halving until one merge remains).
+    let mut width = run_len;
+    let mut buf: Vec<T> = Vec::with_capacity(data.len());
+    // SAFETY: `buf` is used strictly as uninitialized scratch via raw
+    // pointers inside `merge_level`; elements are moved (not cloned) in
+    // and out, and `set_len` is never called.
+    while width < data.len() {
+        merge_level(rt, data, buf.spare_capacity_mut(), width);
+        width *= 2;
+    }
+}
+
+/// Merges every adjacent pair of sorted `width`-runs of `data` through
+/// the scratch buffer, in parallel across pairs.
+fn merge_level<T: Ord + Send>(
+    rt: &Runtime,
+    data: &mut [T],
+    scratch: &mut [std::mem::MaybeUninit<T>],
+    width: usize,
+) {
+    let n = data.len();
+    let pair = 2 * width;
+    let npairs = n.div_ceil(pair);
+    let latch = Latch::new(npairs);
+    // Disjoint pair windows of data + scratch.
+    let data_ptr = data.as_mut_ptr() as usize;
+    let scratch_ptr = scratch.as_mut_ptr() as usize;
+    for p in 0..npairs {
+        let start = p * pair;
+        let mid = (start + width).min(n);
+        let end = (start + pair).min(n);
+        let latch_ref = &latch;
+        // SAFETY: windows [start, end) are disjoint across pairs; the
+        // latch keeps this frame (and both buffers) alive until all merge
+        // tasks finish.
+        unsafe {
+            spawn_unchecked(rt.inner(), move || {
+                let d = data_ptr as *mut T;
+                let s = scratch_ptr as *mut T;
+                merge_into(d, s, start, mid, end);
+                latch_ref.count_down();
+            });
+        }
+    }
+    latch.wait();
+}
+
+/// Classic two-run merge of `data[start..mid]` and `data[mid..end]` via
+/// the scratch window, moving elements back in sorted order.
+///
+/// # Safety
+///
+/// Caller guarantees exclusive access to both windows and validity of the
+/// pointers for `end` elements.
+unsafe fn merge_into<T: Ord>(data: *mut T, scratch: *mut T, start: usize, mid: usize, end: usize) {
+    if mid >= end {
+        return;
+    }
+    // SAFETY: forwarded contract; all reads/writes stay within
+    // [start, end) of their respective buffers and every element is moved
+    // exactly once in each direction.
+    unsafe {
+        std::ptr::copy_nonoverlapping(data.add(start), scratch.add(start), end - start);
+        let (mut i, mut j, mut k) = (start, mid, start);
+        while i < mid && j < end {
+            if (*scratch.add(i)) <= (*scratch.add(j)) {
+                std::ptr::copy_nonoverlapping(scratch.add(i), data.add(k), 1);
+                i += 1;
+            } else {
+                std::ptr::copy_nonoverlapping(scratch.add(j), data.add(k), 1);
+                j += 1;
+            }
+            k += 1;
+        }
+        if i < mid {
+            std::ptr::copy_nonoverlapping(scratch.add(i), data.add(k), mid - i);
+        }
+        if j < end {
+            std::ptr::copy_nonoverlapping(scratch.add(j), data.add(k), end - j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{par, seq};
+
+    fn scrambled(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+    }
+
+    #[test]
+    fn sorts_large_scrambled_input() {
+        let rt = Runtime::new(3);
+        let mut v = scrambled(100_000);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort(&rt, &par(), &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let rt = Runtime::new(2);
+        let mut v = vec![3u32, 1, 2];
+        sort(&rt, &par(), &mut v);
+        assert_eq!(v, [1, 2, 3]);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let rt = Runtime::new(2);
+        let mut asc: Vec<i32> = (0..50_000).collect();
+        let mut desc: Vec<i32> = (0..50_000).rev().collect();
+        sort(&rt, &par(), &mut asc);
+        sort(&rt, &par(), &mut desc);
+        assert!(asc.is_sorted());
+        assert!(desc.is_sorted());
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let rt = Runtime::new(2);
+        let mut v: Vec<u8> = (0..60_000).map(|i| (i % 7) as u8).collect();
+        let expected_threes = v.iter().filter(|&&x| x == 3).count();
+        sort(&rt, &par(), &mut v);
+        assert!(v.is_sorted());
+        assert_eq!(v.iter().filter(|&&x| x == 3).count(), expected_threes);
+    }
+
+    #[test]
+    fn seq_policy_sorts_too() {
+        let rt = Runtime::new(2);
+        let mut v = scrambled(10_000);
+        sort(&rt, &seq(), &mut v);
+        assert!(v.is_sorted());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let rt = Runtime::new(1);
+        let mut empty: Vec<u64> = Vec::new();
+        sort(&rt, &par(), &mut empty);
+        let mut one = vec![42u64];
+        sort(&rt, &par(), &mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn strings_sort_lexicographically() {
+        let rt = Runtime::new(2);
+        let mut v: Vec<String> = (0..30_000).map(|i| format!("{:06}", (i * 7919) % 30_000)).collect();
+        sort(&rt, &par(), &mut v);
+        assert!(v.is_sorted());
+    }
+}

@@ -1,0 +1,227 @@
+//! The `dataflow` LCO (paper §III-B, Figs 6-7).
+//!
+//! `dataflow(rt, f, (a, b, c))` encapsulates a function with future and
+//! non-future inputs. Futures delay the invocation; plain values (wrapped in
+//! [`Val`]) are passed through. As soon as the last input is ready, `f` is
+//! scheduled on the runtime with the *unwrapped* values (the paper's
+//! `hpx::util::unwrapped` helper is built in) and the call itself returns a
+//! future for `f`'s result — so dataflow nodes chain into a dependency graph
+//! that the scheduler executes without global barriers.
+//!
+//! ```
+//! use hpx_rt::{dataflow, Runtime, Val};
+//! let rt = Runtime::new(2);
+//! let a = rt.spawn_future(|| 2);
+//! let b = rt.spawn_future(|| 3);
+//! let sum = dataflow(&rt, |(a, b, c)| a + b + c, (a, b, Val(10)));
+//! assert_eq!(sum.get(), 15);
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::future::{channel, Future, Outcome, PanicPayload, SharedFuture, SharedOutcome};
+use crate::runtime::Runtime;
+
+/// A non-future input to [`dataflow`], passed through unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Val<T>(pub T);
+
+/// An input to a dataflow node: something that eventually delivers a value.
+pub trait DataflowArg: Send + 'static {
+    /// The unwrapped value type.
+    type Output: Send + 'static;
+    /// Arranges for `done` to be called exactly once with the outcome.
+    fn deliver(self, done: Box<dyn FnOnce(Outcome<Self::Output>) + Send>);
+}
+
+impl<T: Send + 'static> DataflowArg for Future<T> {
+    type Output = T;
+    fn deliver(self, done: Box<dyn FnOnce(Outcome<T>) + Send>) {
+        self.attach_callback(done);
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> DataflowArg for SharedFuture<T> {
+    type Output = T;
+    fn deliver(self, done: Box<dyn FnOnce(Outcome<T>) + Send>) {
+        self.attach_callback(Box::new(move |outcome| match outcome {
+            SharedOutcome::Value(v) => done(Ok(v.clone())),
+            SharedOutcome::Panic(p) => done(Err(Box::new(p.message().to_owned()) as PanicPayload)),
+        }));
+    }
+}
+
+impl<T: Send + 'static> DataflowArg for Val<T> {
+    type Output = T;
+    fn deliver(self, done: Box<dyn FnOnce(Outcome<T>) + Send>) {
+        done(Ok(self.0));
+    }
+}
+
+/// A tuple of [`DataflowArg`]s that can be joined into one future of the
+/// unwrapped values. Implemented for tuples of arity 1..=8.
+pub trait FutureTuple: Send + 'static {
+    /// Tuple of unwrapped values.
+    type Values: Send + 'static;
+    /// Future completing when every element has delivered.
+    fn join(self) -> Future<Self::Values>;
+}
+
+macro_rules! impl_future_tuple {
+    ($n:literal; $($A:ident . $idx:tt),+) => {
+        impl<$($A: DataflowArg),+> FutureTuple for ($($A,)+) {
+            type Values = ($($A::Output,)+);
+
+            fn join(self) -> Future<Self::Values> {
+                struct JoinState<$($A: DataflowArg),+> {
+                    slots: Mutex<($(Option<$A::Output>,)+)>,
+                    promise: Mutex<Option<crate::future::Promise<($($A::Output,)+)>>>,
+                    remaining: AtomicUsize,
+                }
+                impl<$($A: DataflowArg),+> JoinState<$($A),+> {
+                    /// Countdown; the last arrival assembles the tuple.
+                    fn arrived(&self) {
+                        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            if let Some(pr) = self.promise.lock().take() {
+                                let mut slots = self.slots.lock();
+                                pr.set_value((
+                                    $(slots.$idx.take().expect("dataflow slot missing"),)+
+                                ));
+                            }
+                        }
+                    }
+                }
+                let (promise, future) = channel();
+                let state = Arc::new(JoinState::<$($A),+> {
+                    slots: Mutex::new(($(None::<$A::Output>,)+)),
+                    promise: Mutex::new(Some(promise)),
+                    remaining: AtomicUsize::new($n),
+                });
+                $(
+                    {
+                        let st = Arc::clone(&state);
+                        self.$idx.deliver(Box::new(move |outcome| {
+                            match outcome {
+                                Ok(v) => st.slots.lock().$idx = Some(v),
+                                Err(p) => {
+                                    if let Some(pr) = st.promise.lock().take() {
+                                        pr.set_panic(p);
+                                    }
+                                }
+                            }
+                            st.arrived();
+                        }));
+                    }
+                )+
+                future
+            }
+        }
+    };
+}
+
+impl_future_tuple!(1; A0.0);
+impl_future_tuple!(2; A0.0, A1.1);
+impl_future_tuple!(3; A0.0, A1.1, A2.2);
+impl_future_tuple!(4; A0.0, A1.1, A2.2, A3.3);
+impl_future_tuple!(5; A0.0, A1.1, A2.2, A3.3, A4.4);
+impl_future_tuple!(6; A0.0, A1.1, A2.2, A3.3, A4.4, A5.5);
+impl_future_tuple!(7; A0.0, A1.1, A2.2, A3.3, A4.4, A5.5, A6.6);
+impl_future_tuple!(8; A0.0, A1.1, A2.2, A3.3, A4.4, A5.5, A6.6, A7.7);
+
+/// Schedules `f` on `rt` once every input future is ready, passing the
+/// unwrapped values as a tuple. Returns the result as a future (see module
+/// docs). If any input panicked, `f` is skipped and the result re-panics.
+pub fn dataflow<Args, R, F>(rt: &Runtime, f: F, args: Args) -> Future<R>
+where
+    Args: FutureTuple,
+    R: Send + 'static,
+    F: FnOnce(Args::Values) -> R + Send + 'static,
+{
+    args.join().then(rt, f)
+}
+
+/// Like [`dataflow`] but runs `f` inline on the thread that satisfies the
+/// last dependency (HPX `dataflow(launch::sync, ...)`).
+pub fn dataflow_inline<Args, R, F>(f: F, args: Args) -> Future<R>
+where
+    Args: FutureTuple,
+    R: Send + 'static,
+    F: FnOnce(Args::Values) -> R + Send + 'static,
+{
+    args.join().then_inline(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::ready;
+
+    #[test]
+    fn mixed_inputs() {
+        let rt = Runtime::new(2);
+        let a = rt.spawn_future(|| 1u64);
+        let b = ready(2u64);
+        let c = rt.spawn_future(|| 3u64).share();
+        let out = dataflow(&rt, |(a, b, c, d)| a + b + c + d, (a, b, c, Val(4u64)));
+        assert_eq!(out.get(), 10);
+    }
+
+    #[test]
+    fn diamond_graph() {
+        // a -> (b, c) -> d : the classic dependency diamond.
+        let rt = Runtime::new(2);
+        let a = rt.spawn_future(|| 5i64).share();
+        let b = dataflow(&rt, |(x,)| x * 2, (a.clone(),));
+        let c = dataflow(&rt, |(x,)| x + 100, (a,));
+        let d = dataflow(&rt, |(b, c)| b + c, (b, c));
+        assert_eq!(d.get(), 115);
+    }
+
+    #[test]
+    fn chain_of_dataflows() {
+        let rt = Runtime::new(2);
+        let mut f = ready(0u64);
+        for _ in 0..100 {
+            f = dataflow(&rt, |(x,)| x + 1, (f,));
+        }
+        assert_eq!(f.get(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "input died")]
+    fn panic_in_input_skips_function() {
+        let rt = Runtime::new(2);
+        let bad: Future<u32> = rt.spawn_future(|| panic!("input died"));
+        let out = dataflow(&rt, |(_x, _y)| unreachable!("must not run"), (bad, Val(1u32)));
+        let _: u32 = out.get();
+    }
+
+    #[test]
+    fn inline_dataflow_runs_without_runtime_hop() {
+        let a = ready(20u32);
+        let out = dataflow_inline(|(x,)| x + 2, (a,));
+        assert_eq!(out.get(), 22);
+    }
+
+    #[test]
+    fn eight_arity() {
+        let rt = Runtime::new(2);
+        let out = dataflow(
+            &rt,
+            |(a, b, c, d, e, f, g, h)| a + b + c + d + e + f + g + h,
+            (
+                Val(1u32),
+                Val(2u32),
+                Val(3u32),
+                Val(4u32),
+                Val(5u32),
+                Val(6u32),
+                Val(7u32),
+                Val(8u32),
+            ),
+        );
+        assert_eq!(out.get(), 36);
+    }
+}

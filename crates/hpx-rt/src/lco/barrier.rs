@@ -1,0 +1,124 @@
+//! Cyclic thread barrier LCO.
+//!
+//! Provided for completeness of the LCO catalogue (the fork-join OP2
+//! backend expresses its global barriers with [`super::Latch`]es, which can
+//! help-execute; this `Barrier` is a classic generation-counting barrier
+//! for coordinating *distinct OS threads* and does **not** help-execute —
+//! a worker parked on a barrier inside a task would otherwise be able to
+//! steal another barrier participant's task and self-deadlock).
+
+use parking_lot::{Condvar, Mutex};
+
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+}
+
+/// A reusable barrier for `n` participants.
+pub struct Barrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+/// Returned by [`Barrier::wait`]; exactly one participant per generation is
+/// the leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWaitResult {
+    is_leader: bool,
+}
+
+impl BarrierWaitResult {
+    /// True for exactly one participant of each barrier generation.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+}
+
+impl Barrier {
+    /// A barrier for `n` participants (`n` is clamped to at least 1).
+    pub fn new(n: usize) -> Self {
+        Barrier {
+            n: n.max(1),
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `n` participants have arrived, then releases them all.
+    pub fn wait(&self) -> BarrierWaitResult {
+        let mut guard = self.state.lock();
+        let generation = guard.generation;
+        guard.waiting += 1;
+        if guard.waiting == self.n {
+            guard.waiting = 0;
+            guard.generation += 1;
+            self.cv.notify_all();
+            return BarrierWaitResult { is_leader: true };
+        }
+        while guard.generation == generation {
+            self.cv.wait(&mut guard);
+        }
+        BarrierWaitResult { is_leader: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_release_together_one_leader() {
+        let n = 4;
+        let barrier = Arc::new(Barrier::new(n));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let before = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..n)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let l = Arc::clone(&leaders);
+                let c = Arc::clone(&before);
+                std::thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    let r = b.wait();
+                    // Everyone arrived before anyone passed.
+                    assert_eq!(c.load(Ordering::SeqCst), n);
+                    if r.is_leader() {
+                        l.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let barrier = Arc::new(Barrier::new(2));
+        let b = Arc::clone(&barrier);
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                b.wait();
+            }
+        });
+        for _ in 0..100 {
+            barrier.wait();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = Barrier::new(1);
+        assert!(b.wait().is_leader());
+        assert!(b.wait().is_leader());
+    }
+}

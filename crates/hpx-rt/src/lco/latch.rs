@@ -1,0 +1,163 @@
+//! Countdown latch: the join primitive of the parallel algorithms.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::runtime::{try_help, Help, WAIT_POLL};
+
+/// A single-use countdown latch.
+///
+/// `wait` returns once `count_down` has been called `n` times. A pool worker
+/// blocked in `wait` executes other ready tasks (help-first), which is what
+/// allows nested parallel loops without deadlocking a small pool.
+///
+/// ```
+/// use std::sync::Arc;
+/// let rt = hpx_rt::Runtime::new(2);
+/// let latch = Arc::new(hpx_rt::lco::Latch::new(10));
+/// for _ in 0..10 {
+///     let l = Arc::clone(&latch);
+///     rt.spawn(move || l.count_down());
+/// }
+/// latch.wait();
+/// ```
+pub struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// A latch that opens after `n` countdowns (`n == 0` is already open).
+    pub fn new(n: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(n),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records one completion. Panics on underflow.
+    pub fn count_down(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "latch counted down below zero");
+        if prev == 1 {
+            // Take the lock so a waiter cannot miss the wake between its
+            // check of `remaining` and its condvar wait.
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// True once the latch is open.
+    #[inline]
+    pub fn try_wait(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until open; workers help-execute while waiting.
+    pub fn wait(&self) {
+        loop {
+            if self.try_wait() {
+                return;
+            }
+            match try_help() {
+                Help::Helped => continue,
+                Help::Idle => {
+                    let mut guard = self.lock.lock();
+                    if self.try_wait() {
+                        return;
+                    }
+                    self.cv.wait_for(&mut guard, WAIT_POLL);
+                }
+                Help::NotWorker => {
+                    let mut guard = self.lock.lock();
+                    while !self.try_wait() {
+                        self.cv.wait(&mut guard);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Remaining countdowns (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+}
+
+/// Counts the latch down when dropped — used by chunk tasks so a panicking
+/// chunk still releases its waiter.
+pub(crate) struct LatchGuard<'a>(pub &'a Latch);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_latch_is_open() {
+        let l = Latch::new(0);
+        assert!(l.try_wait());
+        l.wait();
+    }
+
+    #[test]
+    fn opens_after_n_countdowns() {
+        let l = Arc::new(Latch::new(3));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || l.count_down())
+            })
+            .collect();
+        l.wait();
+        assert_eq!(l.pending(), 0);
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn underflow_panics() {
+        let l = Latch::new(1);
+        l.count_down();
+        l.count_down();
+    }
+
+    #[test]
+    fn guard_counts_down_on_panic() {
+        let l = Latch::new(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = LatchGuard(&l);
+            panic!("chunk failed");
+        }));
+        assert!(r.is_err());
+        assert!(l.try_wait());
+    }
+
+    #[test]
+    fn wait_on_worker_helps() {
+        let rt = crate::Runtime::new(1);
+        let l = Arc::new(Latch::new(1));
+        let l2 = Arc::clone(&l);
+        // The outer task waits; the inner task (behind it in the queue)
+        // opens the latch. With help-first waiting this cannot deadlock
+        // even on a single worker.
+        let fut = rt.spawn_future(move || {
+            let l3 = Arc::clone(&l2);
+            assert!(crate::runtime::spawn_on_current(move || l3.count_down()));
+            l2.wait();
+            true
+        });
+        assert!(fut.get());
+    }
+}

@@ -1,0 +1,28 @@
+//! Local Control Objects (paper §III).
+//!
+//! "LCOs provide traditional concurrency control mechanisms such as various
+//! types of mutexes, semaphores, spinlocks, condition variables and
+//! barriers [...] they organize the execution flow, omit global barriers,
+//! and enable thread execution to proceed as far as possible without
+//! waiting."
+//!
+//! The future and dataflow LCOs live in [`crate::future`] and
+//! [`crate::dataflow`]; this module provides the synchronization-flavoured
+//! ones. [`Latch`] is the workhorse: it is how the parallel algorithms join
+//! their chunk tasks, and its `wait` help-executes pool tasks instead of
+//! sleeping.
+
+mod barrier;
+mod channel;
+mod event;
+mod latch;
+mod semaphore;
+mod spinlock;
+
+pub use barrier::{Barrier, BarrierWaitResult};
+pub use channel::{oneshot, OneshotReceiver, OneshotSender, RecvError, SendError};
+pub use event::Event;
+pub use latch::Latch;
+pub(crate) use latch::LatchGuard;
+pub use semaphore::Semaphore;
+pub use spinlock::{SpinLock, SpinLockGuard};

@@ -1,0 +1,96 @@
+//! Counting semaphore LCO.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore. `acquire` blocks while the count is zero;
+/// `release` wakes one waiter. Used e.g. to throttle the number of
+/// simultaneously in-flight loop generations.
+pub struct Semaphore {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            count: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes a permit, blocking until one is available.
+    pub fn acquire(&self) {
+        let mut count = self.count.lock();
+        while *count == 0 {
+            self.cv.wait(&mut count);
+        }
+        *count -= 1;
+    }
+
+    /// Takes a permit if immediately available.
+    pub fn try_acquire(&self) -> bool {
+        let mut count = self.count.lock();
+        if *count == 0 {
+            return false;
+        }
+        *count -= 1;
+        true
+    }
+
+    /// Returns a permit, waking one waiter.
+    pub fn release(&self) {
+        let mut count = self.count.lock();
+        *count += 1;
+        self.cv.notify_one();
+    }
+
+    /// Current number of available permits (racy; diagnostic only).
+    pub fn permits(&self) -> usize {
+        *self.count.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_exhausts() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+    }
+
+    #[test]
+    fn bounds_concurrency() {
+        let s = Arc::new(Semaphore::new(3));
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    s.acquire();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    s.release();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(s.permits(), 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Execution policies (paper Table I).
+//!
+//! | Policy       | Description                           | Constructor  |
+//! |--------------|---------------------------------------|--------------|
+//! | `seq`        | sequential execution                  | [`seq`]      |
+//! | `par`        | parallel execution                    | [`par`]      |
+//! | `par_vec`    | parallel + vectorized (Parallelism TS)| [`par_vec`]  |
+//! | `seq(task)`  | sequential, asynchronous              | [`seq_task`] |
+//! | `par(task)`  | parallel, asynchronous                | [`par_task`] |
+//!
+//! A policy combines an execution mode ([`Exec`]), a launch mode
+//! ([`Launch`], sync algorithms block, task algorithms return futures) and a
+//! [`ChunkPolicy`] controlling how much work each task receives (paper
+//! §IV-B). `par_vec` maps to `par`: explicit vectorization is left to LLVM's
+//! auto-vectorizer, which the tight per-chunk loops are written to enable —
+//! the Parallelism TS semantics ("may run vectorized") are preserved.
+
+use crate::chunk::ChunkPolicy;
+
+/// Sequential or parallel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// Run on the calling task in index order.
+    Seq,
+    /// Split into chunks executed by the pool.
+    #[default]
+    Par,
+}
+
+/// Synchronous (block until done) or asynchronous (return a future).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Launch {
+    /// The algorithm returns when the loop has completed.
+    #[default]
+    Sync,
+    /// The algorithm returns immediately with a completion future.
+    Task,
+}
+
+/// A complete execution policy for the parallel algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionPolicy {
+    /// Sequential vs parallel.
+    pub exec: Exec,
+    /// Blocking vs future-returning.
+    pub launch: Launch,
+    /// Work-division strategy.
+    pub chunk: ChunkPolicy,
+}
+
+impl ExecutionPolicy {
+    /// Replaces the chunking strategy (paper: `policy.with(chunker)`).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: ChunkPolicy) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// True for `par` / `par(task)`.
+    #[inline]
+    pub fn is_parallel(&self) -> bool {
+        self.exec == Exec::Par
+    }
+
+    /// True for `seq(task)` / `par(task)`.
+    #[inline]
+    pub fn is_async(&self) -> bool {
+        self.launch == Launch::Task
+    }
+
+    /// Short human-readable name matching Table I.
+    pub fn name(&self) -> &'static str {
+        match (self.exec, self.launch) {
+            (Exec::Seq, Launch::Sync) => "seq",
+            (Exec::Par, Launch::Sync) => "par",
+            (Exec::Seq, Launch::Task) => "seq(task)",
+            (Exec::Par, Launch::Task) => "par(task)",
+        }
+    }
+}
+
+/// Sequential execution (Table I: `seq`).
+pub fn seq() -> ExecutionPolicy {
+    ExecutionPolicy {
+        exec: Exec::Seq,
+        launch: Launch::Sync,
+        chunk: ChunkPolicy::default(),
+    }
+}
+
+/// Parallel execution (Table I: `par`).
+pub fn par() -> ExecutionPolicy {
+    ExecutionPolicy {
+        exec: Exec::Par,
+        launch: Launch::Sync,
+        chunk: ChunkPolicy::default(),
+    }
+}
+
+/// Parallel and vectorized execution (Table I: `par_vec`). See the module
+/// docs: equivalent to [`par`], with vectorization delegated to the
+/// compiler.
+pub fn par_vec() -> ExecutionPolicy {
+    par()
+}
+
+/// Sequential asynchronous execution (Table I: `seq(task)`).
+pub fn seq_task() -> ExecutionPolicy {
+    ExecutionPolicy {
+        exec: Exec::Seq,
+        launch: Launch::Task,
+        chunk: ChunkPolicy::default(),
+    }
+}
+
+/// Parallel asynchronous execution (Table I: `par(task)`).
+pub fn par_task() -> ExecutionPolicy {
+    ExecutionPolicy {
+        exec: Exec::Par,
+        launch: Launch::Task,
+        chunk: ChunkPolicy::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table_one() {
+        assert_eq!(seq().name(), "seq");
+        assert_eq!(par().name(), "par");
+        assert_eq!(par_vec().name(), "par");
+        assert_eq!(seq_task().name(), "seq(task)");
+        assert_eq!(par_task().name(), "par(task)");
+    }
+
+    #[test]
+    fn flags() {
+        assert!(!seq().is_parallel());
+        assert!(par().is_parallel());
+        assert!(par_task().is_async());
+        assert!(!par().is_async());
+    }
+
+    #[test]
+    fn with_chunk_replaces_chunker() {
+        let p = par().with_chunk(ChunkPolicy::Static { size: 17 });
+        match p.chunk {
+            ChunkPolicy::Static { size } => assert_eq!(size, 17),
+            _ => panic!("chunker not replaced"),
+        }
+    }
+}

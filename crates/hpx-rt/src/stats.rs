@@ -1,0 +1,86 @@
+//! Scheduler instrumentation.
+//!
+//! Every worker owns a cache-padded counter block; [`Runtime::stats`]
+//! aggregates them into a [`RuntimeStats`] snapshot. The counters are
+//! maintained with relaxed atomics — they are diagnostics, not
+//! synchronization.
+//!
+//! [`Runtime::stats`]: crate::Runtime::stats
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker counters (cache padded to avoid false sharing).
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    /// Tasks executed by the worker loop.
+    pub executed: AtomicU64,
+    /// Tasks executed while helping inside a blocking wait.
+    pub helped: AtomicU64,
+    /// Successful steals from sibling workers.
+    pub steals: AtomicU64,
+    /// Times the worker went to sleep on the condvar.
+    pub parks: AtomicU64,
+    /// Tasks that panicked (panics are caught and counted).
+    pub panics: AtomicU64,
+}
+
+pub(crate) type PaddedWorkerStats = CachePadded<WorkerStats>;
+
+/// A point-in-time aggregate of scheduler activity.
+///
+/// ```
+/// let rt = hpx_rt::Runtime::new(2);
+/// rt.spawn(|| {});
+/// rt.wait_idle();
+/// let s = rt.stats();
+/// assert!(s.tasks_executed >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Total tasks executed (worker loop + help execution).
+    pub tasks_executed: u64,
+    /// Tasks executed while a thread was blocked waiting (help-first policy).
+    pub tasks_helped: u64,
+    /// Successful steals from sibling deques.
+    pub steals: u64,
+    /// Worker parks (sleeps on the idle condvar).
+    pub parks: u64,
+    /// Tasks whose closure panicked.
+    pub task_panics: u64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn aggregate(workers: &[PaddedWorkerStats]) -> Self {
+        let mut out = RuntimeStats {
+            workers: workers.len(),
+            ..Default::default()
+        };
+        for w in workers {
+            out.tasks_executed += w.executed.load(Ordering::Relaxed);
+            out.tasks_helped += w.helped.load(Ordering::Relaxed);
+            out.steals += w.steals.load(Ordering::Relaxed);
+            out.parks += w.parks.load(Ordering::Relaxed);
+            out.task_panics += w.panics.load(Ordering::Relaxed);
+        }
+        out.tasks_executed += out.tasks_helped;
+        out
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workers={} executed={} (helped={}) steals={} parks={} panics={}",
+            self.workers,
+            self.tasks_executed,
+            self.tasks_helped,
+            self.steals,
+            self.parks,
+            self.task_panics
+        )
+    }
+}

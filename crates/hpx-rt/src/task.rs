@@ -1,0 +1,53 @@
+//! The unit of work executed by the scheduler.
+//!
+//! A [`Task`] is a boxed `FnOnce` closure. Tasks are normally `'static`
+//! (created by [`Runtime::spawn`](crate::Runtime::spawn)); the parallel
+//! algorithms additionally create *borrowing* tasks through
+//! [`Task::new_unchecked`], which is sound because those algorithms join on a
+//! latch before any borrowed data goes out of scope (the same technique used
+//! by structured-concurrency scopes).
+
+/// A schedulable unit of work.
+pub(crate) struct Task {
+    f: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl Task {
+    /// Creates a task from a `'static` closure.
+    pub(crate) fn new<F>(f: F) -> Self
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        Task { f: Box::new(f) }
+    }
+
+    /// Creates a task from a closure that borrows data with lifetime `'a`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that the task has finished running (or was
+    /// dropped) before any data borrowed by `f` is invalidated. The parallel
+    /// algorithms uphold this by blocking on a completion latch that is
+    /// counted down even when the closure panics.
+    pub(crate) unsafe fn new_unchecked<'a, F>(f: F) -> Self
+    where
+        F: FnOnce() + Send + 'a,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'a> = Box::new(f);
+        // SAFETY: lifetime erasure; contract documented above.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        Task { f: boxed }
+    }
+
+    /// Consumes and runs the task.
+    #[inline]
+    pub(crate) fn run(self) {
+        (self.f)()
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Task {{ .. }}")
+    }
+}

@@ -1,0 +1,157 @@
+//! Stress and failure-injection tests for the runtime: nested
+//! parallelism, panic propagation through every construct, runtime
+//! lifecycle churn, and concurrent chunker calibration.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hpx_rt::{
+    dataflow, for_each, for_each_async, par, par_task, reduce, ready, when_all, ChunkPolicy,
+    PersistentChunker, Runtime,
+};
+
+#[test]
+fn nested_parallel_loops_do_not_deadlock_small_pools() {
+    // Outer parallel loop whose body runs an inner parallel loop on the
+    // same 1-worker pool: only help-first waiting makes this terminate.
+    let rt = Runtime::new(1);
+    let counter = AtomicUsize::new(0);
+    for_each(&rt, &par().with_chunk(ChunkPolicy::Static { size: 4 }), 0..16, |_| {
+        for_each(&rt, &par().with_chunk(ChunkPolicy::Static { size: 8 }), 0..64, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(counter.into_inner(), 16 * 64);
+}
+
+#[test]
+fn deeply_nested_futures_resolve() {
+    let rt = Runtime::new(2);
+    // get() inside tasks, 16 levels deep.
+    fn nest(rt: &Runtime, depth: usize) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let rt2_inner = rt.spawn_future(|| 1u64);
+        rt2_inner.get() + depth as u64
+    }
+    let total = nest(&rt, 16);
+    assert_eq!(total, 17);
+}
+
+#[test]
+#[should_panic(expected = "reduce chunk died")]
+fn reduce_panic_propagates() {
+    let rt = Runtime::new(2);
+    let _ = reduce(
+        &rt,
+        &par().with_chunk(ChunkPolicy::Static { size: 10 }),
+        0..1000,
+        0u64,
+        |i| {
+            if i == 500 {
+                panic!("reduce chunk died");
+            }
+            i as u64
+        },
+        |a, b| a + b,
+    );
+}
+
+#[test]
+fn runtime_survives_async_loop_panic() {
+    let rt = Runtime::new(2);
+    let fut = for_each_async(&rt, par_task(), 0..100, |i| {
+        if i == 50 {
+            panic!("async body died");
+        }
+    });
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fut.get()));
+    let payload = caught.expect_err("panic must surface through the future");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("(non-string payload)");
+    assert!(msg.contains("async body died"), "got: {msg}");
+    // The pool remains fully usable. (Loop-chunk panics are captured into
+    // the completion future, not counted as unhandled task panics.)
+    let v = rt.spawn_future(|| 7u32).get();
+    assert_eq!(v, 7);
+    assert_eq!(rt.stats().task_panics, 0);
+}
+
+#[test]
+fn rapid_runtime_lifecycle() {
+    for threads in [1usize, 2, 3] {
+        for _ in 0..10 {
+            let rt = Runtime::new(threads);
+            let futs: Vec<_> = (0..16).map(|i| rt.spawn_future(move || i * i)).collect();
+            let vals = when_all(futs).get();
+            assert_eq!(vals.len(), 16);
+            // Drop joins all workers.
+        }
+    }
+}
+
+#[test]
+fn two_runtimes_coexist() {
+    let a = Runtime::new(2);
+    let b = Runtime::new(2);
+    let fa = a.spawn_future(|| "a");
+    let fb = b.spawn_future(|| "b");
+    // Cross-runtime dataflow: inputs from different pools, scheduled on a.
+    let joined = dataflow(&a, |(x, y)| format!("{x}{y}"), (fa, fb));
+    assert_eq!(joined.get(), "ab");
+}
+
+#[test]
+fn persistent_chunker_concurrent_calibration_is_single() {
+    // Two pools race to calibrate one shared handle; exactly one wins and
+    // both loops complete correctly.
+    let handle = PersistentChunker::new();
+    let chunk = ChunkPolicy::PersistentAuto(handle.clone());
+    let policy = par().with_chunk(chunk);
+    let counters: Vec<Arc<AtomicUsize>> =
+        (0..2).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    let threads: Vec<_> = counters
+        .iter()
+        .map(|c| {
+            let c = Arc::clone(c);
+            let policy = policy.clone();
+            std::thread::spawn(move || {
+                let rt = Runtime::new(2);
+                for_each(&rt, &policy, 0..100_000, |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 100_000));
+    assert!(handle.calibrated_target().is_some());
+}
+
+#[test]
+fn when_all_of_mixed_ready_and_pending() {
+    let rt = Runtime::new(2);
+    let mut futs = vec![ready(0u64)];
+    futs.extend((1..50u64).map(|i| rt.spawn_future(move || i)));
+    let vals = when_all(futs).get();
+    assert_eq!(vals, (0..50).collect::<Vec<u64>>());
+}
+
+#[test]
+fn heavy_dataflow_fan_out_and_in() {
+    let rt = Runtime::new(2);
+    let src = rt.spawn_future(|| 1u64).share();
+    let mids: Vec<_> = (0..100u64)
+        .map(|i| {
+            let s = src.clone();
+            dataflow(&rt, move |(x,)| x + i, (s,))
+        })
+        .collect();
+    let total: u64 = when_all(mids).get().into_iter().sum();
+    assert_eq!(total, 100 + (0..100).sum::<u64>());
+}

@@ -1,0 +1,131 @@
+//! Compressed-sparse-row adjacency built by inverting a mapping table —
+//! the "who touches me" view used for statistics and renumbering.
+
+/// CSR adjacency: `targets of i` = `adj[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `n + 1` row offsets.
+    pub offsets: Vec<u32>,
+    /// Flattened adjacency lists.
+    pub adj: Vec<u32>,
+}
+
+impl Csr {
+    /// Neighbours of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum row degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|i| self.row(i).len()).max().unwrap_or(0)
+    }
+
+    /// Mean row degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.adj.len() as f64 / self.len() as f64
+    }
+}
+
+/// Inverts a mapping table: given `nfrom` source elements each mapping to
+/// `dim` of `nto` targets, returns target → sources adjacency.
+pub fn invert_map(indices: &[u32], nfrom: usize, dim: usize, nto: usize) -> Csr {
+    assert_eq!(indices.len(), nfrom * dim, "table shape mismatch");
+    let mut counts = vec![0u32; nto + 1];
+    for &t in indices {
+        counts[t as usize + 1] += 1;
+    }
+    for i in 0..nto {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut cursor = counts;
+    let mut adj = vec![0u32; indices.len()];
+    for e in 0..nfrom {
+        for k in 0..dim {
+            let t = indices[e * dim + k] as usize;
+            adj[cursor[t] as usize] = e as u32;
+            cursor[t] += 1;
+        }
+    }
+    Csr { offsets, adj }
+}
+
+/// Builds target-to-target adjacency (e.g. node → neighbouring nodes)
+/// from a 2-ary relation table such as edge → nodes. Neighbour lists are
+/// sorted and deduplicated.
+pub fn neighbors_from_pairs(pairs: &[u32], nto: usize) -> Csr {
+    assert!(pairs.len().is_multiple_of(2), "pair table must have even length");
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nto];
+    for p in pairs.chunks_exact(2) {
+        let (a, b) = (p[0] as usize, p[1] as usize);
+        lists[a].push(p[1]);
+        lists[b].push(p[0]);
+    }
+    let mut offsets = Vec::with_capacity(nto + 1);
+    let mut adj = Vec::new();
+    offsets.push(0u32);
+    for mut l in lists {
+        l.sort_unstable();
+        l.dedup();
+        adj.extend_from_slice(&l);
+        offsets.push(adj.len() as u32);
+    }
+    Csr { offsets, adj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_edge_to_node_map() {
+        // 3 edges over 3 nodes in a triangle.
+        let indices = [0, 1, 1, 2, 2, 0];
+        let csr = invert_map(&indices, 3, 2, 3);
+        assert_eq!(csr.len(), 3);
+        let mut r0 = csr.row(0).to_vec();
+        r0.sort_unstable();
+        assert_eq!(r0, vec![0, 2], "node 0 touched by edges 0 and 2");
+        assert_eq!(csr.max_degree(), 2);
+        assert!((csr.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_of_path_graph() {
+        // 0-1-2-3 path.
+        let pairs = [0, 1, 1, 2, 2, 3];
+        let csr = neighbors_from_pairs(&pairs, 4);
+        assert_eq!(csr.row(0), &[1]);
+        assert_eq!(csr.row(1), &[0, 2]);
+        assert_eq!(csr.row(3), &[2]);
+    }
+
+    #[test]
+    fn duplicate_pairs_dedup() {
+        let pairs = [0, 1, 1, 0];
+        let csr = neighbors_from_pairs(&pairs, 2);
+        assert_eq!(csr.row(0), &[1]);
+        assert_eq!(csr.row(1), &[0]);
+    }
+
+    #[test]
+    fn empty() {
+        let csr = invert_map(&[], 0, 1, 0);
+        assert!(csr.is_empty());
+        assert_eq!(csr.mean_degree(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Breadth-first (reverse Cuthill–McKee style) renumbering to improve the
+//! memory locality of indirect accesses — the classic OP2 mesh
+//! preprocessing step, exposed here for locality ablations.
+
+use crate::csr::Csr;
+
+/// Computes a BFS ordering of a graph given node adjacency, starting from
+/// the lowest-degree node of each component, visiting neighbours in
+/// ascending-degree order. Returns `perm` with `perm[old] = new`.
+pub fn bfs_permutation(adj: &Csr) -> Vec<u32> {
+    let n = adj.len();
+    let mut perm = vec![u32::MAX; n];
+    let mut next_label = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    by_degree.sort_by_key(|&i| adj.row(i as usize).len());
+
+    for &start in &by_degree {
+        if perm[start as usize] != u32::MAX {
+            continue;
+        }
+        perm[start as usize] = next_label;
+        next_label += 1;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            let mut nbrs: Vec<u32> = adj
+                .row(v as usize)
+                .iter()
+                .copied()
+                .filter(|&u| perm[u as usize] == u32::MAX)
+                .collect();
+            nbrs.sort_by_key(|&u| adj.row(u as usize).len());
+            for u in nbrs {
+                if perm[u as usize] == u32::MAX {
+                    perm[u as usize] = next_label;
+                    next_label += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(next_label as usize, n);
+    perm
+}
+
+/// Applies `perm[old] = new` to a mapping table in place (re-labels
+/// targets).
+pub fn relabel_targets(indices: &mut [u32], perm: &[u32]) {
+    for t in indices {
+        *t = perm[*t as usize];
+    }
+}
+
+/// Permutes row-major data of `dim` scalars per element into the new
+/// numbering.
+pub fn permute_rows<T: Copy + Default>(data: &[T], dim: usize, perm: &[u32]) -> Vec<T> {
+    assert_eq!(data.len(), perm.len() * dim, "data shape mismatch");
+    let mut out = vec![T::default(); data.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        let (o, n) = (old * dim, new as usize * dim);
+        out[n..n + dim].copy_from_slice(&data[o..o + dim]);
+    }
+    out
+}
+
+/// Mean |a - b| over a pair table — the locality figure BFS renumbering
+/// improves (smaller = more cache friendly indirect access).
+pub fn mean_pair_span(pairs: &[u32]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = pairs
+        .chunks_exact(2)
+        .map(|p| u64::from(p[0].abs_diff(p[1])))
+        .sum();
+    total as f64 / (pairs.len() / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::neighbors_from_pairs;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let pairs = [0, 3, 3, 1, 1, 4, 4, 2];
+        let adj = neighbors_from_pairs(&pairs, 5);
+        let perm = bfs_permutation(&adj);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn bfs_improves_span_on_shuffled_path() {
+        // A path graph with deliberately scattered labels.
+        let n = 64u32;
+        let scramble = |i: u32| (i * 37) % n;
+        let mut pairs = Vec::new();
+        for i in 0..n - 1 {
+            pairs.push(scramble(i));
+            pairs.push(scramble(i + 1));
+        }
+        let before = mean_pair_span(&pairs);
+        let adj = neighbors_from_pairs(&pairs, n as usize);
+        let perm = bfs_permutation(&adj);
+        let mut relabeled = pairs.clone();
+        relabel_targets(&mut relabeled, &perm);
+        let after = mean_pair_span(&relabeled);
+        assert!(
+            after < before / 4.0,
+            "BFS should dramatically shrink spans: {before} -> {after}"
+        );
+        // A path renumbered by BFS has span exactly 1.
+        assert!((after - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permute_rows_moves_data() {
+        let data = [10.0, 11.0, 20.0, 21.0, 30.0, 31.0];
+        let perm = [2u32, 0, 1];
+        let out = permute_rows(&data, 2, &perm);
+        assert_eq!(out, [20.0, 21.0, 30.0, 31.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn handles_disconnected_components() {
+        let pairs = [0, 1, 2, 3];
+        let adj = neighbors_from_pairs(&pairs, 4);
+        let perm = bfs_permutation(&adj);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Abstract syntax of an `.op2` programme declaration.
+
+use crate::token::Pos;
+
+/// Scalar types supported by the DSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarType {
+    /// `f64`
+    F64,
+    /// `f32`
+    F32,
+    /// `i32`
+    I32,
+    /// `i64`
+    I64,
+}
+
+impl ScalarType {
+    /// The Rust spelling.
+    pub fn rust_name(self) -> &'static str {
+        match self {
+            ScalarType::F64 => "f64",
+            ScalarType::F32 => "f32",
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+        }
+    }
+
+    /// Parses the DSL spelling.
+    pub fn parse(name: &str) -> Option<ScalarType> {
+        match name {
+            "f64" | "double" => Some(ScalarType::F64),
+            "f32" | "float" => Some(ScalarType::F32),
+            "i32" | "int" => Some(ScalarType::I32),
+            "i64" | "long" => Some(ScalarType::I64),
+            _ => None,
+        }
+    }
+}
+
+/// Access descriptors (the DSL spellings of `OP_READ` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// `read`
+    Read,
+    /// `write`
+    Write,
+    /// `rw`
+    Rw,
+    /// `inc`
+    Inc,
+}
+
+impl AccessKind {
+    /// Parses the DSL spelling.
+    pub fn parse(name: &str) -> Option<AccessKind> {
+        match name {
+            "read" => Some(AccessKind::Read),
+            "write" => Some(AccessKind::Write),
+            "rw" => Some(AccessKind::Rw),
+            "inc" => Some(AccessKind::Inc),
+            _ => None,
+        }
+    }
+
+    /// True for write/rw/inc.
+    pub fn is_mut(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
+/// `set NAME;`
+#[derive(Debug, Clone)]
+pub struct SetDecl {
+    /// Set name.
+    pub name: String,
+    /// Declaration position.
+    pub pos: Pos,
+}
+
+/// `map NAME : FROM -> TO, dim N;`
+#[derive(Debug, Clone)]
+pub struct MapDecl {
+    /// Map name.
+    pub name: String,
+    /// Source set.
+    pub from: String,
+    /// Target set.
+    pub to: String,
+    /// Arity.
+    pub dim: usize,
+    /// Declaration position.
+    pub pos: Pos,
+}
+
+/// `dat NAME : SET, dim N, TYPE;`
+#[derive(Debug, Clone)]
+pub struct DatDecl {
+    /// Dat name.
+    pub name: String,
+    /// Owning set.
+    pub set: String,
+    /// Scalars per element.
+    pub dim: usize,
+    /// Scalar type.
+    pub ty: ScalarType,
+    /// Declaration position.
+    pub pos: Pos,
+}
+
+/// `gbl NAME : dim N, TYPE;`
+#[derive(Debug, Clone)]
+pub struct GblDecl {
+    /// Global name.
+    pub name: String,
+    /// Scalars.
+    pub dim: usize,
+    /// Scalar type.
+    pub ty: ScalarType,
+    /// Declaration position.
+    pub pos: Pos,
+}
+
+/// One argument inside a `loop` block.
+#[derive(Debug, Clone)]
+pub enum LoopArg {
+    /// `arg DAT [via MAP[IDX]] : ACCESS;`
+    Dat {
+        /// Referenced dat.
+        dat: String,
+        /// Indirection, if any.
+        via: Option<(String, usize)>,
+        /// Access mode.
+        access: AccessKind,
+        /// Position.
+        pos: Pos,
+    },
+    /// `arg GBL gbl : ACCESS;`
+    Gbl {
+        /// Referenced global.
+        gbl: String,
+        /// Access mode (`inc` or `read`).
+        access: AccessKind,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+impl LoopArg {
+    /// Position of the argument declaration.
+    pub fn pos(&self) -> Pos {
+        match self {
+            LoopArg::Dat { pos, .. } | LoopArg::Gbl { pos, .. } => *pos,
+        }
+    }
+}
+
+/// `loop KERNEL over SET { args }`
+#[derive(Debug, Clone)]
+pub struct LoopDecl {
+    /// Kernel / loop name.
+    pub kernel: String,
+    /// Iteration set.
+    pub set: String,
+    /// Arguments in order.
+    pub args: Vec<LoopArg>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A parsed `.op2` file.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// `program NAME;`
+    pub name: String,
+    /// Declared sets.
+    pub sets: Vec<SetDecl>,
+    /// Declared maps.
+    pub maps: Vec<MapDecl>,
+    /// Declared dats.
+    pub dats: Vec<DatDecl>,
+    /// Declared globals.
+    pub gbls: Vec<GblDecl>,
+    /// Declared loops.
+    pub loops: Vec<LoopDecl>,
+}
+
+impl Program {
+    /// Looks up a map by name.
+    pub fn map(&self, name: &str) -> Option<&MapDecl> {
+        self.maps.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a dat by name.
+    pub fn dat(&self, name: &str) -> Option<&DatDecl> {
+        self.dats.iter().find(|d| d.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn gbl(&self, name: &str) -> Option<&GblDecl> {
+        self.gbls.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up a set by name.
+    pub fn set(&self, name: &str) -> Option<&SetDecl> {
+        self.sets.iter().find(|s| s.name == name)
+    }
+}

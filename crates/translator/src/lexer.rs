@@ -1,0 +1,163 @@
+//! Hand-written lexer for the `.op2` language.
+
+use crate::token::{Pos, Tok, Token, TranslateError};
+
+/// Tokenizes `src`, stripping `//` line and `/* */` block comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, TranslateError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(TranslateError::new("unterminated block comment", pos));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b':' => {
+                out.push(Token { tok: Tok::Colon, pos });
+                bump!();
+            }
+            b';' => {
+                out.push(Token { tok: Tok::Semi, pos });
+                bump!();
+            }
+            b',' => {
+                out.push(Token { tok: Tok::Comma, pos });
+                bump!();
+            }
+            b'[' => {
+                out.push(Token { tok: Tok::LBracket, pos });
+                bump!();
+            }
+            b']' => {
+                out.push(Token { tok: Tok::RBracket, pos });
+                bump!();
+            }
+            b'{' => {
+                out.push(Token { tok: Tok::LBrace, pos });
+                bump!();
+            }
+            b'}' => {
+                out.push(Token { tok: Tok::RBrace, pos });
+                bump!();
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                out.push(Token { tok: Tok::Arrow, pos });
+                bump!();
+                bump!();
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let value = text
+                    .parse::<u64>()
+                    .map_err(|_| TranslateError::new(format!("invalid integer `{text}`"), pos))?;
+                out.push(Token {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    bump!();
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_owned()),
+                    pos,
+                });
+            }
+            other => {
+                return Err(TranslateError::new(
+                    format!("unexpected character `{}`", other as char),
+                    pos,
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declarations() {
+        let toks = lex("map pedge : edges -> nodes, dim 2;").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "map"));
+        assert!(matches!(kinds[3], Tok::Ident(s) if s == "edges"));
+        assert!(kinds.contains(&&Tok::Arrow));
+        assert!(matches!(kinds[kinds.len() - 3], Tok::Int(2)));
+        assert_eq!(kinds.last(), Some(&&Tok::Eof));
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("set a;\nset b;").unwrap();
+        let b_tok = toks.iter().find(|t| t.tok == Tok::Ident("b".into())).unwrap();
+        assert_eq!(b_tok.pos.line, 2);
+        assert_eq!(b_tok.pos.col, 5);
+    }
+
+    #[test]
+    fn strips_comments() {
+        let toks = lex("// hello\nset /* inline */ a;").unwrap();
+        assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "set"));
+        assert_eq!(toks.len(), 4); // set, a, ;, eof
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("set $x;").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.pos.col, 5);
+    }
+}

@@ -1,0 +1,321 @@
+//! Recursive-descent parser for the `.op2` language.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! program   := "program" IDENT ";" decl*
+//! decl      := set | map | dat | gbl | loop
+//! set       := "set" IDENT ";"
+//! map       := "map" IDENT ":" IDENT "->" IDENT "," "dim" INT ";"
+//! dat       := "dat" IDENT ":" IDENT "," "dim" INT "," TYPE ";"
+//! gbl       := "gbl" IDENT ":" "dim" INT "," TYPE ";"
+//! loop      := "loop" IDENT "over" IDENT "{" arg* "}"
+//! arg       := "arg" IDENT ("gbl" | ["via" IDENT "[" INT "]"]) ":" ACCESS ";"
+//! TYPE      := "f64" | "f32" | "i32" | "i64" | "double" | "float" | "int" | "long"
+//! ACCESS    := "read" | "write" | "rw" | "inc"
+//! ```
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Pos, Tok, Token, TranslateError};
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Pos, TranslateError> {
+        let t = self.next();
+        if t.tok == tok {
+            Ok(t.pos)
+        } else {
+            Err(TranslateError::new(
+                format!("expected {tok}, found {}", t.tok),
+                t.pos,
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), TranslateError> {
+        let t = self.next();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.pos)),
+            other => Err(TranslateError::new(
+                format!("expected {what}, found {other}"),
+                t.pos,
+            )),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<Pos, TranslateError> {
+        let (word, pos) = self.ident(&format!("keyword `{kw}`"))?;
+        if word == kw {
+            Ok(pos)
+        } else {
+            Err(TranslateError::new(
+                format!("expected keyword `{kw}`, found `{word}`"),
+                pos,
+            ))
+        }
+    }
+
+    fn integer(&mut self, what: &str) -> Result<(usize, Pos), TranslateError> {
+        let t = self.next();
+        match t.tok {
+            Tok::Int(v) => Ok((v as usize, t.pos)),
+            other => Err(TranslateError::new(
+                format!("expected {what}, found {other}"),
+                t.pos,
+            )),
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<ScalarType, TranslateError> {
+        let (name, pos) = self.ident("a scalar type")?;
+        ScalarType::parse(&name)
+            .ok_or_else(|| TranslateError::new(format!("unknown scalar type `{name}`"), pos))
+    }
+
+    fn access(&mut self) -> Result<AccessKind, TranslateError> {
+        let (name, pos) = self.ident("an access mode (read/write/rw/inc)")?;
+        AccessKind::parse(&name)
+            .ok_or_else(|| TranslateError::new(format!("unknown access mode `{name}`"), pos))
+    }
+
+    fn parse_program(&mut self) -> Result<Program, TranslateError> {
+        let mut program = Program::default();
+        self.keyword("program")?;
+        let (name, _) = self.ident("programme name")?;
+        program.name = name;
+        self.expect(Tok::Semi)?;
+
+        loop {
+            let t = self.peek().clone();
+            match &t.tok {
+                Tok::Eof => break,
+                Tok::Ident(kw) => match kw.as_str() {
+                    "set" => {
+                        self.next();
+                        let (name, pos) = self.ident("set name")?;
+                        self.expect(Tok::Semi)?;
+                        program.sets.push(SetDecl { name, pos });
+                    }
+                    "map" => {
+                        self.next();
+                        let (name, pos) = self.ident("map name")?;
+                        self.expect(Tok::Colon)?;
+                        let (from, _) = self.ident("source set")?;
+                        self.expect(Tok::Arrow)?;
+                        let (to, _) = self.ident("target set")?;
+                        self.expect(Tok::Comma)?;
+                        self.keyword("dim")?;
+                        let (dim, _) = self.integer("map arity")?;
+                        self.expect(Tok::Semi)?;
+                        program.maps.push(MapDecl {
+                            name,
+                            from,
+                            to,
+                            dim,
+                            pos,
+                        });
+                    }
+                    "dat" => {
+                        self.next();
+                        let (name, pos) = self.ident("dat name")?;
+                        self.expect(Tok::Colon)?;
+                        let (set, _) = self.ident("owning set")?;
+                        self.expect(Tok::Comma)?;
+                        self.keyword("dim")?;
+                        let (dim, _) = self.integer("dat dim")?;
+                        self.expect(Tok::Comma)?;
+                        let ty = self.scalar_type()?;
+                        self.expect(Tok::Semi)?;
+                        program.dats.push(DatDecl {
+                            name,
+                            set,
+                            dim,
+                            ty,
+                            pos,
+                        });
+                    }
+                    "gbl" => {
+                        self.next();
+                        let (name, pos) = self.ident("global name")?;
+                        self.expect(Tok::Colon)?;
+                        self.keyword("dim")?;
+                        let (dim, _) = self.integer("global dim")?;
+                        self.expect(Tok::Comma)?;
+                        let ty = self.scalar_type()?;
+                        self.expect(Tok::Semi)?;
+                        program.gbls.push(GblDecl { name, dim, ty, pos });
+                    }
+                    "loop" => {
+                        self.next();
+                        let (kernel, pos) = self.ident("kernel name")?;
+                        self.keyword("over")?;
+                        let (set, _) = self.ident("iteration set")?;
+                        self.expect(Tok::LBrace)?;
+                        let mut args = Vec::new();
+                        while self.peek().tok != Tok::RBrace {
+                            args.push(self.parse_arg()?);
+                        }
+                        self.expect(Tok::RBrace)?;
+                        program.loops.push(LoopDecl {
+                            kernel,
+                            set,
+                            args,
+                            pos,
+                        });
+                    }
+                    other => {
+                        return Err(TranslateError::new(
+                            format!("expected a declaration, found `{other}`"),
+                            t.pos,
+                        ));
+                    }
+                },
+                other => {
+                    return Err(TranslateError::new(
+                        format!("expected a declaration, found {other}"),
+                        t.pos,
+                    ));
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_arg(&mut self) -> Result<LoopArg, TranslateError> {
+        self.keyword("arg")?;
+        let (target, pos) = self.ident("dat or global name")?;
+        let t = self.peek().clone();
+        let arg = match &t.tok {
+            Tok::Ident(kw) if kw == "gbl" => {
+                self.next();
+                self.expect(Tok::Colon)?;
+                let access = self.access()?;
+                LoopArg::Gbl {
+                    gbl: target,
+                    access,
+                    pos,
+                }
+            }
+            Tok::Ident(kw) if kw == "via" => {
+                self.next();
+                let (map, _) = self.ident("map name")?;
+                self.expect(Tok::LBracket)?;
+                let (idx, _) = self.integer("map slot")?;
+                self.expect(Tok::RBracket)?;
+                self.expect(Tok::Colon)?;
+                let access = self.access()?;
+                LoopArg::Dat {
+                    dat: target,
+                    via: Some((map, idx)),
+                    access,
+                    pos,
+                }
+            }
+            _ => {
+                self.expect(Tok::Colon)?;
+                let access = self.access()?;
+                LoopArg::Dat {
+                    dat: target,
+                    via: None,
+                    access,
+                    pos,
+                }
+            }
+        };
+        self.expect(Tok::Semi)?;
+        Ok(arg)
+    }
+}
+
+/// Parses `.op2` source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, TranslateError> {
+    let tokens = lex(src)?;
+    Parser { tokens, at: 0 }.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r#"
+        program demo;
+        set cells;
+        set nodes;
+        map pcell : cells -> nodes, dim 4;
+        dat q : cells, dim 4, f64;
+        gbl rms : dim 1, f64;
+        loop work over cells {
+            arg q : read;
+            arg q via pcell[2] : inc;
+            arg rms gbl : inc;
+        }
+    "#;
+
+    #[test]
+    fn parses_all_declaration_kinds() {
+        let p = parse(SMALL).unwrap();
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.sets.len(), 2);
+        assert_eq!(p.maps[0].dim, 4);
+        assert_eq!(p.dats[0].ty, ScalarType::F64);
+        assert_eq!(p.gbls[0].dim, 1);
+        let l = &p.loops[0];
+        assert_eq!(l.kernel, "work");
+        assert_eq!(l.args.len(), 3);
+        match &l.args[1] {
+            LoopArg::Dat { via: Some((m, i)), access, .. } => {
+                assert_eq!(m, "pcell");
+                assert_eq!(*i, 2);
+                assert_eq!(*access, AccessKind::Inc);
+            }
+            other => panic!("wrong arg: {other:?}"),
+        }
+        match &l.args[2] {
+            LoopArg::Gbl { gbl, .. } => assert_eq!(gbl, "rms"),
+            other => panic!("wrong arg: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("program x;\nset ;").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert!(err.message.contains("set name"));
+    }
+
+    #[test]
+    fn rejects_bad_access() {
+        let src = "program x; set s; dat d : s, dim 1, f64; loop l over s { arg d : sideways; }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown access mode"));
+    }
+
+    #[test]
+    fn rejects_missing_program_header() {
+        let err = parse("set s;").unwrap_err();
+        assert!(err.message.contains("program"));
+    }
+
+    #[test]
+    fn accepts_c_style_type_names() {
+        let p = parse("program x; set s; dat d : s, dim 1, double;").unwrap();
+        assert_eq!(p.dats[0].ty, ScalarType::F64);
+    }
+}

@@ -1,0 +1,268 @@
+//! Semantic analysis: name resolution and access/shape checking.
+
+use crate::ast::*;
+use crate::token::TranslateError;
+
+/// Maximum loop arity supported by the `op2-core` `par_loopN` family.
+pub const MAX_LOOP_ARITY: usize = 10;
+
+/// Validates a parsed [`Program`]; returns all diagnostics (empty = valid).
+pub fn check(program: &Program) -> Vec<TranslateError> {
+    let mut errors = Vec::new();
+
+    // Duplicate names across every namespace (OP2 identifiers share one).
+    let mut names: Vec<(&str, crate::token::Pos)> = Vec::new();
+    names.extend(program.sets.iter().map(|s| (s.name.as_str(), s.pos)));
+    names.extend(program.maps.iter().map(|m| (m.name.as_str(), m.pos)));
+    names.extend(program.dats.iter().map(|d| (d.name.as_str(), d.pos)));
+    names.extend(program.gbls.iter().map(|g| (g.name.as_str(), g.pos)));
+    for (i, &(name, pos)) in names.iter().enumerate() {
+        if let Some(&(_, first)) = names[..i].iter().find(|(n, _)| *n == name) {
+            errors.push(TranslateError::new(
+                format!("duplicate declaration of `{name}` (first at {first})"),
+                pos,
+            ));
+        }
+    }
+
+    for m in &program.maps {
+        if program.set(&m.from).is_none() {
+            errors.push(TranslateError::new(
+                format!("map `{}`: unknown source set `{}`", m.name, m.from),
+                m.pos,
+            ));
+        }
+        if program.set(&m.to).is_none() {
+            errors.push(TranslateError::new(
+                format!("map `{}`: unknown target set `{}`", m.name, m.to),
+                m.pos,
+            ));
+        }
+        if m.dim == 0 {
+            errors.push(TranslateError::new(
+                format!("map `{}`: dim must be positive", m.name),
+                m.pos,
+            ));
+        }
+    }
+
+    for d in &program.dats {
+        if program.set(&d.set).is_none() {
+            errors.push(TranslateError::new(
+                format!("dat `{}`: unknown set `{}`", d.name, d.set),
+                d.pos,
+            ));
+        }
+        if d.dim == 0 {
+            errors.push(TranslateError::new(
+                format!("dat `{}`: dim must be positive", d.name),
+                d.pos,
+            ));
+        }
+    }
+
+    for l in &program.loops {
+        if program.set(&l.set).is_none() {
+            errors.push(TranslateError::new(
+                format!("loop `{}`: unknown iteration set `{}`", l.kernel, l.set),
+                l.pos,
+            ));
+            continue;
+        }
+        if l.args.is_empty() {
+            errors.push(TranslateError::new(
+                format!("loop `{}`: needs at least one argument", l.kernel),
+                l.pos,
+            ));
+        }
+        if l.args.len() > MAX_LOOP_ARITY {
+            errors.push(TranslateError::new(
+                format!(
+                    "loop `{}`: {} arguments exceeds the supported maximum of {MAX_LOOP_ARITY}",
+                    l.kernel,
+                    l.args.len()
+                ),
+                l.pos,
+            ));
+        }
+        for arg in &l.args {
+            match arg {
+                LoopArg::Dat { dat, via, access, pos } => {
+                    let Some(d) = program.dat(dat) else {
+                        errors.push(TranslateError::new(
+                            format!("loop `{}`: unknown dat `{dat}`", l.kernel),
+                            *pos,
+                        ));
+                        continue;
+                    };
+                    match via {
+                        None => {
+                            if d.set != l.set {
+                                errors.push(TranslateError::new(
+                                    format!(
+                                        "loop `{}`: direct arg `{dat}` lives on set `{}`, loop iterates `{}`",
+                                        l.kernel, d.set, l.set
+                                    ),
+                                    *pos,
+                                ));
+                            }
+                        }
+                        Some((map_name, idx)) => {
+                            let Some(m) = program.map(map_name) else {
+                                errors.push(TranslateError::new(
+                                    format!("loop `{}`: unknown map `{map_name}`", l.kernel),
+                                    *pos,
+                                ));
+                                continue;
+                            };
+                            if m.from != l.set {
+                                errors.push(TranslateError::new(
+                                    format!(
+                                        "loop `{}`: map `{map_name}` maps from `{}`, loop iterates `{}`",
+                                        l.kernel, m.from, l.set
+                                    ),
+                                    *pos,
+                                ));
+                            }
+                            if m.to != d.set {
+                                errors.push(TranslateError::new(
+                                    format!(
+                                        "loop `{}`: map `{map_name}` targets `{}`, dat `{dat}` lives on `{}`",
+                                        l.kernel, m.to, d.set
+                                    ),
+                                    *pos,
+                                ));
+                            }
+                            if *idx >= m.dim {
+                                errors.push(TranslateError::new(
+                                    format!(
+                                        "loop `{}`: slot {idx} out of range for map `{map_name}` (dim {})",
+                                        l.kernel, m.dim
+                                    ),
+                                    *pos,
+                                ));
+                            }
+                        }
+                    }
+                    // Indirect writes are unsupported by OP2's plan model
+                    // (only Inc is safe through a map for non-read).
+                    if via.is_some() && matches!(access, AccessKind::Write | AccessKind::Rw) {
+                        errors.push(TranslateError::new(
+                            format!(
+                                "loop `{}`: indirect `{}` access on `{dat}` — OP2 supports read/inc through maps",
+                                l.kernel,
+                                if *access == AccessKind::Write { "write" } else { "rw" }
+                            ),
+                            *pos,
+                        ));
+                    }
+                }
+                LoopArg::Gbl { gbl, access, pos } => {
+                    if program.gbl(gbl).is_none() {
+                        errors.push(TranslateError::new(
+                            format!("loop `{}`: unknown global `{gbl}`", l.kernel),
+                            *pos,
+                        ));
+                    }
+                    if !matches!(access, AccessKind::Inc | AccessKind::Read) {
+                        errors.push(TranslateError::new(
+                            format!("loop `{}`: globals support read or inc access", l.kernel),
+                            *pos,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn errors_of(src: &str) -> Vec<String> {
+        check(&parse(src).unwrap())
+            .into_iter()
+            .map(|e| e.message)
+            .collect()
+    }
+
+    #[test]
+    fn valid_program_has_no_errors() {
+        let src = r#"
+            program ok;
+            set cells; set nodes;
+            map pcell : cells -> nodes, dim 4;
+            dat q : cells, dim 4, f64;
+            dat xn : nodes, dim 2, f64;
+            gbl rms : dim 1, f64;
+            loop work over cells {
+                arg q : rw;
+                arg xn via pcell[3] : read;
+                arg rms gbl : inc;
+            }
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn catches_duplicate_names() {
+        let errs = errors_of("program p; set a; set a;");
+        assert!(errs.iter().any(|e| e.contains("duplicate")));
+    }
+
+    #[test]
+    fn catches_wrong_set_direct_arg() {
+        let src = r#"
+            program p; set a; set b;
+            dat d : a, dim 1, f64;
+            loop l over b { arg d : read; }
+        "#;
+        assert!(errors_of(src).iter().any(|e| e.contains("lives on set")));
+    }
+
+    #[test]
+    fn catches_map_slot_out_of_range() {
+        let src = r#"
+            program p; set e; set n;
+            map m : e -> n, dim 2;
+            dat d : n, dim 1, f64;
+            loop l over e { arg d via m[5] : read; }
+        "#;
+        assert!(errors_of(src).iter().any(|e| e.contains("out of range")));
+    }
+
+    #[test]
+    fn catches_indirect_write() {
+        let src = r#"
+            program p; set e; set n;
+            map m : e -> n, dim 2;
+            dat d : n, dim 1, f64;
+            loop l over e { arg d via m[0] : write; }
+        "#;
+        assert!(errors_of(src).iter().any(|e| e.contains("read/inc through maps")));
+    }
+
+    #[test]
+    fn catches_excess_arity() {
+        let mut src = String::from("program p; set s; dat d : s, dim 1, f64; loop l over s {");
+        for _ in 0..11 {
+            src.push_str("arg d : read;");
+        }
+        src.push('}');
+        assert!(errors_of(&src).iter().any(|e| e.contains("exceeds")));
+    }
+
+    #[test]
+    fn catches_unknown_references() {
+        let src = "program p; set s; loop l over s { arg ghost : read; }";
+        assert!(errors_of(src).iter().any(|e| e.contains("unknown dat")));
+        let src2 = "program p; map m : x -> y, dim 1;";
+        let errs = errors_of(src2);
+        assert!(errs.iter().any(|e| e.contains("unknown source set")));
+        assert!(errs.iter().any(|e| e.contains("unknown target set")));
+    }
+}

@@ -1,0 +1,97 @@
+//! Tokens of the `.op2` declaration language.
+
+/// A source position (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number.
+    pub line: usize,
+    /// Column number.
+    pub col: usize,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A translation error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// Human-readable description.
+    pub message: String,
+    /// Position the error refers to.
+    pub pos: Pos,
+}
+
+impl TranslateError {
+    /// Creates an error at `pos`.
+    pub fn new(message: impl Into<String>, pos: Pos) -> Self {
+        TranslateError {
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for TranslateError {}

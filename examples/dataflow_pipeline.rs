@@ -1,0 +1,96 @@
+//! Tour of the hpx-rt primitives the OP2 backend is built from: futures,
+//! `dataflow` graphs, `when_all`, execution policies, and the paper's
+//! `persistent_auto_chunk_size` — shown on a three-stage pipeline of
+//! dependent parallel loops with *different* per-element costs.
+//!
+//! ```text
+//! cargo run --release --example dataflow_pipeline
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use op2_hpx::hpx::{
+    dataflow, par, par_task, reduce, ChunkPolicy, PersistentChunker, Runtime, Val,
+};
+
+fn main() {
+    let rt = Runtime::new(2);
+
+    // --- Futures and dataflow -------------------------------------------
+    let a = rt.spawn_future(|| 6u64);
+    let b = rt.spawn_future(|| 7u64);
+    let product = dataflow(&rt, |(a, b, c)| a * b * c, (a, b, Val(1u64)));
+    println!("dataflow(6, 7, Val(1)) = {}", product.get());
+
+    // A diamond: one producer, two independent consumers, one join.
+    let src = rt.spawn_future(|| (0..1000u64).sum::<u64>()).share();
+    let left = src.then(&rt, |s| s / 2);
+    let right = src.then(&rt, |s| s % 97);
+    let joined = dataflow(&rt, |(l, r)| (l, r), (left, right));
+    println!("diamond -> {:?}", joined.get());
+
+    // --- A pipeline of dependent loops with persistent chunking ---------
+    // Stage 1 is cheap per element, stage 2 is ~8x costlier, stage 3 is
+    // a reduction. With `persistent_auto_chunk_size`, stage 1 calibrates
+    // a per-chunk duration and the costlier stages automatically pick
+    // smaller chunks of the *same duration* (paper Fig 12b).
+    let n = 2_000_000usize;
+    let chunker = PersistentChunker::new();
+    let policy = par().with_chunk(ChunkPolicy::PersistentAuto(chunker.clone()));
+
+    let data: Arc<Vec<f64>> = Arc::new((0..n).map(|i| (i % 1000) as f64).collect());
+    let stage1 = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+    let stage2 = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+
+    // Stage 1: cheap transform.
+    {
+        let (d, s1) = (Arc::clone(&data), Arc::clone(&stage1));
+        op2_hpx::hpx::for_each(&rt, &policy, 0..n, move |i| {
+            s1[i].store((d[i] * 2.0).to_bits(), Ordering::Relaxed);
+        });
+    }
+    println!(
+        "calibrated chunk duration: {:?}",
+        chunker.calibrated_target().expect("stage 1 calibrates")
+    );
+
+    // Stage 2: costlier per element (same chunk duration, smaller chunks).
+    {
+        let (s1, s2) = (Arc::clone(&stage1), Arc::clone(&stage2));
+        op2_hpx::hpx::for_each(&rt, &policy, 0..n, move |i| {
+            let x = f64::from_bits(s1[i].load(Ordering::Relaxed));
+            let mut acc = x;
+            for _ in 0..8 {
+                acc = (acc * 1.0001 + 1.0).sqrt();
+            }
+            s2[i].store(acc.to_bits(), Ordering::Relaxed);
+        });
+    }
+
+    // Stage 3: parallel reduction.
+    let s2 = Arc::clone(&stage2);
+    let total = reduce(
+        &rt,
+        &policy,
+        0..n,
+        0.0f64,
+        move |i| f64::from_bits(s2[i].load(Ordering::Relaxed)),
+        |a, b| a + b,
+    );
+    println!("pipeline result: {total:.3}");
+
+    // --- Async loop: submit, keep working, then join ---------------------
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&counter);
+    let fut = op2_hpx::hpx::for_each_async(&rt, par_task(), 0..100_000, move |_| {
+        c.fetch_add(1, Ordering::Relaxed);
+    });
+    println!("async loop submitted; doing other work...");
+    let other = rt.spawn_future(|| "other work done");
+    println!("{}", other.get());
+    fut.get();
+    println!("async loop visited {} elements", counter.load(Ordering::Relaxed));
+
+    println!("runtime stats: {}", rt.stats());
+}

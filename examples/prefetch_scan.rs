@@ -1,0 +1,58 @@
+//! The prefetching iterator (paper §V) and the extra parallel algorithms:
+//! a multi-container loop through `make_prefetcher_context` /
+//! `for_each_prefetch`, then `inclusive_scan`, `min_element` and
+//! `count_if` on the results.
+//!
+//! ```text
+//! cargo run --release --example prefetch_scan
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use op2_hpx::hpx::{
+    count_if, for_each_prefetch, inclusive_scan, make_prefetcher_context, min_element, par,
+    Runtime,
+};
+
+fn main() {
+    let rt = Runtime::new(2);
+    let n = 1 << 21;
+
+    // Three containers of different element types, exactly like the
+    // paper's Fig 14 (`container_1[i] = …; container_2[i] = …`).
+    let positions: Vec<f64> = (0..n).map(|i| (i as f64) * 0.001).collect();
+    let masses: Vec<f32> = (0..n).map(|i| 1.0 + (i % 7) as f32).collect();
+    let flags: Vec<u8> = (0..n).map(|i| (i % 3 == 0) as u8).collect();
+
+    // distance factor 15 — the paper's optimum for Airfoil.
+    let ctx = make_prefetcher_context(0..n, 15, (&positions[..], &masses[..], &flags[..]));
+    println!(
+        "prefetcher context: {} containers, distance = {} elements",
+        ctx.prefetch_set().len(),
+        ctx.distance()
+    );
+
+    let weighted = AtomicU64::new(0);
+    for_each_prefetch(&rt, &par(), &ctx, |i| {
+        if flags[i] == 1 {
+            let w = positions[i] * masses[i] as f64;
+            weighted.fetch_add(w as u64, Ordering::Relaxed);
+        }
+    });
+    println!("weighted sum of flagged elements: {}", weighted.into_inner());
+
+    // Parallel inclusive scan over the masses (prefix sums).
+    let mass64: Vec<f64> = masses.iter().map(|&m| m as f64).collect();
+    let mut prefix = vec![0.0f64; n];
+    inclusive_scan(&rt, &par(), &mass64, &mut prefix, 0.0, |a, b| a + b);
+    println!("total mass (scan tail): {:.1}", prefix[n - 1]);
+
+    // min_element / count_if round out the algorithm set.
+    let (argmin, min) = min_element(&rt, &par(), 0..n, |i| (positions[i] - 1000.0).abs())
+        .expect("non-empty");
+    println!("closest to x=1000: index {argmin} (|dx| = {min:.4})");
+    let flagged = count_if(&rt, &par(), 0..n, |i| flags[i] == 1);
+    println!("flagged elements: {flagged} / {n}");
+
+    assert_eq!(flagged, n.div_ceil(3));
+}

@@ -1,0 +1,24 @@
+//! # op2-hpx — umbrella crate
+//!
+//! Re-exports the whole reproduction of *"Redesigning OP2 Compiler to Use
+//! HPX Runtime Asynchronous Techniques"* (Khatami, Kaiser, Ramanujam;
+//! IPDPSW 2017) under one roof:
+//!
+//! * [`hpx`] — the HPX-style task runtime (futures, dataflow, execution
+//!   policies, chunkers, parallel algorithms, prefetching iterator);
+//! * [`op2`] — the OP2 loop framework (sets/maps/dats, plans & coloring,
+//!   fork-join and dataflow backends);
+//! * [`mesh`] — unstructured-mesh generators and utilities;
+//! * [`airfoil`] — the Airfoil CFD evaluation application;
+//! * [`translator`] — the `op2c` source-to-source translator.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![warn(missing_docs)]
+
+pub use airfoil_cfd as airfoil;
+pub use hpx_rt as hpx;
+pub use op2_core as op2;
+pub use op2_mesh as mesh;
+pub use op2_translator as translator;

@@ -1,0 +1,77 @@
+//! Cross-backend equivalence of the full Airfoil application through the
+//! umbrella crate's public API: every execution strategy must produce the
+//! same physics (up to summation-order rounding).
+
+use op2_hpx::airfoil::verify::{all_finite, max_rel_diff, max_scaled_diff};
+use op2_hpx::airfoil::{solver, Problem, SolverConfig};
+use op2_hpx::hpx::PersistentChunker;
+use op2_hpx::mesh::channel_with_bump;
+use op2_hpx::op2::{Op2, Op2Config};
+
+fn simulate(config: Op2Config) -> (Vec<f64>, Vec<f64>) {
+    let op2 = Op2::new(config);
+    let mesh = channel_with_bump(32, 16);
+    let p = Problem::declare(&op2, &mesh);
+    let r = solver::run(
+        &op2,
+        &p,
+        &SolverConfig {
+            niter: 12,
+            window: 4,
+            print_every: 0,
+        },
+    );
+    (r.rms_history, p.p_q.snapshot())
+}
+
+#[test]
+fn all_backends_and_optimizations_agree() {
+    let (rms_ref, q_ref) = simulate(Op2Config::seq());
+    assert!(all_finite(&rms_ref) && all_finite(&q_ref));
+
+    let candidates: Vec<(&str, Op2Config)> = vec![
+        ("fork_join(2)", Op2Config::fork_join(2)),
+        ("fork_join(4)", Op2Config::fork_join(4)),
+        ("dataflow(2)", Op2Config::dataflow(2)),
+        (
+            "dataflow+persistent",
+            Op2Config::dataflow_persistent(2, PersistentChunker::new()),
+        ),
+        (
+            "dataflow+prefetch",
+            Op2Config::dataflow(2).with_prefetch(15),
+        ),
+        (
+            "dataflow+block128",
+            Op2Config::dataflow(2).with_block_size(128),
+        ),
+    ];
+    for (name, config) in candidates {
+        let (rms, q) = simulate(config);
+        let d_rms = max_rel_diff(&rms_ref, &rms);
+        let d_q = max_scaled_diff(&q_ref, &q, 1.0);
+        assert!(d_rms < 1e-7, "{name}: rms deviates by {d_rms:e}");
+        assert!(d_q < 1e-9, "{name}: q deviates by {d_q:e}");
+    }
+}
+
+#[test]
+fn repeated_runs_on_one_context_continue_the_flow() {
+    let op2 = Op2::new(Op2Config::dataflow(2));
+    let mesh = channel_with_bump(24, 12);
+    let p = Problem::declare(&op2, &mesh);
+    let cfg = SolverConfig {
+        niter: 4,
+        window: 2,
+        print_every: 0,
+    };
+    let r1 = solver::run(&op2, &p, &cfg);
+    let r2 = solver::run(&op2, &p, &cfg);
+    // The flow keeps evolving — histories are different but all finite.
+    assert!(all_finite(&r1.rms_history) && all_finite(&r2.rms_history));
+    assert_ne!(r1.rms_history, r2.rms_history);
+    // Plans are cached across calls: exactly 2 colored shapes (res, bres).
+    let (built, hits) = op2.plan_cache_stats();
+    assert_eq!(built, 2);
+    assert!(hits > 0, "second run must reuse cached plans");
+}

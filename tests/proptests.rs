@@ -1,0 +1,172 @@
+//! Property-based tests of the core invariants, through the public API:
+//! plan coloring on arbitrary connectivity, exactly-once loop execution
+//! under arbitrary chunkers, dataflow graphs vs sequential evaluation,
+//! and mesh-generator structural invariants.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use op2_hpx::hpx::{dataflow, ready, ChunkPolicy, Future, Runtime};
+use op2_hpx::mesh::{channel_with_bump, quad_stats, validate_quad};
+use op2_hpx::op2::{
+    arg_inc_via, par_loop1, par_loop2, plan_for, validate_coloring, ArgSpec, Op2, Op2Config,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case spins up pools; keep CI-speed sane
+        .. ProptestConfig::default()
+    })]
+
+    /// Any random edge->node connectivity yields a valid colored plan
+    /// whose colors partition the blocks and never share a target within
+    /// a color, and the executed increments are exact.
+    #[test]
+    fn coloring_is_valid_and_increments_exact(
+        nfrom in 1usize..400,
+        nto in 1usize..120,
+        dim in 1usize..3,
+        block_size in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random map.
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % nto as u64) as u32
+        };
+        let indices: Vec<u32> = (0..nfrom * dim).map(|_| next()).collect();
+
+        let op2 = Op2::new(Op2Config::fork_join(2).with_block_size(block_size));
+        let from = op2.decl_set(nfrom, "from");
+        let to = op2.decl_set(nto, "to");
+        let map = op2.decl_map(&from, &to, dim, indices.clone(), "m");
+        let acc = op2.decl_dat(&to, 1, "acc", vec![0.0f64; nto]);
+
+        // Execute: every source element increments each of its targets.
+        // (Slot 0 only when dim==1 to keep the kernel arity simple.)
+        let infos = match dim {
+            1 => {
+                let a0 = arg_inc_via(&acc, &map, 0);
+                let infos = vec![ArgSpec::info(&a0)];
+                par_loop1(&op2, "inc", &from, (a0,), |t0: &mut [f64]| {
+                    t0[0] += 1.0;
+                }).wait();
+                infos
+            }
+            _ => {
+                let a0 = arg_inc_via(&acc, &map, 0);
+                let a1 = arg_inc_via(&acc, &map, 1);
+                let infos = vec![ArgSpec::info(&a0), ArgSpec::info(&a1)];
+                // Same target twice in one element would alias two mutable
+                // views; the framework's debug check would (correctly)
+                // panic, so route via a tolerant kernel only when safe:
+                // skip elements where slots collide by pre-checking.
+                let collides = (0..nfrom).any(|e| map.at(e, 0) == map.at(e, 1));
+                if collides {
+                    // Still validate the plan below, just skip execution.
+                    let plan = plan_for(&op2, &from, &infos).expect("colored plan");
+                    let pairs = vec![(map.clone(), 0usize), (map.clone(), 1usize)];
+                    prop_assert!(validate_coloring(&plan, &pairs).is_ok());
+                    return Ok(());
+                }
+                par_loop2(&op2, "inc2", &from, (a0, a1), |t0: &mut [f64], t1: &mut [f64]| {
+                    t0[0] += 1.0;
+                    t1[0] += 1.0;
+                }).wait();
+                infos
+            }
+        };
+
+        // Plan invariant.
+        if let Some(plan) = plan_for(&op2, &from, &infos) {
+            let pairs: Vec<_> = (0..dim.min(2)).map(|k| (map.clone(), k)).collect();
+            prop_assert!(validate_coloring(&plan, &pairs).is_ok());
+            let blocks_in_colors: usize = plan.color_blocks.iter().map(|c| c.len()).sum();
+            prop_assert_eq!(blocks_in_colors, plan.nblocks());
+        }
+
+        // Exactness: target t received one increment per incoming slot.
+        let mut expected = vec![0.0f64; nto];
+        for e in 0..nfrom {
+            for k in 0..dim.min(2) {
+                expected[map.at(e, k)] += 1.0;
+            }
+        }
+        let got = acc.snapshot();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every chunk policy visits every index exactly once, for arbitrary
+    /// range sizes.
+    #[test]
+    fn chunkers_tile_ranges_exactly(
+        n in 0usize..6000,
+        policy_pick in 0usize..4,
+        size in 1usize..600,
+    ) {
+        let rt = Runtime::new(2);
+        let chunk = match policy_pick {
+            0 => ChunkPolicy::Static { size },
+            1 => ChunkPolicy::NumChunks { chunks: size },
+            2 => ChunkPolicy::Guided { min: size },
+            _ => ChunkPolicy::default(),
+        };
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        op2_hpx::hpx::for_each(
+            &rt,
+            &op2_hpx::hpx::par().with_chunk(chunk),
+            0..n,
+            |i| { hits[i].fetch_add(1, Ordering::Relaxed); },
+        );
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Random dataflow expression trees evaluate to the same value as
+    /// direct sequential evaluation.
+    #[test]
+    fn dataflow_trees_match_sequential(ops in prop::collection::vec((0u8..3, 1u64..100), 1..40)) {
+        let rt = Runtime::new(2);
+        let mut expect = 1u64;
+        let mut fut: Future<u64> = ready(1);
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    expect = expect.wrapping_add(v);
+                    fut = dataflow(&rt, move |(x,)| x.wrapping_add(v), (fut,));
+                }
+                1 => {
+                    expect = expect.wrapping_mul(v);
+                    let extra = rt.spawn_future(move || v);
+                    fut = dataflow(&rt, |(x, y)| x.wrapping_mul(y), (fut, extra));
+                }
+                _ => {
+                    expect ^= v;
+                    let shared = fut.share();
+                    // Diamond: two readers of the same value re-joined.
+                    let l = shared.then(&rt, move |x| x ^ v);
+                    let r = shared.then(&rt, |x| x);
+                    fut = dataflow(&rt, |(l, r)| { let _ = r; l }, (l, r));
+                }
+            }
+        }
+        prop_assert_eq!(fut.get(), expect);
+    }
+
+    /// Mesh generator invariants hold for arbitrary dimensions.
+    #[test]
+    fn quad_meshes_always_validate(imax in 3usize..48, jmax in 1usize..32) {
+        let mesh = channel_with_bump(imax, jmax);
+        let errors = validate_quad(&mesh);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+        let stats = quad_stats(&mesh);
+        prop_assert_eq!(stats.ncell, imax * jmax);
+        // Euler characteristic of the planar mesh.
+        let v = mesh.nnode as i64;
+        let e = (mesh.nedge + mesh.nbedge) as i64;
+        let f = mesh.ncell as i64 + 1;
+        prop_assert_eq!(v - e + f, 2);
+    }
+}
