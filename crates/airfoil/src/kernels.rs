@@ -176,7 +176,10 @@ mod tests {
             &mut r2,
         );
         for n in 0..4 {
-            assert!((r1[n] + r2[n]).abs() < 1e-14, "component {n} not conservative");
+            assert!(
+                (r1[n] + r2[n]).abs() < 1e-14,
+                "component {n} not conservative"
+            );
         }
     }
 
@@ -188,7 +191,16 @@ mod tests {
         let adt = [0.37];
         let mut r1 = [0.0; 4];
         let mut r2 = [0.0; 4];
-        res_calc(&[0.2, 0.1], &[0.5, 0.9], &q, &q, &adt, &adt, &mut r1, &mut r2);
+        res_calc(
+            &[0.2, 0.1],
+            &[0.5, 0.9],
+            &q,
+            &q,
+            &adt,
+            &adt,
+            &mut r1,
+            &mut r2,
+        );
         assert!(r1.iter().zip(&r2).all(|(a, b)| (a + b).abs() < 1e-14));
     }
 
@@ -197,15 +209,7 @@ mod tests {
         let q = qinf();
         let adt = [1.0];
         let mut r = [0.0; 4];
-        bres_calc(
-            &[0.0, 0.0],
-            &[1.0, 0.0],
-            &q,
-            &adt,
-            &mut r,
-            &[1],
-            &qinf(),
-        );
+        bres_calc(&[0.0, 0.0], &[1.0, 0.0], &q, &adt, &mut r, &[1], &qinf());
         assert_eq!(r[0], 0.0, "wall adds no mass flux");
         assert_eq!(r[3], 0.0, "wall adds no energy flux");
         assert!(r[1] != 0.0 || r[2] != 0.0, "wall adds pressure force");

@@ -277,9 +277,29 @@ mod tests {
         let op2 = Op2::new(Op2Config::dataflow(2));
         let mesh = channel_with_bump(24, 12);
         let p = Problem::declare(&op2, &mesh);
-        let r1 = run(&op2, &p, &SolverConfig { niter: 5, window: 0, print_every: 0 });
+        let r1 = run(
+            &op2,
+            &p,
+            &SolverConfig {
+                niter: 5,
+                window: 0,
+                print_every: 0,
+            },
+        );
         // Continue with a large window on the same state.
-        let r2 = run(&op2, &p, &SolverConfig { niter: 5, window: 64, print_every: 0 });
-        assert!(r1.rms_history.iter().chain(&r2.rms_history).all(|v| v.is_finite()));
+        let r2 = run(
+            &op2,
+            &p,
+            &SolverConfig {
+                niter: 5,
+                window: 64,
+                print_every: 0,
+            },
+        );
+        assert!(r1
+            .rms_history
+            .iter()
+            .chain(&r2.rms_history)
+            .all(|v| v.is_finite()));
     }
 }

@@ -14,7 +14,12 @@ fn main() {
         "Fig 19 — transfer rate, standard vs prefetching iterator \
          (elements={elements}, passes={passes})\n"
     );
-    let mut table = Table::new(vec!["threads", "standard_GiBps", "prefetch_GiBps", "gain_%"]);
+    let mut table = Table::new(vec![
+        "threads",
+        "standard_GiBps",
+        "prefetch_GiBps",
+        "gain_%",
+    ]);
     for &t in &args.threads {
         let plain = bandwidth_run(t, elements, passes, None);
         let pf = bandwidth_run(t, elements, passes, Some(15));

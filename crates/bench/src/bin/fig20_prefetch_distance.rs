@@ -22,7 +22,10 @@ fn main() {
         let mut row = vec![t.to_string()];
         row.push(format!("{:.2}", bandwidth_run(t, elements, passes, None)));
         for &d in &DISTANCES {
-            row.push(format!("{:.2}", bandwidth_run(t, elements, passes, Some(d))));
+            row.push(format!(
+                "{:.2}",
+                bandwidth_run(t, elements, passes, Some(d))
+            ));
         }
         table.row(row);
     }

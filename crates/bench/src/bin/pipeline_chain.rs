@@ -1,0 +1,213 @@
+//! Pipelining micro-benchmark: whole-loop chaining vs block-granular
+//! dataflow on an airfoil-shaped dependent loop chain.
+//!
+//! The workload alternates two RAW-dependent direct loops (`b = f(a)`,
+//! `a = g(b)`) whose per-element cost is skewed — the tail blocks of every
+//! loop are stragglers. Whole-loop chaining (each loop waits for its
+//! predecessor's completion future, the pre-refactor engine) stalls every
+//! iteration on the straggler tail; the block-granular engine starts the
+//! successor's ready blocks on the idle workers instead.
+//!
+//! Emits a JSON baseline (default `BENCH_pipeline.json`) for the perf
+//! trajectory. Options: the common sweep flags (`--cells`, `--iters`,
+//! `--threads a,b,c`, `--reps`) plus `--json PATH`.
+
+use std::time::{Duration, Instant};
+
+use op2_bench::{SweepArgs, Table};
+use op2_core::{arg_read, arg_write, par_loop2, Op2, Op2Config};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chaining {
+    /// Block-granular dataflow: successor blocks start as their per-block
+    /// dependencies resolve (this repo's engine).
+    BlockGranular,
+    /// Whole-loop chaining: wait on every loop's completion future before
+    /// submitting the next (the pre-refactor dependency granularity).
+    WholeLoop,
+    /// Fork-join baseline: global barrier after every loop.
+    ForkJoin,
+}
+
+impl Chaining {
+    fn label(self) -> &'static str {
+        match self {
+            Chaining::BlockGranular => "dataflow-block-granular",
+            Chaining::WholeLoop => "dataflow-whole-loop",
+            Chaining::ForkJoin => "fork-join",
+        }
+    }
+}
+
+fn spin(units: usize) {
+    let mut acc = 1.0f64;
+    for _ in 0..units {
+        acc = (acc * 1.000001 + 1.0).sqrt();
+    }
+    std::hint::black_box(acc);
+}
+
+/// Cost skew: the last eighth of the set is 8x heavier per element — the
+/// straggler tail that leaves workers idle under whole-loop chaining.
+fn kernel_cost(e: usize, n: usize) -> usize {
+    if e >= n - n / 8 {
+        160
+    } else {
+        20
+    }
+}
+
+fn run_chain(mode: Chaining, threads: usize, n: usize, iters: usize) -> Duration {
+    let config = match mode {
+        Chaining::ForkJoin => Op2Config::fork_join(threads),
+        _ => Op2Config::dataflow(threads),
+    };
+    let op2 = Op2::new(config);
+    let cells = op2.decl_set(n, "cells");
+    let idx: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let a = op2.decl_dat(&cells, 1, "a", idx);
+    let b = op2.decl_dat(&cells, 1, "b", vec![0.0; n]);
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let h1 = par_loop2(
+            &op2,
+            "fwd",
+            &cells,
+            (arg_read(&a), arg_write(&b)),
+            move |a: &[f64], b: &mut [f64]| {
+                spin(kernel_cost(a[0] as usize, n));
+                b[0] = a[0];
+            },
+        );
+        if mode == Chaining::WholeLoop {
+            h1.wait();
+        }
+        let h2 = par_loop2(
+            &op2,
+            "bwd",
+            &cells,
+            (arg_read(&b), arg_write(&a)),
+            move |b: &[f64], a: &mut [f64]| {
+                spin(kernel_cost(b[0] as usize, n));
+                a[0] = b[0];
+            },
+        );
+        if mode == Chaining::WholeLoop {
+            h2.wait();
+        }
+    }
+    op2.fence();
+    t0.elapsed()
+}
+
+fn parse_args() -> (SweepArgs, String) {
+    // Defaults tuned for a sub-minute pipelining measurement.
+    let mut args = SweepArgs {
+        cells: 20_000,
+        iters: 10,
+        ..SweepArgs::default()
+    };
+    let mut json_path = "BENCH_pipeline.json".to_owned();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--cells" => args.cells = value("--cells").parse().expect("--cells"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters"),
+            "--reps" => args.reps = value("--reps").parse().expect("--reps"),
+            "--threads" => {
+                args.threads = value("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads"))
+                    .collect();
+            }
+            "--csv" => args.csv = Some(value("--csv").into()),
+            "--json" => json_path = value("--json"),
+            "--help" | "-h" => {
+                println!(
+                    "pipeline_chain options:\n\
+                     --cells N       chain set size (default 20000)\n\
+                     --iters N       chained loop pairs (default 10)\n\
+                     --threads LIST  e.g. 1,2,4\n\
+                     --reps N        repetitions, min-of (default 2)\n\
+                     --csv PATH      also write CSV\n\
+                     --json PATH     JSON baseline (default BENCH_pipeline.json)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    (args, json_path)
+}
+
+fn main() {
+    let (args, json_path) = parse_args();
+
+    println!("pipeline_chain: dependent RAW loop chain, whole-loop vs block-granular");
+    println!(
+        "cells={} iters={} reps={}",
+        args.cells, args.iters, args.reps
+    );
+    let mut table = Table::new(vec![
+        "variant",
+        "threads",
+        "best_seconds",
+        "speedup_vs_whole_loop",
+    ]);
+    let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
+
+    for &threads in &args.threads {
+        let mut whole_loop_best = f64::NAN;
+        for mode in [
+            Chaining::WholeLoop,
+            Chaining::BlockGranular,
+            Chaining::ForkJoin,
+        ] {
+            let mut best = Duration::MAX;
+            for _ in 0..args.reps.max(1) {
+                best = best.min(run_chain(mode, threads, args.cells, args.iters));
+            }
+            let secs = best.as_secs_f64();
+            if mode == Chaining::WholeLoop {
+                whole_loop_best = secs;
+            }
+            let speedup = whole_loop_best / secs;
+            rows.push((mode.label().to_owned(), threads, secs, speedup));
+            table.row(vec![
+                mode.label().to_owned(),
+                threads.to_string(),
+                format!("{secs:.4}"),
+                format!("{speedup:.3}x"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("write CSV");
+    }
+
+    // Hand-rolled JSON (offline build: no serde).
+    let mut json = String::from("{\n  \"bench\": \"pipeline_chain\",\n");
+    json.push_str(&format!(
+        "  \"cells\": {}, \"iters\": {}, \"reps\": {}, \"host_threads\": {},\n  \"results\": [\n",
+        args.cells,
+        args.iters,
+        args.reps,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    for (i, (variant, threads, secs, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"variant\": \"{variant}\", \"threads\": {threads}, \
+             \"best_seconds\": {secs:.6}, \"speedup_vs_whole_loop\": {speedup:.4}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write JSON baseline");
+    println!("wrote {json_path}");
+}

@@ -28,14 +28,7 @@ fn main() {
     let timed_async = |policy: hpx_rt::ExecutionPolicy| {
         let d = Arc::clone(&data);
         let t = Instant::now();
-        let fut = reduce_async(
-            &rt,
-            policy,
-            0..n,
-            0.0f64,
-            move |i| d[i].sin(),
-            |a, b| a + b,
-        );
+        let fut = reduce_async(&rt, policy, 0..n, 0.0f64, move |i| d[i].sin(), |a, b| a + b);
         let v = fut.get();
         assert!((v - expected).abs() < 1e-6 * expected.abs());
         t.elapsed().as_secs_f64() * 1e3

@@ -89,7 +89,13 @@ impl Table {
             std::fs::create_dir_all(parent)?;
         }
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        let join = |cells: &[String]| cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",");
+        let join = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         writeln!(f, "{}", join(&self.header))?;
         for row in &self.rows {
             writeln!(f, "{}", join(row))?;

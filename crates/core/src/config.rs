@@ -38,9 +38,14 @@ pub struct Op2Config {
     pub threads: usize,
     /// Loop execution strategy.
     pub backend: Backend,
-    /// Mini-partition block size for indirect loops.
+    /// Mini-partition block size for indirect loops — and, since the
+    /// block-granular engine, the task granularity of every Dataflow
+    /// loop (one dataflow node per block).
     pub block_size: usize,
-    /// Chunking strategy for parallel execution.
+    /// Chunking strategy for the ForkJoin backend's parallel-for phases.
+    /// The block-granular Dataflow backend does not consult it: its task
+    /// granularity is [`Op2Config::block_size`] (tune with
+    /// [`Op2Config::with_block_size`]).
     pub chunk: ChunkPolicy,
     /// Prefetch distance factor (cache lines of look-ahead, paper §V);
     /// `None` disables the prefetching iterator.
@@ -66,13 +71,16 @@ impl Op2Config {
             threads,
             backend: Backend::ForkJoin,
             block_size: DEFAULT_BLOCK_SIZE,
-            chunk: ChunkPolicy::NumChunks { chunks: threads.max(1) },
+            chunk: ChunkPolicy::NumChunks {
+                chunks: threads.max(1),
+            },
             prefetch_distance: None,
         }
     }
 
-    /// The paper's asynchronous configuration: dataflow loops with
-    /// measured (`auto_chunk_size`) chunking.
+    /// The paper's asynchronous configuration, at block granularity: one
+    /// dataflow node per `block_size` mini-partition block, wired through
+    /// the per-block epoch tables.
     pub fn dataflow(threads: usize) -> Self {
         Op2Config {
             threads,
@@ -84,8 +92,13 @@ impl Op2Config {
     }
 
     /// Dataflow with the paper's `persistent_auto_chunk_size` policy
-    /// (§IV-B): pass one shared handle so dependent loops match chunk
-    /// *durations*.
+    /// (§IV-B) installed as the chunk policy. Note: since the
+    /// block-granular engine, Dataflow loop bodies are scheduled per
+    /// `block_size` block and do not consult the chunk policy — the
+    /// persistent chunker still calibrates any `hpx-rt` algorithms run
+    /// through this config and the ForkJoin fallback, and the constructor
+    /// is kept so paper-harness variants remain expressible. Tune
+    /// Dataflow granularity with [`Op2Config::with_block_size`] instead.
     pub fn dataflow_persistent(threads: usize, chunker: PersistentChunker) -> Self {
         Op2Config {
             threads,
@@ -148,7 +161,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = Op2Config::dataflow(4).with_block_size(128).with_prefetch(15);
+        let c = Op2Config::dataflow(4)
+            .with_block_size(128)
+            .with_prefetch(15);
         assert_eq!(c.block_size, 128);
         assert_eq!(c.prefetch_distance, Some(15));
         assert_eq!(c.without_prefetch().prefetch_distance, None);

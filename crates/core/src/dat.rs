@@ -1,5 +1,25 @@
 //! Dats: data defined on sets (paper §II-A, `op_decl_dat`), plus the
-//! per-dat dependency state that lets the dataflow backend chain loops.
+//! per-block *epoch table* that lets the dataflow backend chain loops at
+//! mini-partition granularity.
+//!
+//! # Dependency model (block-granular epochs)
+//!
+//! A dat's rows are partitioned into fixed *dependency blocks* aligned to
+//! the context's mini-partition block size. Each block carries its own
+//! dependency state ([`BlockDeps`]): the completion futures of the loop
+//! nodes that last **wrote** rows of the block (one writer *generation*,
+//! possibly many nodes when an indirect loop scatters into the block), the
+//! **readers** since, and an **epoch** counter that advances whenever a new
+//! writer generation replaces the old one.
+//!
+//! The dataflow backend schedules one node per loop block and wires each
+//! node only to the dependency blocks it actually touches (directly by row
+//! range, indirectly through the map's block-reach table, see
+//! [`crate::plan`]). A RAW-dependent loop therefore starts its block *i* as
+//! soon as the predecessor finished the blocks feeding *i* — instead of
+//! waiting for the predecessor's last block, which is a barrier in
+//! disguise. The sequential and fork-join backends keep whole-dat
+//! semantics: they collect and record across every block at once.
 //!
 //! # Safety model
 //!
@@ -8,9 +28,9 @@
 //!
 //! 1. **Loop executors** (`crate::driver`): race-freedom is guaranteed by
 //!    the execution plan — direct mutable args touch disjoint rows because
-//!    chunks partition the set; indirect mutable args are serialized by
-//!    block coloring; loop-vs-loop ordering is enforced by the per-dat
-//!    last-writer/readers futures ([`DepState`]).
+//!    blocks partition the set; indirect mutable args are serialized by
+//!    block coloring (color-round gates under dataflow); loop-vs-loop
+//!    ordering is enforced by the per-block epoch table ([`DepTable`]).
 //! 2. **User guards** ([`Dat::read`] / [`Dat::write`]) which first wait for
 //!    the relevant futures and are tracked by a borrow counter so a guard
 //!    held across a conflicting `par_loop` submission panics instead of
@@ -18,20 +38,179 @@
 
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::ops::Range;
 use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 
 use hpx_rt::SharedFuture;
 
+#[cfg(test)]
+use crate::config::DEFAULT_BLOCK_SIZE;
 use crate::set::Set;
 use crate::types::{next_entity_id, OpType};
 
-/// Dependency state used by the dataflow backend: the completion future of
-/// the last loop that wrote this dat, and of every reader since.
+/// Drop completed reader futures once a block collects this many.
+const READER_PRUNE_THRESHOLD: usize = 32;
+
+/// Dependency state of one block of rows.
 #[derive(Default)]
-pub(crate) struct DepState {
-    pub last_write: Option<SharedFuture<()>>,
-    pub readers: Vec<SharedFuture<()>>,
+struct BlockDeps {
+    /// Monotonic writer-generation counter (diagnostics + tests).
+    epoch: u64,
+    /// Loop generation that produced the current `writers` set; recording
+    /// a writer from a newer generation replaces the set and bumps the
+    /// epoch, so the many nodes of one scattering loop accumulate while
+    /// distinct loops supersede each other.
+    writer_gen: u64,
+    /// Completion futures of the current writer generation's nodes.
+    writers: Vec<SharedFuture<()>>,
+    /// Completion futures of reads since the current writer generation.
+    readers: Vec<SharedFuture<()>>,
+}
+
+impl BlockDeps {
+    /// Clones (never drains) the pending futures: writers always, readers
+    /// additionally for a mutating access. Draining readers here would be
+    /// unsound under the block-granular driver — two nodes of one loop may
+    /// collect the same dependency block in the same color round (coloring
+    /// separates shared target *elements*, not target *blocks*), and the
+    /// second would lose its write-after-read edge. Readers are cleared
+    /// when a new writer generation is recorded instead.
+    fn collect(&self, mutates: bool, out: &mut Vec<SharedFuture<()>>) {
+        out.extend(self.writers.iter().cloned());
+        if mutates {
+            out.extend(self.readers.iter().cloned());
+        }
+    }
+}
+
+/// The per-dat, block-indexed dependency table (see module docs).
+pub(crate) struct DepTable {
+    block_size: usize,
+    blocks: Mutex<Vec<BlockDeps>>,
+}
+
+impl DepTable {
+    fn new(rows: usize, block_size: usize) -> Self {
+        let block_size = block_size.max(1);
+        let nblocks = rows.div_ceil(block_size);
+        DepTable {
+            block_size,
+            blocks: Mutex::new((0..nblocks).map(|_| BlockDeps::default()).collect()),
+        }
+    }
+
+    /// Rows per dependency block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Indices of the dependency blocks overlapping a row range.
+    fn blocks_of(&self, rows: &Range<usize>) -> Range<usize> {
+        if rows.start >= rows.end {
+            return 0..0;
+        }
+        (rows.start / self.block_size)..((rows.end - 1) / self.block_size + 1)
+    }
+
+    /// Futures an access to `rows` must wait for: writers always; a
+    /// mutating access additionally waits for the readers.
+    pub fn collect_rows(
+        &self,
+        rows: &Range<usize>,
+        mutates: bool,
+        out: &mut Vec<SharedFuture<()>>,
+    ) {
+        let blocks = self.blocks.lock();
+        for b in self.blocks_of(rows) {
+            blocks[b].collect(mutates, out);
+        }
+    }
+
+    /// [`DepTable::collect_rows`] for an explicit block index (indirect
+    /// args resolve their reach to block indices, not row ranges).
+    pub fn collect_block(&self, block: usize, mutates: bool, out: &mut Vec<SharedFuture<()>>) {
+        let blocks = self.blocks.lock();
+        if let Some(b) = blocks.get(block) {
+            b.collect(mutates, out);
+        }
+    }
+
+    fn record(entry: &mut BlockDeps, mutates: bool, gen: u64, done: &SharedFuture<()>) {
+        if mutates {
+            if entry.writer_gen != gen {
+                entry.writer_gen = gen;
+                entry.epoch += 1;
+                entry.writers.clear();
+                entry.readers.clear();
+            }
+            entry.writers.push(done.clone());
+        } else {
+            if entry.readers.len() >= READER_PRUNE_THRESHOLD {
+                entry.readers.retain(|f| !f.is_ready());
+            }
+            entry.readers.push(done.clone());
+        }
+    }
+
+    /// Records a node's completion against the blocks overlapping `rows`.
+    /// `gen` identifies the submitting loop: the first writer of a new
+    /// generation supersedes the previous writer set.
+    pub fn record_rows(
+        &self,
+        rows: &Range<usize>,
+        mutates: bool,
+        gen: u64,
+        done: &SharedFuture<()>,
+    ) {
+        let mut blocks = self.blocks.lock();
+        for b in self.blocks_of(rows) {
+            Self::record(&mut blocks[b], mutates, gen, done);
+        }
+    }
+
+    /// [`DepTable::record_rows`] for an explicit block index.
+    pub fn record_block(&self, block: usize, mutates: bool, gen: u64, done: &SharedFuture<()>) {
+        let mut blocks = self.blocks.lock();
+        if let Some(b) = blocks.get_mut(block) {
+            Self::record(b, mutates, gen, done);
+        }
+    }
+
+    /// Whole-dat collection (sequential / fork-join backends and guards).
+    pub fn collect_all(&self, mutates: bool, out: &mut Vec<SharedFuture<()>>) {
+        let blocks = self.blocks.lock();
+        for b in blocks.iter() {
+            b.collect(mutates, out);
+        }
+    }
+
+    /// Whole-dat recording (sequential / fork-join backends).
+    pub fn record_all(&self, mutates: bool, gen: u64, done: &SharedFuture<()>) {
+        let mut blocks = self.blocks.lock();
+        for b in blocks.iter_mut() {
+            Self::record(b, mutates, gen, done);
+        }
+    }
+
+    /// Clones every pending future without draining readers (user guards
+    /// must not steal WAR dependencies from future writers).
+    fn peek_all(&self, include_readers: bool) -> Vec<SharedFuture<()>> {
+        let blocks = self.blocks.lock();
+        let mut out = Vec::new();
+        for b in blocks.iter() {
+            out.extend(b.writers.iter().cloned());
+            if include_readers {
+                out.extend(b.readers.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Per-block epoch counters (diagnostics).
+    fn epochs(&self) -> Vec<u64> {
+        self.blocks.lock().iter().map(|b| b.epoch).collect()
+    }
 }
 
 pub(crate) struct DatInner<T> {
@@ -40,7 +219,7 @@ pub(crate) struct DatInner<T> {
     pub dim: usize,
     pub name: String,
     data: UnsafeCell<Vec<T>>,
-    pub deps: Mutex<DepState>,
+    pub deps: DepTable,
     /// User-guard tracking: >0 read guards, -1 write guard, 0 free.
     borrow: AtomicIsize,
 }
@@ -65,7 +244,23 @@ impl<T: OpType> Clone for Dat<T> {
 }
 
 impl<T: OpType> Dat<T> {
+    /// Test convenience: a dat with the default dependency-block size.
+    #[cfg(test)]
     pub(crate) fn new(set: &Set, dim: usize, name: &str, data: Vec<T>) -> Self {
+        Self::with_dep_block_size(set, dim, name, data, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Creates a dat whose dependency table is partitioned into blocks of
+    /// `dep_block_size` rows — aligned by [`crate::Op2::decl_dat`] to the
+    /// context's mini-partition block size so loop blocks and dependency
+    /// blocks coincide.
+    pub(crate) fn with_dep_block_size(
+        set: &Set,
+        dim: usize,
+        name: &str,
+        data: Vec<T>,
+        dep_block_size: usize,
+    ) -> Self {
         assert!(dim > 0, "dat '{name}': dim must be positive");
         assert_eq!(
             data.len(),
@@ -82,7 +277,7 @@ impl<T: OpType> Dat<T> {
                 dim,
                 name: name.to_owned(),
                 data: UnsafeCell::new(data),
-                deps: Mutex::new(DepState::default()),
+                deps: DepTable::new(set.size(), dep_block_size),
                 borrow: AtomicIsize::new(0),
             }),
         }
@@ -132,47 +327,44 @@ impl<T: OpType> Dat<T> {
 
     // ---- dependency bookkeeping (dataflow backend) ----------------------
 
-    /// Futures this access must wait for: writers wait for everything
-    /// (write-after-write, write-after-read); readers only for the last
-    /// writer.
+    /// The per-block dependency table.
+    pub(crate) fn deps(&self) -> &DepTable {
+        &self.inner.deps
+    }
+
+    /// Rows per dependency block.
+    pub(crate) fn dep_block_size(&self) -> usize {
+        self.inner.deps.block_size()
+    }
+
+    /// Whole-dat dependency collection (sequential / fork-join backends):
+    /// writers wait for everything (write-after-write, write-after-read);
+    /// readers only for the writers.
     pub(crate) fn collect_deps(&self, mutates: bool, out: &mut Vec<SharedFuture<()>>) {
-        let mut deps = self.inner.deps.lock();
-        if let Some(w) = &deps.last_write {
-            out.push(w.clone());
-        }
-        if mutates {
-            out.append(&mut deps.readers);
-        }
+        self.inner.deps.collect_all(mutates, out);
     }
 
-    /// Records a loop's completion future against this dat.
-    pub(crate) fn record_completion(&self, mutates: bool, done: &SharedFuture<()>) {
-        let mut deps = self.inner.deps.lock();
-        if mutates {
-            deps.last_write = Some(done.clone());
-            deps.readers.clear();
-        } else {
-            deps.readers.push(done.clone());
-        }
+    /// Whole-dat completion recording (sequential / fork-join backends).
+    pub(crate) fn record_completion(&self, mutates: bool, gen: u64, done: &SharedFuture<()>) {
+        self.inner.deps.record_all(mutates, gen, done);
     }
 
-    fn wait_last_write(&self) {
-        let w = self.inner.deps.lock().last_write.clone();
-        if let Some(w) = w {
-            w.wait();
+    /// Per-block epoch counters — the observable trace of writer
+    /// generations, exposed for tests and diagnostics.
+    #[doc(hidden)]
+    pub fn __dep_epochs(&self) -> Vec<u64> {
+        self.inner.deps.epochs()
+    }
+
+    fn wait_writers(&self) {
+        for f in self.inner.deps.peek_all(false) {
+            f.wait();
         }
     }
 
     fn wait_all(&self) {
-        let (w, readers) = {
-            let deps = self.inner.deps.lock();
-            (deps.last_write.clone(), deps.readers.clone())
-        };
-        if let Some(w) = w {
-            w.wait();
-        }
-        for r in readers {
-            r.wait();
+        for f in self.inner.deps.peek_all(true) {
+            f.wait();
         }
     }
 
@@ -184,7 +376,7 @@ impl<T: OpType> Dat<T> {
     ///
     /// If a write guard is live.
     pub fn read(&self) -> DatReadGuard<'_, T> {
-        self.wait_last_write();
+        self.wait_writers();
         let prev = self.inner.borrow.fetch_add(1, Ordering::AcqRel);
         assert!(
             prev >= 0,
@@ -202,10 +394,10 @@ impl<T: OpType> Dat<T> {
     /// If any other guard is live.
     pub fn write(&self) -> DatWriteGuard<'_, T> {
         self.wait_all();
-        let prev =
-            self.inner
-                .borrow
-                .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Acquire);
+        let prev = self
+            .inner
+            .borrow
+            .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Acquire);
         assert!(
             prev.is_ok(),
             "dat '{}': write() while another guard is live",
@@ -315,6 +507,7 @@ impl<T: OpType> Drop for DatWriteGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::next_loop_gen;
 
     fn mk() -> Dat<f64> {
         let set = Set::new(4, "cells");
@@ -362,14 +555,21 @@ mod tests {
     fn dep_bookkeeping_orders_writers_after_readers() {
         let d = mk();
         let r1 = SharedFuture::ready(());
-        d.record_completion(false, &r1);
+        d.record_completion(false, next_loop_gen(), &r1);
         let mut deps = Vec::new();
         d.collect_deps(true, &mut deps);
         assert_eq!(deps.len(), 1, "writer must wait for the reader");
-        // After collecting for a writer, readers are drained.
+        // Collection never drains: a second collecting writer node (same
+        // loop, same dependency block) must see the reader too.
         let mut deps2 = Vec::new();
         d.collect_deps(true, &mut deps2);
-        assert!(deps2.is_empty());
+        assert_eq!(deps2.len(), 1);
+        // Recording the writer's completion supersedes the readers.
+        let w = SharedFuture::ready(());
+        d.record_completion(true, next_loop_gen(), &w);
+        let mut deps3 = Vec::new();
+        d.collect_deps(true, &mut deps3);
+        assert_eq!(deps3.len(), 1, "only the new writer remains");
     }
 
     #[test]
@@ -377,5 +577,51 @@ mod tests {
         let d = mk();
         let s = d.snapshot();
         assert_eq!(s, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn per_block_deps_are_independent() {
+        let set = Set::new(8, "cells");
+        let d: Dat<f64> = Dat::with_dep_block_size(&set, 1, "q", vec![0.0; 8], 4);
+        let w = SharedFuture::ready(());
+        // Write rows 0..4 only: block 0 gains a writer, block 1 stays free.
+        d.deps().record_rows(&(0..4), true, next_loop_gen(), &w);
+        let mut deps = Vec::new();
+        d.deps().collect_rows(&(4..8), false, &mut deps);
+        assert!(deps.is_empty(), "untouched block must have no deps");
+        d.deps().collect_rows(&(0..4), false, &mut deps);
+        assert_eq!(deps.len(), 1, "touched block must expose its writer");
+        assert_eq!(d.__dep_epochs(), vec![1, 0]);
+    }
+
+    #[test]
+    fn writer_generation_accumulates_within_one_loop() {
+        let set = Set::new(4, "cells");
+        let d: Dat<f64> = Dat::with_dep_block_size(&set, 1, "q", vec![0.0; 4], 4);
+        let gen = next_loop_gen();
+        let (w1, w2) = (SharedFuture::ready(()), SharedFuture::ready(()));
+        // Two nodes of the same loop scatter into block 0: both futures
+        // must be retained as the current writer set.
+        d.deps().record_block(0, true, gen, &w1);
+        d.deps().record_block(0, true, gen, &w2);
+        let mut deps = Vec::new();
+        d.deps().collect_block(0, false, &mut deps);
+        assert_eq!(deps.len(), 2);
+        // A later loop's writer supersedes the pair and bumps the epoch.
+        d.deps().record_block(0, true, next_loop_gen(), &w1);
+        let mut deps2 = Vec::new();
+        d.deps().collect_block(0, false, &mut deps2);
+        assert_eq!(deps2.len(), 1);
+        assert_eq!(d.__dep_epochs(), vec![2]);
+    }
+
+    #[test]
+    fn empty_range_touches_no_blocks() {
+        let d = mk();
+        let w = SharedFuture::ready(());
+        d.deps().record_rows(&(2..2), true, next_loop_gen(), &w);
+        let mut deps = Vec::new();
+        d.deps().collect_rows(&(0..4), true, &mut deps);
+        assert!(deps.is_empty());
     }
 }

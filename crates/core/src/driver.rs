@@ -3,34 +3,64 @@
 //! * **Seq** — reference execution on the calling thread.
 //! * **ForkJoin** — the OpenMP-equivalent baseline: synchronous parallel
 //!   chunks with a global barrier after every loop and every color round.
-//! * **Dataflow** — the paper's design: the loop becomes a chain of
-//!   future continuations (one per color round) scheduled when the
-//!   arguments' dependency futures resolve; the caller gets the completion
-//!   future back immediately (paper Figs 8-11).
+//! * **Dataflow** — block-granular dataflow (the paper's design, pushed
+//!   from whole-loop to mini-partition granularity): the loop becomes one
+//!   dataflow node *per block*, each gated only on the predecessor nodes
+//!   covering the dependency blocks its arguments actually touch (see
+//!   [`crate::dat`] for the epoch tables and [`crate::plan`] for the
+//!   block-reach tables). A RAW-dependent successor starts its first
+//!   blocks while the predecessor's last blocks are still running —
+//!   dependent loops *pipeline* instead of chaining whole-loop futures.
+//!   Indirect loops keep their color rounds: nodes of round *r* also wait
+//!   on a round gate joining round *r−1*, which serializes exactly the
+//!   intra-loop conflicts the plan colored apart while leaving loop-to-loop
+//!   edges block-granular.
 
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use hpx_rt::{when_all_shared, ExecutionPolicy, SharedFuture};
+use hpx_rt::{schedule_after, when_all_shared, ExecutionPolicy, SharedFuture};
 
-use crate::arg::ArgInfo;
+use crate::arg::{ArgInfo, BlockCtx};
 use crate::config::Backend;
 use crate::plan::{conflicts_of, Plan};
 use crate::set::Set;
 use crate::world::{record_loop_time, Op2};
+
+/// Per-block dependency collection over all of a loop's arguments.
+pub(crate) type CollectBlockFn = Arc<dyn Fn(&BlockCtx, &mut Vec<SharedFuture<()>>) + Send + Sync>;
+/// Loop-level dependency collection (what the finalize node waits for
+/// beyond the loop's own blocks — e.g. a previous reduction's finalize).
+pub(crate) type CollectLoopFn = Arc<dyn Fn(&mut Vec<SharedFuture<()>>) + Send + Sync>;
+/// Per-block completion recording over all of a loop's arguments.
+pub(crate) type RecordBlockFn = Arc<dyn Fn(&BlockCtx, &SharedFuture<()>) + Send + Sync>;
+/// Loop-level completion recording (global reductions).
+pub(crate) type RecordLoopFn = Arc<dyn Fn(&SharedFuture<()>) + Send + Sync>;
 
 /// Everything the driver needs, pre-assembled by the `par_loop*` fronts.
 pub(crate) struct LoopSpec {
     pub name: String,
     pub set: Set,
     pub infos: Vec<ArgInfo>,
+    /// Whole-loop dependencies (synchronous backends only; empty under
+    /// dataflow, which collects per block via `collect_block`).
     pub deps: Vec<SharedFuture<()>>,
+    /// Loop-generation stamp shared by every node of this loop.
+    pub gen: u64,
     /// Executes the kernel over a contiguous element range and commits
     /// per-chunk state (reduction partials).
     pub block_body: Arc<dyn Fn(Range<usize>) + Send + Sync>,
     /// Runs once after all chunks: merges reductions.
     pub finalize: Arc<dyn Fn() + Send + Sync>,
+    /// Per-block dependency collection over all arguments.
+    pub collect_block: CollectBlockFn,
+    /// Loop-level dependency collection for the finalize node.
+    pub collect_loop: CollectLoopFn,
+    /// Per-block completion recording over all arguments.
+    pub record_block: RecordBlockFn,
+    /// Loop-level completion recording (global reductions).
+    pub record_loop: RecordLoopFn,
 }
 
 /// Runs (or schedules) the loop; returns its completion future.
@@ -91,63 +121,128 @@ fn run_parallel_phases(world: &Op2, spec: &LoopSpec, n: usize) {
     }
 }
 
+/// The block partition and color rounds a dataflow loop schedules over:
+/// either trivial block-size-aligned blocks in a single round (direct
+/// loops, no plan-cache entry — the cache stays a census of *colored*
+/// shapes, mirroring OP2's `op_plan_get`) or a borrowed view of the
+/// cached plan (no per-submission copies of its block/color tables).
+enum Schedule {
+    Direct {
+        blocks: Vec<Range<usize>>,
+        round: Vec<usize>,
+    },
+    Planned(Arc<Plan>),
+}
+
+impl Schedule {
+    fn blocks(&self) -> &[Range<usize>] {
+        match self {
+            Schedule::Direct { blocks, .. } => blocks,
+            Schedule::Planned(plan) => &plan.blocks,
+        }
+    }
+
+    fn rounds(&self) -> &[Vec<usize>] {
+        match self {
+            Schedule::Direct { round, .. } => std::slice::from_ref(round),
+            Schedule::Planned(plan) => &plan.color_blocks,
+        }
+    }
+}
+
+fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize) -> Schedule {
+    let bs = world.config().block_size.max(1);
+    let conflicts = conflicts_of(&spec.infos);
+    if conflicts.is_empty() {
+        let nblocks = n.div_ceil(bs);
+        return Schedule::Direct {
+            blocks: (0..nblocks)
+                .map(|b| b * bs..((b + 1) * bs).min(n))
+                .collect(),
+            round: (0..nblocks).collect(),
+        };
+    }
+    Schedule::Planned(world.plans().get(&spec.set, bs, &conflicts))
+}
+
 fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     let rt = world.runtime_arc();
     let stats = world.stats_handle();
-    let policy = policy_of(world);
     let n = spec.set.size();
+    let bs = world.config().block_size.max(1);
     let name = spec.name.clone();
-    let conflicts = conflicts_of(&spec.infos);
+    // First node to execute stamps the start; the finalize node reads it.
+    let t0_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
 
-    let start = when_all_shared(&spec.deps);
+    let schedule = dataflow_schedule(world, &spec, n);
+    let (blocks, rounds) = (schedule.blocks(), schedule.rounds());
 
-    let done = if conflicts.is_empty() {
-        let body = Arc::clone(&spec.block_body);
-        let finalize = Arc::clone(&spec.finalize);
-        let rt2 = Arc::clone(&rt);
-        start.then(&rt, move |()| {
-            let t0 = Instant::now();
-            if n > 0 {
-                hpx_rt::for_each_chunk(&rt2, &policy, 0..n, |r| body(r));
+    // Build one dataflow node per block, round by round. Collection reads
+    // only *predecessor* loops' state (recording happens below, after all
+    // nodes exist), so intra-loop ordering is carried solely by the round
+    // gates — exactly the conflicts the coloring separated.
+    let mut nodes: Vec<(usize, SharedFuture<()>)> = Vec::with_capacity(blocks.len());
+    let mut gate: Option<SharedFuture<()>> = None;
+    let mut last_round: Vec<SharedFuture<()>> = Vec::new();
+    let mut deps_buf: Vec<SharedFuture<()>> = Vec::new();
+    for (r, round) in rounds.iter().enumerate() {
+        let mut round_futs: Vec<SharedFuture<()>> = Vec::with_capacity(round.len());
+        for &b in round {
+            let range = blocks[b].clone();
+            deps_buf.clear();
+            if let Some(g) = &gate {
+                deps_buf.push(g.clone());
             }
-            finalize();
-            record_loop_time(&stats, &name, t0.elapsed());
-        })
-    } else {
-        let plan = world
-            .plans()
-            .get(&spec.set, world.config().block_size, &conflicts);
-        let t0_cell: Arc<parking_lot::Mutex<Option<Instant>>> =
-            Arc::new(parking_lot::Mutex::new(None));
-        let t0c = Arc::clone(&t0_cell);
-        let mut fut = start.then_inline(move |()| {
-            *t0c.lock() = Some(Instant::now());
-        });
-        // One continuation per color round; rounds are ordered by the
-        // future chain, not by a barrier on the submitting thread.
-        for color in 0..plan.ncolors {
-            let plan_c = Arc::clone(&plan);
+            let ctx = BlockCtx {
+                index: b,
+                range: range.clone(),
+                block_size: bs,
+                gen: spec.gen,
+            };
+            (spec.collect_block)(&ctx, &mut deps_buf);
             let body = Arc::clone(&spec.block_body);
-            let rt2 = Arc::clone(&rt);
-            let policy_c = policy.clone();
-            fut = fut.then(&rt, move |()| {
-                let blocks: &[usize] = &plan_c.color_blocks[color];
-                hpx_rt::for_each_chunk(&rt2, &policy_c, 0..blocks.len(), |br| {
-                    for bi in br {
-                        body(plan_c.blocks[blocks[bi]].clone());
-                    }
-                });
+            let t0c = Arc::clone(&t0_cell);
+            let fut = schedule_after(&rt, &deps_buf, move || {
+                t0c.get_or_init(Instant::now);
+                body(range);
             });
+            round_futs.push(fut.clone());
+            nodes.push((b, fut));
         }
-        let finalize = Arc::clone(&spec.finalize);
-        fut.then_inline(move |()| {
-            finalize();
-            if let Some(t0) = *t0_cell.lock() {
-                record_loop_time(&stats, &name, t0.elapsed());
-            }
-        })
-    };
-    done.share()
+        if r + 1 < rounds.len() {
+            gate = Some(when_all_shared(&round_futs).share());
+        }
+        last_round = round_futs;
+    }
+
+    // Finalize node: joins the final round (earlier rounds are covered
+    // transitively through the gates) plus the loop-level dependencies —
+    // e.g. a previous loop's finalize on a shared global, which block
+    // nodes deliberately do not wait for (their reduction partials are
+    // generation-tagged, so pipelining survives shared globals). An empty
+    // set schedules only this node.
+    (spec.collect_loop)(&mut last_round);
+    let finalize = Arc::clone(&spec.finalize);
+    let done = schedule_after(&rt, &last_round, move || {
+        let t0 = *t0_cell.get_or_init(Instant::now);
+        finalize();
+        record_loop_time(&stats, &name, t0.elapsed());
+    });
+
+    // Record completions: per block for dat arguments, loop-level (the
+    // finalize future) for globals. This runs synchronously before the
+    // submitting thread returns, so the next submitted loop sees it.
+    for (b, fut) in &nodes {
+        let ctx = BlockCtx {
+            index: *b,
+            range: blocks[*b].clone(),
+            block_size: bs,
+            gen: spec.gen,
+        };
+        (spec.record_block)(&ctx, fut);
+    }
+    (spec.record_loop)(&done);
+    done
 }
 
 /// A handle to a submitted loop (paper Fig 9: the kernel "returns an
@@ -204,5 +299,9 @@ pub fn plan_for(world: &Op2, set: &Set, infos: &[ArgInfo]) -> Option<Arc<Plan>> 
     if conflicts.is_empty() {
         return None;
     }
-    Some(world.plans().get(set, world.config().block_size, &conflicts))
+    Some(
+        world
+            .plans()
+            .get(set, world.config().block_size, &conflicts),
+    )
 }

@@ -76,8 +76,12 @@ pub(crate) struct GlobalInner<T> {
     pub op: ReduceOp,
     pub name: String,
     value: Mutex<Vec<T>>,
-    /// Per-loop partials keyed by chunk start, merged deterministically.
-    partials: Mutex<Vec<(usize, Vec<T>)>>,
+    /// Per-loop partials keyed by (loop generation, chunk start), merged
+    /// deterministically per generation. The generation tag lets a
+    /// successor loop's block nodes commit concurrently with the
+    /// predecessor's finalize (block-granular pipelining): finalize only
+    /// drains its own generation's entries.
+    partials: Mutex<Vec<(u64, usize, Vec<T>)>>,
     /// Completion of the most recent loop that increments this global.
     pending: Mutex<Option<SharedFuture<()>>>,
 }
@@ -144,7 +148,12 @@ impl<T: Reducible> Global<T> {
 
     /// Overwrites the value (waits for a pending loop first).
     pub fn set(&self, values: &[T]) {
-        assert_eq!(values.len(), self.inner.dim, "global '{}': dim mismatch", self.inner.name);
+        assert_eq!(
+            values.len(),
+            self.inner.dim,
+            "global '{}': dim mismatch",
+            self.inner.name
+        );
         self.wait_pending();
         self.inner.value.lock().copy_from_slice(values);
     }
@@ -175,19 +184,32 @@ impl<T: Reducible> Global<T> {
         [T::identity(self.inner.op)].repeat(self.inner.dim)
     }
 
-    /// Commits one chunk's partial, keyed by chunk start for deterministic
-    /// merging.
-    pub(crate) fn commit(&self, chunk_start: usize, partial: Vec<T>) {
-        self.inner.partials.lock().push((chunk_start, partial));
+    /// Commits one chunk's partial, keyed by the owning loop's generation
+    /// and the chunk start for deterministic merging.
+    pub(crate) fn commit(&self, gen: u64, chunk_start: usize, partial: Vec<T>) {
+        self.inner.partials.lock().push((gen, chunk_start, partial));
     }
 
-    /// Merges partials into the value in chunk order (so float reductions
-    /// are reproducible for a fixed chunk plan).
-    pub(crate) fn finalize(&self) {
-        let mut partials = std::mem::take(&mut *self.inner.partials.lock());
-        partials.sort_unstable_by_key(|(s, _)| *s);
+    /// Merges generation `gen`'s partials into the value in chunk order
+    /// (so float reductions are reproducible for a fixed chunk plan).
+    /// Other generations' entries — a pipelined successor's partials
+    /// committed early — are left untouched for their own finalize.
+    pub(crate) fn finalize(&self, gen: u64) {
+        let mut mine = Vec::new();
+        {
+            let mut partials = self.inner.partials.lock();
+            let mut i = 0;
+            while i < partials.len() {
+                if partials[i].0 == gen {
+                    mine.push(partials.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        mine.sort_unstable_by_key(|(_, s, _)| *s);
         let mut value = self.inner.value.lock();
-        for (_, p) in partials {
+        for (_, _, p) in mine {
             for (v, x) in value.iter_mut().zip(p) {
                 *v = T::combine(self.inner.op, *v, x);
             }
@@ -228,21 +250,35 @@ mod tests {
     #[test]
     fn sum_reduction_merges_in_chunk_order() {
         let g = Global::<f64>::sum(1, "rms");
-        g.commit(100, vec![2.0]);
-        g.commit(0, vec![1.0]);
-        g.commit(200, vec![3.0]);
-        g.finalize();
+        g.commit(7, 100, vec![2.0]);
+        g.commit(7, 0, vec![1.0]);
+        g.commit(7, 200, vec![3.0]);
+        g.finalize(7);
         assert_eq!(g.get_scalar(), 6.0);
     }
 
     #[test]
     fn reset_restores_identity() {
         let g = Global::<f64>::sum(2, "r");
-        g.commit(0, vec![1.0, 2.0]);
-        g.finalize();
+        g.commit(1, 0, vec![1.0, 2.0]);
+        g.finalize(1);
         assert_eq!(g.get(), vec![1.0, 2.0]);
         g.reset();
         assert_eq!(g.get(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn finalize_only_drains_its_own_generation() {
+        // A pipelined successor loop (gen 2) may commit partials before
+        // the predecessor (gen 1) finalizes; gen 1's finalize must not
+        // steal them.
+        let g = Global::<f64>::sum(1, "rms");
+        g.commit(1, 0, vec![1.0]);
+        g.commit(2, 0, vec![10.0]);
+        g.finalize(1);
+        assert_eq!(g.get_scalar(), 1.0);
+        g.finalize(2);
+        assert_eq!(g.get_scalar(), 11.0);
     }
 
     #[test]

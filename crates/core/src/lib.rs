@@ -9,10 +9,12 @@
 //!
 //! * [`Backend::ForkJoin`]: the `#pragma omp parallel for` baseline with a
 //!   global barrier after every loop, and
-//! * [`Backend::Dataflow`]: the paper's redesign, where every
-//!   `op_par_loop` becomes a dataflow node over per-dat dependency futures
-//!   so independent loops interleave and dependent loops chain without
-//!   barriers.
+//! * [`Backend::Dataflow`]: the paper's redesign at *block granularity* —
+//!   every `op_par_loop` becomes one dataflow node per mini-partition
+//!   block, wired through per-block epoch tables (see [`crate::Dat`]) to
+//!   only the predecessor blocks it touches, so independent loops
+//!   interleave and dependent loops *pipeline*: a successor's blocks start
+//!   while its RAW predecessor is still finishing.
 //!
 //! ```
 //! use op2_core::{arg_read, arg_write, par_loop2, Op2, Op2Config};
@@ -48,13 +50,13 @@ mod world;
 
 pub use arg::{
     arg_gbl_inc, arg_gbl_read, arg_inc, arg_inc_via, arg_read, arg_read_via, arg_rw, arg_rw_via,
-    arg_write, arg_write_via, AccessTag, ArgInfo, ArgKind, ArgSpec, DatArg, GblIncArg, GblReadArg,
-    IncTag, ReadTag, RwTag, WriteTag,
+    arg_write, arg_write_via, AccessTag, ArgInfo, ArgKind, ArgSpec, BlockCtx, DatArg, GblIncArg,
+    GblReadArg, IncTag, ReadTag, RwTag, WriteTag,
 };
 pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
 pub use dat::{Dat, DatReadGuard, DatWriteGuard};
 pub use driver::{plan_for, LoopHandle};
-pub use gbl::{Global, Reducible, ReduceOp};
+pub use gbl::{Global, ReduceOp, Reducible};
 pub use map::Map;
 pub use par_loop::{
     par_loop1, par_loop10, par_loop2, par_loop3, par_loop4, par_loop5, par_loop6, par_loop7,

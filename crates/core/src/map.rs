@@ -1,7 +1,13 @@
-//! Maps: connectivity between sets (paper §II-A, `op_decl_map`).
+//! Maps: connectivity between sets (paper §II-A, `op_decl_map`), plus the
+//! cached block-reach tables the block-granular dataflow engine uses to
+//! wire indirect arguments to the dependency blocks they actually touch.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
+use crate::plan::{build_block_reach, BlockReach};
 use crate::set::Set;
 use crate::types::next_entity_id;
 
@@ -13,6 +19,9 @@ pub(crate) struct MapInner {
     pub dim: usize,
     pub indices: Vec<u32>,
     pub name: String,
+    /// Block-reach tables keyed by `(slot, from block size, to block
+    /// size)`; computed on first use, shared by every loop over this map.
+    reach: Mutex<HashMap<(usize, usize, usize), Arc<BlockReach>>>,
 }
 
 /// A declared mapping of arity `dim` from one set to another, e.g. the
@@ -49,8 +58,27 @@ impl Map {
                 dim,
                 indices,
                 name: name.to_owned(),
+                reach: Mutex::new(HashMap::new()),
             }),
         }
+    }
+
+    /// The dependency blocks of the target set touched by each
+    /// `from_bs`-sized source block through `slot` (cached; see
+    /// [`crate::plan::build_block_reach`]).
+    pub(crate) fn block_reach(&self, slot: usize, from_bs: usize, to_bs: usize) -> Arc<BlockReach> {
+        let key = (slot, from_bs, to_bs);
+        if let Some(r) = self.inner.reach.lock().get(&key) {
+            return Arc::clone(r);
+        }
+        let built = Arc::new(build_block_reach(self, slot, from_bs, to_bs));
+        Arc::clone(
+            self.inner
+                .reach
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&built)),
+        )
     }
 
     /// Target element for source element `e`, slot `k` (`k < dim`).

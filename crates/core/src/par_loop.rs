@@ -14,11 +14,13 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use hpx_rt::PrefetchSet;
+use hpx_rt::{PrefetchSet, SharedFuture};
 
-use crate::arg::ArgSpec;
+use crate::arg::{ArgSpec, BlockCtx};
+use crate::config::Backend;
 use crate::driver::{drive, LoopHandle, LoopSpec};
 use crate::set::Set;
+use crate::types::next_loop_gen;
 use crate::world::Op2;
 
 macro_rules! gen_par_loop {
@@ -42,8 +44,17 @@ macro_rules! gen_par_loop {
                 $a.assert_borrowable();
             )+
             let infos = vec![$( ArgSpec::info(&$a) ),+];
+            let gen = next_loop_gen();
+            let is_dataflow = world.config().backend == Backend::Dataflow;
+
+            // Whole-loop dependency collection for the synchronous
+            // backends only: the dataflow driver collects per block (and a
+            // whole-dat collection here would drain the per-block
+            // write-after-read state it needs).
             let mut deps = Vec::new();
-            $( $a.collect_deps(&mut deps); )+
+            if !is_dataflow {
+                $( $a.collect_deps(&mut deps); )+
+            }
 
             // Prefetching iterator tables (paper §V): registered once per
             // loop launch, consulted every iteration. Loops with nothing
@@ -66,7 +77,13 @@ macro_rules! gen_par_loop {
                 });
 
             let finalize_args = ($( $a.clone(), )+);
-            let record_args = ($( $a.clone(), )+);
+            // Only the backend that will call a hook pays for its argument
+            // clones and closure allocation.
+            let record_args = (!is_dataflow).then(|| ($( $a.clone(), )+));
+            let collect_block_args = is_dataflow.then(|| ($( $a.clone(), )+));
+            let record_block_args = is_dataflow.then(|| ($( $a.clone(), )+));
+            let record_loop_args = is_dataflow.then(|| ($( $a.clone(), )+));
+            let collect_loop_args = is_dataflow.then(|| ($( $a.clone(), )+));
 
             let block_body: Arc<dyn Fn(Range<usize>) + Send + Sync> =
                 Arc::new(move |r: Range<usize>| {
@@ -103,28 +120,67 @@ macro_rules! gen_par_loop {
                             }
                         }
                     }
-                    $( $a.commit(r.start, tls.$idx); )+
+                    $( $a.commit(gen, r.start, tls.$idx); )+
                 });
 
             let finalize: Arc<dyn Fn() + Send + Sync> = {
                 let ($($a,)+) = finalize_args;
                 Arc::new(move || {
-                    $( $a.finalize(); )+
+                    $( $a.finalize(gen); )+
                 })
             };
+
+            // Per-block dependency hooks for the dataflow driver: one
+            // dataflow node per block, wired only to the dependency blocks
+            // its arguments actually touch. The synchronous backends get
+            // inert hooks (the driver never calls them there).
+            let collect_block: Arc<dyn Fn(&BlockCtx, &mut Vec<SharedFuture<()>>) + Send + Sync> =
+                match collect_block_args {
+                    Some(($($a,)+)) => Arc::new(move |ctx, out| {
+                        $( $a.collect_block_deps(ctx, out); )+
+                    }),
+                    None => Arc::new(|_, _| {}),
+                };
+            let record_block: Arc<dyn Fn(&BlockCtx, &SharedFuture<()>) + Send + Sync> =
+                match record_block_args {
+                    Some(($($a,)+)) => Arc::new(move |ctx, done| {
+                        $( $a.record_block_completion(ctx, done); )+
+                    }),
+                    None => Arc::new(|_, _| {}),
+                };
+            let record_loop: Arc<dyn Fn(&SharedFuture<()>) + Send + Sync> =
+                match record_loop_args {
+                    Some(($($a,)+)) => Arc::new(move |done| {
+                        $( $a.record_loop_completion(done); )+
+                    }),
+                    None => Arc::new(|_| {}),
+                };
+            let collect_loop: Arc<dyn Fn(&mut Vec<SharedFuture<()>>) + Send + Sync> =
+                match collect_loop_args {
+                    Some(($($a,)+)) => Arc::new(move |out| {
+                        $( $a.collect_loop_deps(out); )+
+                    }),
+                    None => Arc::new(|_| {}),
+                };
 
             let spec = LoopSpec {
                 name: name.to_owned(),
                 set: set.clone(),
                 infos,
                 deps,
+                gen,
                 block_body,
                 finalize,
+                collect_block,
+                collect_loop,
+                record_block,
+                record_loop,
             };
             let done = drive(world, spec);
-            {
-                let ($($a,)+) = record_args;
-                $( $a.record_completion(&done); )+
+            if let Some(($($a,)+)) = record_args {
+                // Whole-loop recording for the synchronous backends; the
+                // dataflow driver records per block at graph-build time.
+                $( $a.record_completion(gen, &done); )+
             }
             world.track(done.clone());
             LoopHandle::new(name.to_owned(), done)
@@ -274,12 +330,24 @@ mod tests {
         let cells = op2.decl_set(5000, "cells");
         let x = op2.decl_dat(&cells, 1, "x", vec![1.0f64; 5000]);
         let y = op2.decl_dat(&cells, 1, "y", vec![2.0f64; 5000]);
-        let hx = par_loop1(&op2, "scale_x", &cells, (arg_rw_local(&x),), |x: &mut [f64]| {
-            x[0] *= 3.0;
-        });
-        let hy = par_loop1(&op2, "scale_y", &cells, (arg_rw_local(&y),), |y: &mut [f64]| {
-            y[0] *= 5.0;
-        });
+        let hx = par_loop1(
+            &op2,
+            "scale_x",
+            &cells,
+            (arg_rw_local(&x),),
+            |x: &mut [f64]| {
+                x[0] *= 3.0;
+            },
+        );
+        let hy = par_loop1(
+            &op2,
+            "scale_y",
+            &cells,
+            (arg_rw_local(&y),),
+            |y: &mut [f64]| {
+                y[0] *= 5.0;
+            },
+        );
         hx.wait();
         hy.wait();
         assert!(x.snapshot().iter().all(|&v| v == 3.0));
@@ -295,9 +363,15 @@ mod tests {
         let op2 = Op2::new(Op2Config::dataflow(2));
         let cells = op2.decl_set(100, "cells");
         let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 100]);
-        let h = par_loop1(&op2, "boom", &cells, (arg_write(&x),), |_x: &mut [f64]| {
-            panic!("kernel blew up");
-        });
+        let h = par_loop1(
+            &op2,
+            "boom",
+            &cells,
+            (arg_write(&x),),
+            |_x: &mut [f64]| {
+                panic!("kernel blew up");
+            },
+        );
         h.wait();
     }
 
@@ -346,7 +420,11 @@ mod tests {
             &op2,
             "gather",
             &edges,
-            (arg_read_via(&xn, &m, 0), arg_read_via(&xn, &m, 1), arg_write(&xe)),
+            (
+                arg_read_via(&xn, &m, 0),
+                arg_read_via(&xn, &m, 1),
+                arg_write(&xe),
+            ),
             |a: &[f64], b: &[f64], out: &mut [f64]| out[0] = 0.5 * (a[0] + b[0]),
         );
         h.wait();

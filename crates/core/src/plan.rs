@@ -94,7 +94,11 @@ impl Plan {
                 None => words += 1,
             }
         };
-        let ncolors = block_color.iter().copied().max().map_or(0, |c| c as usize + 1);
+        let ncolors = block_color
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |c| c as usize + 1);
         let mut color_blocks = vec![Vec::new(); ncolors];
         for (b, &c) in block_color.iter().enumerate() {
             color_blocks[c as usize].push(b);
@@ -116,7 +120,11 @@ impl Plan {
 
 /// One greedy pass with `words * 64` available colors. Returns `None` if
 /// some block found every color forbidden (caller widens and retries).
-fn try_color(blocks: &[Range<usize>], by_map: &[(Map, Vec<usize>)], words: usize) -> Option<Vec<u32>> {
+fn try_color(
+    blocks: &[Range<usize>],
+    by_map: &[(Map, Vec<usize>)],
+    words: usize,
+) -> Option<Vec<u32>> {
     // masks[m] is a flat [target_count x words] bitset of colors already
     // used by blocks touching that target.
     let mut masks: Vec<Vec<u64>> = by_map
@@ -195,6 +203,45 @@ pub fn validate_coloring(plan: &Plan, conflicts: &[(Map, usize)]) -> Result<(), 
         next = r.end;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Block-reach tables (block-granular dataflow)
+// ---------------------------------------------------------------------------
+
+/// For every source block of a partitioned iteration set: which dependency
+/// blocks of the map's target set the block touches through one map slot.
+/// This is the plan-level information the block-granular dataflow engine
+/// wires node dependencies with — the indirect-argument analogue of a
+/// direct argument's "block i touches rows `i*bs..(i+1)*bs`".
+///
+/// Built once per `(map, slot, source block size, target block size)` and
+/// cached on the [`Map`] (see [`Map::block_reach`]); the target lists are
+/// sorted and deduplicated.
+pub(crate) type BlockReach = Vec<Vec<u32>>;
+
+/// Builds the [`BlockReach`] of `map` slot `slot` for a source set
+/// partitioned into `from_bs`-sized blocks and a target dependency table
+/// with `to_bs`-sized blocks.
+pub(crate) fn build_block_reach(
+    map: &Map,
+    slot: usize,
+    from_bs: usize,
+    to_bs: usize,
+) -> BlockReach {
+    let n = map.from_set().size();
+    let from_bs = from_bs.max(1);
+    let to_bs = to_bs.max(1);
+    let nblocks = n.div_ceil(from_bs);
+    let mut reach: BlockReach = Vec::with_capacity(nblocks);
+    for b in 0..nblocks {
+        let range = b * from_bs..((b + 1) * from_bs).min(n);
+        let mut targets: Vec<u32> = range.map(|e| (map.at(e, slot) / to_bs) as u32).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        reach.push(targets);
+    }
+    reach
 }
 
 pub(crate) fn conflicts_of(infos: &[ArgInfo]) -> Vec<Conflict> {
@@ -287,8 +334,14 @@ mod tests {
 
     fn ring_conflicts(m: &Map) -> Vec<Conflict> {
         vec![
-            Conflict { map: m.clone(), idx: 0 },
-            Conflict { map: m.clone(), idx: 1 },
+            Conflict {
+                map: m.clone(),
+                idx: 0,
+            },
+            Conflict {
+                map: m.clone(),
+                idx: 1,
+            },
         ]
     }
 
@@ -346,11 +399,45 @@ mod tests {
         let edges = Set::new(256, "edges");
         let nodes = Set::new(1, "node");
         let m = Map::new(&edges, &nodes, 1, vec![0; 256], "all_to_one");
-        let conflicts = vec![Conflict { map: m.clone(), idx: 0 }];
+        let conflicts = vec![Conflict {
+            map: m.clone(),
+            idx: 0,
+        }];
         let p = Plan::build(256, 2, &conflicts);
         assert_eq!(p.ncolors, p.nblocks(), "total conflict must serialize");
         assert!(p.ncolors > 64, "exercises the multi-word bitmask path");
         validate_coloring(&p, &[(m, 0)]).unwrap();
+    }
+
+    #[test]
+    fn block_reach_covers_exactly_the_touched_blocks() {
+        let (_e, _n, m) = ring(100);
+        // Source blocks of 10 edges, target dep-blocks of 25 nodes.
+        let reach = build_block_reach(&m, 1, 10, 25);
+        assert_eq!(reach.len(), 10);
+        // Block 0 covers edges 0..10 -> slot-1 nodes 1..=10 -> block 0
+        // only; block 2 covers edges 20..30 -> nodes 21..=30 -> blocks 0,1.
+        assert_eq!(reach[0], vec![0]);
+        assert_eq!(reach[2], vec![0, 1]);
+        // The last block wraps: edges 90..100 -> nodes 91..=99 and 0.
+        assert_eq!(reach[9], vec![0, 3]);
+        // Exhaustive cross-check against the map itself.
+        for (b, targets) in reach.iter().enumerate() {
+            for e in b * 10..((b + 1) * 10).min(100) {
+                let t = (m.at(e, 1) / 25) as u32;
+                assert!(targets.contains(&t), "block {b} missing target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_reach_is_cached_per_key() {
+        let (_e, _n, m) = ring(64);
+        let a = m.block_reach(0, 16, 16);
+        let b = m.block_reach(0, 16, 16);
+        assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+        let c = m.block_reach(1, 16, 16);
+        assert!(!Arc::ptr_eq(&a, &c), "different slot, different table");
     }
 
     #[test]

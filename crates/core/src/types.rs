@@ -4,10 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Scalar types storable in a [`Dat`](crate::Dat): plain-old-data, so rows
 /// can be viewed as slices and copied freely between tasks.
-pub trait OpType:
-    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
-{
-}
+pub trait OpType: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {}
 
 macro_rules! impl_op_type {
     ($($t:ty),+) => { $(impl OpType for $t {})+ };
@@ -50,6 +47,15 @@ impl std::fmt::Display for Access {
 
 /// Process-unique id shared by sets, maps, dats and globals.
 pub(crate) fn next_entity_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Process-unique generation stamp for one loop submission. The epoch
+/// tables use it to tell "another node of the same loop scattering into
+/// this block" (accumulate the writer set) from "a newer loop writing the
+/// block" (supersede the writer set).
+pub(crate) fn next_loop_gen() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
     NEXT.fetch_add(1, Ordering::Relaxed)
 }

@@ -85,14 +85,19 @@ impl Op2 {
     }
 
     /// Declares data on a set (`op_decl_dat`); `data` holds
-    /// `set.size() * dim` scalars, row-major.
+    /// `set.size() * dim` scalars, row-major. The dat's dependency table
+    /// is partitioned to this context's mini-partition block size, so loop
+    /// blocks and dependency blocks coincide under the dataflow backend.
     pub fn decl_dat<T: OpType>(&self, set: &Set, dim: usize, name: &str, data: Vec<T>) -> Dat<T> {
-        Dat::new(set, dim, name, data)
+        Dat::with_dep_block_size(set, dim, name, data, self.config.block_size)
     }
 
-    /// Waits for every outstanding loop, re-panicking if any kernel
-    /// panicked — the explicit global synchronization point (only needed
-    /// around I/O or timing boundaries in the dataflow backend).
+    /// Waits for every outstanding loop (every block node's epoch table
+    /// entry is covered: the tracked completion future of a loop joins its
+    /// final color round, which transitively joins all earlier rounds),
+    /// re-panicking if any kernel panicked — the explicit global
+    /// synchronization point (only needed around I/O or timing boundaries
+    /// in the dataflow backend).
     pub fn fence(&self) {
         let pending = std::mem::take(&mut *self.outstanding.lock());
         for f in pending {

@@ -10,7 +10,11 @@ use op2_core::{
 
 #[test]
 fn gbl_read_broadcasts_current_value() {
-    for config in [Op2Config::seq(), Op2Config::fork_join(2), Op2Config::dataflow(2)] {
+    for config in [
+        Op2Config::seq(),
+        Op2Config::fork_join(2),
+        Op2Config::dataflow(2),
+    ] {
         let op2 = Op2::new(config);
         let cells = op2.decl_set(1000, "cells");
         let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 1000]);
@@ -75,9 +79,15 @@ fn loop_handle_future_feeds_hpx_dataflow() {
     let op2 = Op2::new(Op2Config::dataflow(2));
     let cells = op2.decl_set(1000, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![3.0f64; 1000]);
-    let h = par_loop1(&op2, "triple", &cells, (op2_core::arg_rw(&x),), |x: &mut [f64]| {
-        x[0] *= 3.0;
-    });
+    let h = par_loop1(
+        &op2,
+        "triple",
+        &cells,
+        (op2_core::arg_rw(&x),),
+        |x: &mut [f64]| {
+            x[0] *= 3.0;
+        },
+    );
     // The loop's completion future is a first-class dataflow input.
     let x2 = x.clone();
     let summed = dataflow(
@@ -90,15 +100,25 @@ fn loop_handle_future_feeds_hpx_dataflow() {
 
 #[test]
 fn single_element_set() {
-    for config in [Op2Config::seq(), Op2Config::fork_join(2), Op2Config::dataflow(2)] {
+    for config in [
+        Op2Config::seq(),
+        Op2Config::fork_join(2),
+        Op2Config::dataflow(2),
+    ] {
         let op2 = Op2::new(config);
         let s = op2.decl_set(1, "one");
         let d = op2.decl_dat(&s, 3, "d", vec![1.0f64, 2.0, 3.0]);
-        par_loop1(&op2, "negate", &s, (op2_core::arg_rw(&d),), |v: &mut [f64]| {
-            for x in v {
-                *x = -*x;
-            }
-        })
+        par_loop1(
+            &op2,
+            "negate",
+            &s,
+            (op2_core::arg_rw(&d),),
+            |v: &mut [f64]| {
+                for x in v {
+                    *x = -*x;
+                }
+            },
+        )
         .wait();
         assert_eq!(d.snapshot(), vec![-1.0, -2.0, -3.0]);
     }
@@ -157,9 +177,15 @@ fn stats_and_plan_counters_track_work() {
     let cells = op2.decl_set(100, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 100]);
     for _ in 0..5 {
-        par_loop1(&op2, "touch", &cells, (arg_write(&x),), |x: &mut [f64]| {
-            x[0] += 1.0;
-        });
+        par_loop1(
+            &op2,
+            "touch",
+            &cells,
+            (arg_write(&x),),
+            |x: &mut [f64]| {
+                x[0] += 1.0;
+            },
+        );
     }
     op2.fence();
     let stats = op2.loop_stats();

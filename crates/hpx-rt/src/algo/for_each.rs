@@ -112,9 +112,14 @@ mod tests {
     fn respects_non_zero_base() {
         let rt = Runtime::new(2);
         let seen = Mutex::new(Vec::new());
-        for_each(&rt, &par().with_chunk(ChunkPolicy::Static { size: 3 }), 10..25, |i| {
-            seen.lock().push(i);
-        });
+        for_each(
+            &rt,
+            &par().with_chunk(ChunkPolicy::Static { size: 3 }),
+            10..25,
+            |i| {
+                seen.lock().push(i);
+            },
+        );
         let mut v = seen.into_inner();
         v.sort_unstable();
         assert_eq!(v, (10..25).collect::<Vec<_>>());

@@ -64,13 +64,15 @@ pub(crate) fn run_chunked_inner<R: Send>(
 
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
     // The timing probe executes real iterations; its result is chunk 0.
-    let plan = policy.chunk.plan(n, inner.num_threads(), &mut |r: Range<usize>| {
-        let t = Instant::now();
-        let v = body(r.clone());
-        let elapsed = t.elapsed();
-        results.lock().push((r.start, v));
-        elapsed
-    });
+    let plan = policy
+        .chunk
+        .plan(n, inner.num_threads(), &mut |r: Range<usize>| {
+            let t = Instant::now();
+            let v = body(r.clone());
+            let elapsed = t.elapsed();
+            results.lock().push((r.start, v));
+            elapsed
+        });
 
     match plan.chunks.len() {
         0 => {}

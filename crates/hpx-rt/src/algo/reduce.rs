@@ -105,9 +105,27 @@ mod tests {
         let rt = Runtime::new(4);
         let policy = par().with_chunk(ChunkPolicy::Static { size: 1000 });
         let data: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
-        let a = reduce(&rt, &policy, 0..data.len(), 0.0f64, |i| data[i], |x, y| x + y);
-        let b = reduce(&rt, &policy, 0..data.len(), 0.0f64, |i| data[i], |x, y| x + y);
-        assert_eq!(a.to_bits(), b.to_bits(), "fixed plan must be bit-deterministic");
+        let a = reduce(
+            &rt,
+            &policy,
+            0..data.len(),
+            0.0f64,
+            |i| data[i],
+            |x, y| x + y,
+        );
+        let b = reduce(
+            &rt,
+            &policy,
+            0..data.len(),
+            0.0f64,
+            |i| data[i],
+            |x, y| x + y,
+        );
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "fixed plan must be bit-deterministic"
+        );
     }
 
     #[test]

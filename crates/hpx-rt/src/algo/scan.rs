@@ -81,19 +81,26 @@ pub fn inclusive_scan<T, O>(
         })
         .collect();
     #[allow(clippy::needless_range_loop)] // indexes src and dst_ptr in lockstep
-    run_chunked(rt, &par().with_chunk(ChunkPolicy::NumChunks { chunks: bounds.len() }), bounds.len(), &|r: Range<usize>| {
-        for k in r {
-            let (start, end, ref carry) = bounds[k];
-            let mut acc = carry.clone();
-            for i in start..end {
-                acc = op(&acc, &src[i]);
-                // SAFETY: chunk index ranges are disjoint across k.
-                unsafe {
-                    *dst_ptr.at(i) = acc.clone();
+    run_chunked(
+        rt,
+        &par().with_chunk(ChunkPolicy::NumChunks {
+            chunks: bounds.len(),
+        }),
+        bounds.len(),
+        &|r: Range<usize>| {
+            for k in r {
+                let (start, end, ref carry) = bounds[k];
+                let mut acc = carry.clone();
+                for i in start..end {
+                    acc = op(&acc, &src[i]);
+                    // SAFETY: chunk index ranges are disjoint across k.
+                    unsafe {
+                        *dst_ptr.at(i) = acc.clone();
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 #[cfg(test)]

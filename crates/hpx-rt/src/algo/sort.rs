@@ -136,7 +136,9 @@ mod tests {
     use crate::policy::{par, seq};
 
     fn scrambled(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect()
     }
 
     #[test]
@@ -199,7 +201,9 @@ mod tests {
     #[test]
     fn strings_sort_lexicographically() {
         let rt = Runtime::new(2);
-        let mut v: Vec<String> = (0..30_000).map(|i| format!("{:06}", (i * 7919) % 30_000)).collect();
+        let mut v: Vec<String> = (0..30_000)
+            .map(|i| format!("{:06}", (i * 7919) % 30_000))
+            .collect();
         sort(&rt, &par(), &mut v);
         assert!(v.is_sorted());
     }

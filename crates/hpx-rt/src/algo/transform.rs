@@ -79,7 +79,10 @@ mod tests {
         let src: Vec<u64> = (0..10_000).collect();
         let mut dst = vec![0u64; src.len()];
         transform(&rt, &par(), &src, &mut dst, |x| x * x + 1);
-        assert!(dst.iter().enumerate().all(|(i, &v)| v == (i as u64).pow(2) + 1));
+        assert!(dst
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == (i as u64).pow(2) + 1));
     }
 
     #[test]

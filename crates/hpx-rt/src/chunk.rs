@@ -347,9 +347,8 @@ mod tests {
     fn persistent_dependent_loop_matches_duration_not_size() {
         let handle = PersistentChunker::with_target(Duration::from_micros(100));
         // First loop: 1µs/iter -> ~100-iteration chunks, target ≈ 100µs.
-        let plan1 = ChunkPolicy::PersistentAuto(handle.clone()).plan(100_000, 2, &mut |r| {
-            Duration::from_micros(r.len() as u64)
-        });
+        let plan1 = ChunkPolicy::PersistentAuto(handle.clone())
+            .plan(100_000, 2, &mut |r| Duration::from_micros(r.len() as u64));
         // Second loop: 4µs/iter -> chunks should be ~4x smaller so that the
         // *duration* matches (Fig 12b: same time, different sizes).
         let plan2 = ChunkPolicy::PersistentAuto(handle.clone()).plan(100_000, 2, &mut |r| {
@@ -367,9 +366,8 @@ mod tests {
     #[test]
     fn persistent_reset_recalibrates() {
         let handle = PersistentChunker::new();
-        let _ = ChunkPolicy::PersistentAuto(handle.clone()).plan(10_000, 2, &mut |r| {
-            Duration::from_micros(r.len() as u64)
-        });
+        let _ = ChunkPolicy::PersistentAuto(handle.clone())
+            .plan(10_000, 2, &mut |r| Duration::from_micros(r.len() as u64));
         assert!(handle.calibrated_target().is_some());
         handle.reset();
         assert!(handle.calibrated_target().is_none());

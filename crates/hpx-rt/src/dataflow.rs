@@ -194,7 +194,11 @@ mod tests {
     fn panic_in_input_skips_function() {
         let rt = Runtime::new(2);
         let bad: Future<u32> = rt.spawn_future(|| panic!("input died"));
-        let out = dataflow(&rt, |(_x, _y)| unreachable!("must not run"), (bad, Val(1u32)));
+        let out = dataflow(
+            &rt,
+            |(_x, _y)| unreachable!("must not run"),
+            (bad, Val(1u32)),
+        );
         let _: u32 = out.get();
     }
 

@@ -263,7 +263,9 @@ impl<T> Future<T> {
 
 impl<T> std::fmt::Debug for Future<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Future").field("ready", &self.is_ready()).finish()
+        f.debug_struct("Future")
+            .field("ready", &self.is_ready())
+            .finish()
     }
 }
 
@@ -340,7 +342,7 @@ impl<T> Clone for SharedFuture<T> {
 }
 
 impl<T> SharedFuture<T> {
-    fn pending() -> Self {
+    pub(crate) fn pending() -> Self {
         SharedFuture {
             inner: Arc::new(SharedInner {
                 state: Mutex::new(SharedState::Pending(Vec::new())),
@@ -374,6 +376,18 @@ impl<T> SharedFuture<T> {
         for cb in callbacks {
             cb(&outcome);
         }
+    }
+
+    /// Fulfills a pending shared future created with
+    /// [`SharedFuture::pending`] (crate-internal producer side).
+    pub(crate) fn fulfill(&self, outcome: SharedOutcome<T>) {
+        Self::fulfill_inner(&self.inner, outcome);
+    }
+
+    /// True when both handles denote the same underlying future (clones
+    /// of one `SharedFuture` compare equal; distinct futures never do).
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
     }
 
     /// True once the value (or a panic) is available.
@@ -647,9 +661,7 @@ mod tests {
     #[test]
     fn when_all_preserves_order() {
         let rt = Runtime::new(4);
-        let futs: Vec<_> = (0..64u64)
-            .map(|i| rt.spawn_future(move || i * i))
-            .collect();
+        let futs: Vec<_> = (0..64u64).map(|i| rt.spawn_future(move || i * i)).collect();
         let all = when_all(futs).get();
         assert_eq!(all, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
     }
@@ -676,9 +688,7 @@ mod tests {
     #[test]
     fn when_all_shared_joins() {
         let rt = Runtime::new(2);
-        let deps: Vec<SharedFuture<()>> = (0..10)
-            .map(|_| rt.spawn_future(|| ()).share())
-            .collect();
+        let deps: Vec<SharedFuture<()>> = (0..10).map(|_| rt.spawn_future(|| ()).share()).collect();
         when_all_shared(&deps).get();
     }
 

@@ -12,6 +12,10 @@
 //!   with continuation chaining and panic propagation (§III-A);
 //! * the **`dataflow`** LCO ([`dataflow`]) that delays a function until all
 //!   future inputs are ready, with `unwrapped` semantics built in (§III-B);
+//! * dependency-counting LCOs for fine-grained task graphs
+//!   ([`DepCounter`], [`schedule_after`], [`when_any_shared`]): the
+//!   batched, allocation-lean node scheduling behind `op2-core`'s
+//!   block-granular dataflow backend;
 //! * the LCO catalogue ([`lco`]): latch, event, barrier, semaphore,
 //!   spinlock, one-shot channel;
 //! * **execution policies** of Table I ([`seq`], [`par`], [`par_vec`],
@@ -47,6 +51,7 @@
 mod algo;
 mod chunk;
 mod dataflow;
+mod dep;
 mod future;
 pub mod lco;
 mod policy;
@@ -62,7 +67,10 @@ pub use algo::{
 };
 pub use chunk::{ChunkPolicy, PersistentChunker, DEFAULT_CHUNK_TARGET};
 pub use dataflow::{dataflow, dataflow_inline, DataflowArg, FutureTuple, Val};
-pub use future::{channel, ready, when_all, when_all_shared, BrokenPromise, Future, Promise, SharedFuture};
+pub use dep::{schedule_after, when_any_shared, DepCounter};
+pub use future::{
+    channel, ready, when_all, when_all_shared, BrokenPromise, Future, Promise, SharedFuture,
+};
 pub use policy::{par, par_task, par_vec, seq, seq_task, Exec, ExecutionPolicy, Launch};
 pub use prefetch::{
     for_each_prefetch, for_each_prefetch_async, make_prefetcher_context, PrefetchContainers,

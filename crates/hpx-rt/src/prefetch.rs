@@ -209,8 +209,7 @@ impl PrefetchSet {
                 // SAFETY: idx < index_len rows; Map tables are validated
                 // at declaration, so target < data_rows holds — checked
                 // again defensively below.
-                let target =
-                    unsafe { *g.index_base.add(idx * g.index_dim + g.slot) } as usize;
+                let target = unsafe { *g.index_base.add(idx * g.index_dim + g.slot) } as usize;
                 if target < g.data_rows {
                     // SAFETY: hint-only, in-bounds by the check above.
                     prefetch_read(unsafe { g.data_base.add(target * g.row_bytes) });
@@ -318,8 +317,12 @@ where
 
 /// `for_each` over a prefetcher context: iteration `i` prefetches element
 /// `i + distance` of every container, then runs `f(i)` (paper Fig 14).
-pub fn for_each_prefetch<F>(rt: &Runtime, policy: &ExecutionPolicy, ctx: &PrefetcherContext<'_>, f: F)
-where
+pub fn for_each_prefetch<F>(
+    rt: &Runtime,
+    policy: &ExecutionPolicy,
+    ctx: &PrefetcherContext<'_>,
+    f: F,
+) where
     F: Fn(usize) + Sync,
 {
     let set = ctx.set.clone();

@@ -151,12 +151,12 @@ impl Runtime {
         F: FnOnce() -> R + Send + 'static,
     {
         let (promise, future) = crate::future::channel();
-        self.spawn(move || {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        self.spawn(
+            move || match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
                 Ok(v) => promise.set_value(v),
                 Err(p) => promise.set_panic(p),
-            }
-        });
+            },
+        );
         future
     }
 
@@ -249,7 +249,6 @@ impl RuntimeInner {
     fn task_finished(&self) {
         self.pending.fetch_sub(1, Ordering::AcqRel);
     }
-
 }
 
 impl WorkerCtx {
@@ -326,7 +325,9 @@ impl WorkerCtx {
             return;
         }
         self.inner.sleepers.fetch_add(1, Ordering::SeqCst);
-        self.inner.stats[self.index].parks.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats[self.index]
+            .parks
+            .fetch_add(1, Ordering::Relaxed);
         self.inner.sleep_cv.wait_for(&mut guard, PARK_TIMEOUT);
         self.inner.sleepers.fetch_sub(1, Ordering::SeqCst);
     }

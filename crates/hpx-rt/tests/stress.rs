@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hpx_rt::{
-    dataflow, for_each, for_each_async, par, par_task, reduce, ready, when_all, ChunkPolicy,
+    dataflow, for_each, for_each_async, par, par_task, ready, reduce, when_all, ChunkPolicy,
     PersistentChunker, Runtime,
 };
 
@@ -16,11 +16,21 @@ fn nested_parallel_loops_do_not_deadlock_small_pools() {
     // same 1-worker pool: only help-first waiting makes this terminate.
     let rt = Runtime::new(1);
     let counter = AtomicUsize::new(0);
-    for_each(&rt, &par().with_chunk(ChunkPolicy::Static { size: 4 }), 0..16, |_| {
-        for_each(&rt, &par().with_chunk(ChunkPolicy::Static { size: 8 }), 0..64, |_| {
-            counter.fetch_add(1, Ordering::Relaxed);
-        });
-    });
+    for_each(
+        &rt,
+        &par().with_chunk(ChunkPolicy::Static { size: 4 }),
+        0..16,
+        |_| {
+            for_each(
+                &rt,
+                &par().with_chunk(ChunkPolicy::Static { size: 8 }),
+                0..64,
+                |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        },
+    );
     assert_eq!(counter.into_inner(), 16 * 64);
 }
 
@@ -111,8 +121,7 @@ fn persistent_chunker_concurrent_calibration_is_single() {
     let handle = PersistentChunker::new();
     let chunk = ChunkPolicy::PersistentAuto(handle.clone());
     let policy = par().with_chunk(chunk);
-    let counters: Vec<Arc<AtomicUsize>> =
-        (0..2).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    let counters: Vec<Arc<AtomicUsize>> = (0..2).map(|_| Arc::new(AtomicUsize::new(0))).collect();
     let threads: Vec<_> = counters
         .iter()
         .map(|c| {
@@ -129,7 +138,9 @@ fn persistent_chunker_concurrent_calibration_is_single() {
     for t in threads {
         t.join().unwrap();
     }
-    assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 100_000));
+    assert!(counters
+        .iter()
+        .all(|c| c.load(Ordering::Relaxed) == 100_000));
     assert!(handle.calibrated_target().is_some());
 }
 

@@ -28,7 +28,10 @@ impl Csr {
 
     /// Maximum row degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|i| self.row(i).len()).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.row(i).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean row degree.
@@ -68,7 +71,10 @@ pub fn invert_map(indices: &[u32], nfrom: usize, dim: usize, nto: usize) -> Csr 
 /// from a 2-ary relation table such as edge → nodes. Neighbour lists are
 /// sorted and deduplicated.
 pub fn neighbors_from_pairs(pairs: &[u32], nto: usize) -> Csr {
-    assert!(pairs.len().is_multiple_of(2), "pair table must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair table must have even length"
+    );
     let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nto];
     for p in pairs.chunks_exact(2) {
         let (a, b) = (p[0] as usize, p[1] as usize);

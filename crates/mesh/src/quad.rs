@@ -171,7 +171,11 @@ pub fn channel_with_bump(imax: usize, jmax: usize) -> QuadMesh {
         bedge_nodes.push(node_id(imax, i, 0) as u32);
         bedge_cells.push(cell(i, 0));
         let mid = (i as f64 + 0.5) / imax as f64;
-        bound.push(if bump(mid) > 0.0 { BOUND_WALL } else { BOUND_FARFIELD });
+        bound.push(if bump(mid) > 0.0 {
+            BOUND_WALL
+        } else {
+            BOUND_FARFIELD
+        });
     }
     for i in 0..imax {
         // Ceiling: left->right gives outward n = +y.
@@ -247,8 +251,14 @@ mod tests {
         let (imax, jmax) = (1200usize, 600usize);
         let nnode = (imax + 1) * (jmax + 1);
         let nedge = (imax - 1) * jmax + imax * (jmax - 1);
-        assert!((700_000..750_000).contains(&nnode), "paper: over 720K nodes");
-        assert!((1_400_000..1_500_000).contains(&nedge), "paper: ~1.5M edges");
+        assert!(
+            (700_000..750_000).contains(&nnode),
+            "paper: over 720K nodes"
+        );
+        assert!(
+            (1_400_000..1_500_000).contains(&nedge),
+            "paper: ~1.5M edges"
+        );
     }
 
     #[test]

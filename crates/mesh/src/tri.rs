@@ -45,7 +45,12 @@ pub fn unit_square(n: usize) -> TriMesh {
     };
     for j in 0..n {
         for i in 0..n {
-            let (a, b, c, d) = (node(i, j), node(i + 1, j), node(i + 1, j + 1), node(i, j + 1));
+            let (a, b, c, d) = (
+                node(i, j),
+                node(i + 1, j),
+                node(i + 1, j + 1),
+                node(i, j + 1),
+            );
             // Lower-right triangle (a, b, c) and upper-left (a, c, d).
             tri_nodes.extend_from_slice(&[a, b, c]);
             tri_nodes.extend_from_slice(&[a, c, d]);

@@ -42,7 +42,11 @@ pub fn validate_quad(m: &QuadMesh) -> Vec<String> {
         }
     }
 
-    if !m.bound.iter().all(|&b| b == crate::quad::BOUND_WALL || b == crate::quad::BOUND_FARFIELD) {
+    if !m
+        .bound
+        .iter()
+        .all(|&b| b == crate::quad::BOUND_WALL || b == crate::quad::BOUND_FARFIELD)
+    {
         errors.push("invalid boundary flag".into());
     }
 
@@ -72,8 +76,14 @@ pub fn validate_quad(m: &QuadMesh) -> Vec<String> {
         (dy, -dx)
     };
     for e in 0..m.nedge {
-        let (a, b) = (m.edge_nodes[2 * e] as usize, m.edge_nodes[2 * e + 1] as usize);
-        let (c1, c2) = (m.edge_cells[2 * e] as usize, m.edge_cells[2 * e + 1] as usize);
+        let (a, b) = (
+            m.edge_nodes[2 * e] as usize,
+            m.edge_nodes[2 * e + 1] as usize,
+        );
+        let (c1, c2) = (
+            m.edge_cells[2 * e] as usize,
+            m.edge_cells[2 * e + 1] as usize,
+        );
         let n = normal(a, b);
         let (x1, y1) = centroid(c1);
         let (x2, y2) = centroid(c2);
@@ -82,7 +92,10 @@ pub fn validate_quad(m: &QuadMesh) -> Vec<String> {
         }
     }
     for e in 0..m.nbedge {
-        let (a, b) = (m.bedge_nodes[2 * e] as usize, m.bedge_nodes[2 * e + 1] as usize);
+        let (a, b) = (
+            m.bedge_nodes[2 * e] as usize,
+            m.bedge_nodes[2 * e + 1] as usize,
+        );
         let c = m.bedge_cells[e] as usize;
         let n = normal(a, b);
         let (cx, cy) = centroid(c);

@@ -43,8 +43,8 @@ fn main() {
         eprintln!("op2c: no input file (try --help)");
         std::process::exit(2);
     };
-    let src = std::fs::read_to_string(&input)
-        .unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
+    let src =
+        std::fs::read_to_string(&input).unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
 
     if check_only {
         match check_source(&src) {

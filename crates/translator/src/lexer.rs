@@ -48,35 +48,59 @@ pub fn lex(src: &str) -> Result<Vec<Token>, TranslateError> {
                 }
             }
             b':' => {
-                out.push(Token { tok: Tok::Colon, pos });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    pos,
+                });
                 bump!();
             }
             b';' => {
-                out.push(Token { tok: Tok::Semi, pos });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    pos,
+                });
                 bump!();
             }
             b',' => {
-                out.push(Token { tok: Tok::Comma, pos });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos,
+                });
                 bump!();
             }
             b'[' => {
-                out.push(Token { tok: Tok::LBracket, pos });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    pos,
+                });
                 bump!();
             }
             b']' => {
-                out.push(Token { tok: Tok::RBracket, pos });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    pos,
+                });
                 bump!();
             }
             b'{' => {
-                out.push(Token { tok: Tok::LBrace, pos });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    pos,
+                });
                 bump!();
             }
             b'}' => {
-                out.push(Token { tok: Tok::RBrace, pos });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    pos,
+                });
                 bump!();
             }
             b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                out.push(Token { tok: Tok::Arrow, pos });
+                out.push(Token {
+                    tok: Tok::Arrow,
+                    pos,
+                });
                 bump!();
                 bump!();
             }
@@ -137,7 +161,10 @@ mod tests {
     #[test]
     fn tracks_positions() {
         let toks = lex("set a;\nset b;").unwrap();
-        let b_tok = toks.iter().find(|t| t.tok == Tok::Ident("b".into())).unwrap();
+        let b_tok = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .unwrap();
         assert_eq!(b_tok.pos.line, 2);
         assert_eq!(b_tok.pos.col, 5);
     }

@@ -280,7 +280,11 @@ mod tests {
         assert_eq!(l.kernel, "work");
         assert_eq!(l.args.len(), 3);
         match &l.args[1] {
-            LoopArg::Dat { via: Some((m, i)), access, .. } => {
+            LoopArg::Dat {
+                via: Some((m, i)),
+                access,
+                ..
+            } => {
                 assert_eq!(m, "pcell");
                 assert_eq!(*i, 2);
                 assert_eq!(*access, AccessKind::Inc);

@@ -87,7 +87,12 @@ pub fn check(program: &Program) -> Vec<TranslateError> {
         }
         for arg in &l.args {
             match arg {
-                LoopArg::Dat { dat, via, access, pos } => {
+                LoopArg::Dat {
+                    dat,
+                    via,
+                    access,
+                    pos,
+                } => {
                     let Some(d) = program.dat(dat) else {
                         errors.push(TranslateError::new(
                             format!("loop `{}`: unknown dat `{dat}`", l.kernel),
@@ -243,7 +248,9 @@ mod tests {
             dat d : n, dim 1, f64;
             loop l over e { arg d via m[0] : write; }
         "#;
-        assert!(errors_of(src).iter().any(|e| e.contains("read/inc through maps")));
+        assert!(errors_of(src)
+            .iter()
+            .any(|e| e.contains("read/inc through maps")));
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn airfoil_hpx_matches_golden() {
 fn airfoil_openmp_matches_golden() {
     let generated = translate(AIRFOIL, CodegenBackend::OpenMp).unwrap();
     let golden = include_str!("golden/airfoil_openmp.rs");
-    assert_eq!(generated, golden, "openmp codegen drifted; regenerate golden");
+    assert_eq!(
+        generated, golden,
+        "openmp codegen drifted; regenerate golden"
+    );
 }
 
 #[test]
@@ -61,7 +64,10 @@ fn res_calc_uses_arity_eight_with_increments() {
 fn kernel_skeletons_cover_all_loops_with_correct_mutability() {
     let skeletons = op2_translator::emit_kernel_skeletons(AIRFOIL).unwrap();
     for name in ["save_soln", "adt_calc", "res_calc", "bres_calc", "update"] {
-        assert!(skeletons.contains(&format!("pub fn {name}(")), "{name} missing");
+        assert!(
+            skeletons.contains(&format!("pub fn {name}(")),
+            "{name} missing"
+        );
     }
     // res_calc: last two args (the increments) are mutable, the rest not.
     assert!(skeletons.contains("arg6_p_res: &mut [f64]"));

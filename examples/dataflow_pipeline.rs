@@ -10,9 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use op2_hpx::hpx::{
-    dataflow, par, par_task, reduce, ChunkPolicy, PersistentChunker, Runtime, Val,
-};
+use op2_hpx::hpx::{dataflow, par, par_task, reduce, ChunkPolicy, PersistentChunker, Runtime, Val};
 
 fn main() {
     let rt = Runtime::new(2);
@@ -90,7 +88,10 @@ fn main() {
     let other = rt.spawn_future(|| "other work done");
     println!("{}", other.get());
     fut.get();
-    println!("async loop visited {} elements", counter.load(Ordering::Relaxed));
+    println!(
+        "async loop visited {} elements",
+        counter.load(Ordering::Relaxed)
+    );
 
     println!("runtime stats: {}", rt.stats());
 }

@@ -114,11 +114,7 @@ fn main() {
     op2.fence();
     let final_temps = temp.snapshot();
     let final_heat: f64 = final_temps.iter().sum();
-    println!(
-        "converged after {iters} iterations (max change {max_change:.2e})"
-    );
-    println!(
-        "heat drained to the cold boundary: {initial_heat:.1} -> {final_heat:.3}"
-    );
+    println!("converged after {iters} iterations (max change {max_change:.2e})");
+    println!("heat drained to the cold boundary: {initial_heat:.1} -> {final_heat:.3}");
     assert!(final_temps.iter().all(|t| t.is_finite() && *t >= -1e-9));
 }

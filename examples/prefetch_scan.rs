@@ -10,8 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use op2_hpx::hpx::{
-    count_if, for_each_prefetch, inclusive_scan, make_prefetcher_context, min_element, par,
-    Runtime,
+    count_if, for_each_prefetch, inclusive_scan, make_prefetcher_context, min_element, par, Runtime,
 };
 
 fn main() {
@@ -39,7 +38,10 @@ fn main() {
             weighted.fetch_add(w as u64, Ordering::Relaxed);
         }
     });
-    println!("weighted sum of flagged elements: {}", weighted.into_inner());
+    println!(
+        "weighted sum of flagged elements: {}",
+        weighted.into_inner()
+    );
 
     // Parallel inclusive scan over the masses (prefix sums).
     let mass64: Vec<f64> = masses.iter().map(|&m| m as f64).collect();
@@ -48,8 +50,8 @@ fn main() {
     println!("total mass (scan tail): {:.1}", prefix[n - 1]);
 
     // min_element / count_if round out the algorithm set.
-    let (argmin, min) = min_element(&rt, &par(), 0..n, |i| (positions[i] - 1000.0).abs())
-        .expect("non-empty");
+    let (argmin, min) =
+        min_element(&rt, &par(), 0..n, |i| (positions[i] - 1000.0).abs()).expect("non-empty");
     println!("closest to x=1000: index {argmin} (|dx| = {min:.4})");
     let flagged = count_if(&rt, &par(), 0..n, |i| flags[i] == 1);
     println!("flagged elements: {flagged} / {n}");

@@ -6,9 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use op2_hpx::op2::{
-    arg_inc_via, arg_read, arg_read_via, arg_write, par_loop3, Op2, Op2Config,
-};
+use op2_hpx::op2::{arg_inc_via, arg_read, arg_read_via, arg_write, par_loop3, Op2, Op2Config};
 
 fn main() {
     let op2 = Op2::new(Op2Config::dataflow(2));

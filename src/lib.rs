@@ -12,8 +12,9 @@
 //! * [`airfoil`] — the Airfoil CFD evaluation application;
 //! * [`translator`] — the `op2c` source-to-source translator.
 //!
-//! See `README.md` for a guided tour, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for a guided tour: the crate map, the block-granular
+//! dependency-engine design, and how to run the Airfoil application and
+//! the figure benches.
 
 #![warn(missing_docs)]
 

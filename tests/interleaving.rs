@@ -4,9 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use op2_hpx::op2::{
-    arg_read, arg_rw, arg_write, par_loop1, par_loop2, Backend, Op2, Op2Config,
-};
+use op2_hpx::op2::{arg_read, arg_rw, arg_write, par_loop1, par_loop2, Backend, Op2, Op2Config};
 
 /// Under the dataflow backend, submitting heavy loops must return almost
 /// immediately; under fork-join every submission blocks for the loop's

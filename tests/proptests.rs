@@ -2,8 +2,11 @@
 //! plan coloring on arbitrary connectivity, exactly-once loop execution
 //! under arbitrary chunkers, dataflow graphs vs sequential evaluation,
 //! and mesh-generator structural invariants.
+//!
+//! The properties are driven by a deterministic xorshift PRNG rather than
+//! an external property-testing framework (the build environment is
+//! offline): every case is reproducible from the printed seed.
 
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use op2_hpx::hpx::{dataflow, ready, ChunkPolicy, Future, Runtime};
@@ -12,32 +15,42 @@ use op2_hpx::op2::{
     arg_inc_via, par_loop1, par_loop2, plan_for, validate_coloring, ArgSpec, Op2, Op2Config,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case spins up pools; keep CI-speed sane
-        .. ProptestConfig::default()
-    })]
+/// Cases per property; each case spins up pools, keep CI-speed sane.
+const CASES: u64 = 24;
 
-    /// Any random edge->node connectivity yields a valid colored plan
-    /// whose colors partition the blocks and never share a target within
-    /// a color, and the executed increments are exact.
-    #[test]
-    fn coloring_is_valid_and_increments_exact(
-        nfrom in 1usize..400,
-        nto in 1usize..120,
-        dim in 1usize..3,
-        block_size in 1usize..64,
-        seed in any::<u64>(),
-    ) {
-        // Deterministic pseudo-random map.
-        let mut state = seed | 1;
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state % nto as u64) as u32
-        };
-        let indices: Vec<u32> = (0..nfrom * dim).map(|_| next()).collect();
+/// xorshift64* — the same generator the seed's tests used for map data.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    /// Uniform-ish value in `lo..hi` (`hi > lo`).
+    fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Any random edge->node connectivity yields a valid colored plan whose
+/// colors partition the blocks and never share a target within a color,
+/// and the executed increments are exact.
+#[test]
+fn coloring_is_valid_and_increments_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xC010_25ED ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let nfrom = rng.in_range(1, 400);
+        let nto = rng.in_range(1, 120);
+        let dim = rng.in_range(1, 3);
+        let block_size = rng.in_range(1, 64);
+        let indices: Vec<u32> = (0..nfrom * dim)
+            .map(|_| (rng.next() % nto as u64) as u32)
+            .collect();
 
         let op2 = Op2::new(Op2Config::fork_join(2).with_block_size(block_size));
         let from = op2.decl_set(nfrom, "from");
@@ -53,7 +66,8 @@ proptest! {
                 let infos = vec![ArgSpec::info(&a0)];
                 par_loop1(&op2, "inc", &from, (a0,), |t0: &mut [f64]| {
                     t0[0] += 1.0;
-                }).wait();
+                })
+                .wait();
                 infos
             }
             _ => {
@@ -62,20 +76,29 @@ proptest! {
                 let infos = vec![ArgSpec::info(&a0), ArgSpec::info(&a1)];
                 // Same target twice in one element would alias two mutable
                 // views; the framework's debug check would (correctly)
-                // panic, so route via a tolerant kernel only when safe:
-                // skip elements where slots collide by pre-checking.
+                // panic, so only execute when no element's slots collide.
                 let collides = (0..nfrom).any(|e| map.at(e, 0) == map.at(e, 1));
                 if collides {
                     // Still validate the plan below, just skip execution.
                     let plan = plan_for(&op2, &from, &infos).expect("colored plan");
                     let pairs = vec![(map.clone(), 0usize), (map.clone(), 1usize)];
-                    prop_assert!(validate_coloring(&plan, &pairs).is_ok());
-                    return Ok(());
+                    assert!(
+                        validate_coloring(&plan, &pairs).is_ok(),
+                        "case {case}: invalid coloring"
+                    );
+                    continue;
                 }
-                par_loop2(&op2, "inc2", &from, (a0, a1), |t0: &mut [f64], t1: &mut [f64]| {
-                    t0[0] += 1.0;
-                    t1[0] += 1.0;
-                }).wait();
+                par_loop2(
+                    &op2,
+                    "inc2",
+                    &from,
+                    (a0, a1),
+                    |t0: &mut [f64], t1: &mut [f64]| {
+                        t0[0] += 1.0;
+                        t1[0] += 1.0;
+                    },
+                )
+                .wait();
                 infos
             }
         };
@@ -83,9 +106,12 @@ proptest! {
         // Plan invariant.
         if let Some(plan) = plan_for(&op2, &from, &infos) {
             let pairs: Vec<_> = (0..dim.min(2)).map(|k| (map.clone(), k)).collect();
-            prop_assert!(validate_coloring(&plan, &pairs).is_ok());
+            assert!(
+                validate_coloring(&plan, &pairs).is_ok(),
+                "case {case}: invalid coloring"
+            );
             let blocks_in_colors: usize = plan.color_blocks.iter().map(|c| c.len()).sum();
-            prop_assert_eq!(blocks_in_colors, plan.nblocks());
+            assert_eq!(blocks_in_colors, plan.nblocks(), "case {case}");
         }
 
         // Exactness: target t received one increment per incoming slot.
@@ -95,44 +121,48 @@ proptest! {
                 expected[map.at(e, k)] += 1.0;
             }
         }
-        let got = acc.snapshot();
-        prop_assert_eq!(got, expected);
+        assert_eq!(acc.snapshot(), expected, "case {case}");
     }
+}
 
-    /// Every chunk policy visits every index exactly once, for arbitrary
-    /// range sizes.
-    #[test]
-    fn chunkers_tile_ranges_exactly(
-        n in 0usize..6000,
-        policy_pick in 0usize..4,
-        size in 1usize..600,
-    ) {
-        let rt = Runtime::new(2);
-        let chunk = match policy_pick {
+/// Every chunk policy visits every index exactly once, for arbitrary
+/// range sizes.
+#[test]
+fn chunkers_tile_ranges_exactly() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x0C44_2BD5 ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        let n = rng.in_range(0, 6000);
+        let size = rng.in_range(1, 600);
+        let chunk = match rng.in_range(0, 4) {
             0 => ChunkPolicy::Static { size },
             1 => ChunkPolicy::NumChunks { chunks: size },
             2 => ChunkPolicy::Guided { min: size },
             _ => ChunkPolicy::default(),
         };
+        let rt = Runtime::new(2);
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        op2_hpx::hpx::for_each(
-            &rt,
-            &op2_hpx::hpx::par().with_chunk(chunk),
-            0..n,
-            |i| { hits[i].fetch_add(1, Ordering::Relaxed); },
+        op2_hpx::hpx::for_each(&rt, &op2_hpx::hpx::par().with_chunk(chunk), 0..n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "case {case}: some index not visited exactly once (n={n}, size={size})"
         );
-        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
+}
 
-    /// Random dataflow expression trees evaluate to the same value as
-    /// direct sequential evaluation.
-    #[test]
-    fn dataflow_trees_match_sequential(ops in prop::collection::vec((0u8..3, 1u64..100), 1..40)) {
+/// Random dataflow expression trees evaluate to the same value as direct
+/// sequential evaluation.
+#[test]
+fn dataflow_trees_match_sequential() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xDA7A_F10F ^ case.wrapping_mul(0xD6E8_FEB8_6659_FD93));
         let rt = Runtime::new(2);
         let mut expect = 1u64;
         let mut fut: Future<u64> = ready(1);
-        for (op, v) in ops {
-            match op {
+        for _ in 0..rng.in_range(1, 40) {
+            let v = rng.in_range(1, 100) as u64;
+            match rng.in_range(0, 3) {
                 0 => {
                     expect = expect.wrapping_add(v);
                     fut = dataflow(&rt, move |(x,)| x.wrapping_add(v), (fut,));
@@ -148,25 +178,37 @@ proptest! {
                     // Diamond: two readers of the same value re-joined.
                     let l = shared.then(&rt, move |x| x ^ v);
                     let r = shared.then(&rt, |x| x);
-                    fut = dataflow(&rt, |(l, r)| { let _ = r; l }, (l, r));
+                    fut = dataflow(
+                        &rt,
+                        |(l, r)| {
+                            let _ = r;
+                            l
+                        },
+                        (l, r),
+                    );
                 }
             }
         }
-        prop_assert_eq!(fut.get(), expect);
+        assert_eq!(fut.get(), expect, "case {case}");
     }
+}
 
-    /// Mesh generator invariants hold for arbitrary dimensions.
-    #[test]
-    fn quad_meshes_always_validate(imax in 3usize..48, jmax in 1usize..32) {
+/// Mesh generator invariants hold for arbitrary dimensions.
+#[test]
+fn quad_meshes_always_validate() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4E5D ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let imax = rng.in_range(3, 48);
+        let jmax = rng.in_range(1, 32);
         let mesh = channel_with_bump(imax, jmax);
         let errors = validate_quad(&mesh);
-        prop_assert!(errors.is_empty(), "{errors:?}");
+        assert!(errors.is_empty(), "case {case}: {errors:?}");
         let stats = quad_stats(&mesh);
-        prop_assert_eq!(stats.ncell, imax * jmax);
+        assert_eq!(stats.ncell, imax * jmax, "case {case}");
         // Euler characteristic of the planar mesh.
         let v = mesh.nnode as i64;
         let e = (mesh.nedge + mesh.nbedge) as i64;
         let f = mesh.ncell as i64 + 1;
-        prop_assert_eq!(v - e + f, 2);
+        assert_eq!(v - e + f, 2, "case {case} ({imax}x{jmax})");
     }
 }
