@@ -1,12 +1,16 @@
 //! Airfoil CLI: run the benchmark with any backend/optimization combo.
 //!
 //! ```text
-//! airfoil [--cells N] [--iters N] [--threads N]
+//! airfoil [--cells N] [--iters N] [--threads N] [--ranks N]
 //!         [--backend seq|forkjoin|dataflow]
 //!         [--prefetch FACTOR] [--persistent] [--print-every N]
 //! ```
+//!
+//! `--ranks N` (N > 1) runs the multi-locality sharded path: the mesh is
+//! partitioned into N shards, each driven by its own simulated rank, with
+//! asynchronous halo exchange between them.
 
-use airfoil_cfd::{solver, Problem, SolverConfig};
+use airfoil_cfd::{shard, solver, Problem, SolverConfig};
 use op2_core::hpx_rt::PersistentChunker;
 use op2_core::{Op2, Op2Config};
 use op2_mesh::{quad_stats, QuadMesh};
@@ -15,6 +19,7 @@ struct Args {
     cells: usize,
     iters: usize,
     threads: usize,
+    ranks: usize,
     backend: String,
     prefetch: Option<usize>,
     persistent: bool,
@@ -26,6 +31,7 @@ fn parse_args() -> Args {
         cells: 20_000,
         iters: 100,
         threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        ranks: 1,
         backend: "dataflow".to_owned(),
         prefetch: None,
         persistent: false,
@@ -41,6 +47,7 @@ fn parse_args() -> Args {
             "--cells" => args.cells = value("--cells").parse().expect("--cells"),
             "--iters" => args.iters = value("--iters").parse().expect("--iters"),
             "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--ranks" => args.ranks = value("--ranks").parse().expect("--ranks"),
             "--backend" => args.backend = value("--backend"),
             "--prefetch" => args.prefetch = Some(value("--prefetch").parse().expect("--prefetch")),
             "--persistent" => args.persistent = true,
@@ -55,6 +62,7 @@ fn parse_args() -> Args {
                      --paper-scale      ~720K cells (the paper's mesh size)\n\
                      --iters N          outer iterations (default 100)\n\
                      --threads N        worker threads\n\
+                     --ranks N          simulated localities (sharded mesh + halo exchange)\n\
                      --backend B        seq | forkjoin | dataflow\n\
                      --prefetch F       enable prefetching, distance factor F\n\
                      --persistent       persistent_auto_chunk_size policy\n\
@@ -86,9 +94,39 @@ fn main() {
     let mesh = QuadMesh::with_cells(args.cells);
     println!("mesh: {}", quad_stats(&mesh));
     println!(
-        "backend: {} threads={} prefetch={:?} persistent={}",
-        config.backend, config.threads, config.prefetch_distance, args.persistent
+        "backend: {} threads={} ranks={} prefetch={:?} persistent={}",
+        config.backend, config.threads, args.ranks, config.prefetch_distance, args.persistent
     );
+
+    if args.ranks > 1 {
+        let shp = shard::ShardedProblem::declare(config, &mesh, args.ranks);
+        let result = shard::run_sharded(
+            &shp,
+            &SolverConfig {
+                niter: args.iters,
+                window: 16,
+                print_every: args.print_every,
+            },
+        );
+        println!(
+            "completed {} iters on {} ranks in {:.3}s  ({:.2} ms/iter), final rms = {:.6e}",
+            args.iters,
+            args.ranks,
+            result.elapsed.as_secs_f64(),
+            result.elapsed.as_secs_f64() * 1e3 / args.iters as f64,
+            result.final_rms()
+        );
+        for (r, part) in shp.parts.iter().enumerate() {
+            println!(
+                "  rank {r}: {} owned cells, {} halo rows, {} edges ({} interior)",
+                part.cells.size(),
+                part.n_halo_cells,
+                part.edges.size(),
+                part.n_interior_edges
+            );
+        }
+        return;
+    }
 
     let op2 = Op2::new(config);
     let problem = Problem::declare(&op2, &mesh);

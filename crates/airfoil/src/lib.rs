@@ -28,8 +28,10 @@
 pub mod constants;
 pub mod kernels;
 pub mod setup;
+pub mod shard;
 pub mod solver;
 pub mod verify;
 
 pub use setup::Problem;
+pub use shard::{run_sharded, RankProblem, ShardedProblem};
 pub use solver::{run, RunResult, SolverConfig};

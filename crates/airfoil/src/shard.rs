@@ -1,0 +1,567 @@
+//! Multi-locality sharding of the Airfoil problem: a partitioned mesh,
+//! one `Op2` context per simulated rank, and a time loop whose halo
+//! exchanges overlap interior compute.
+//!
+//! # Decomposition
+//!
+//! Cells are the partitioned set: [`op2_mesh::partition_greedy_bfs`] over
+//! the cell-adjacency graph assigns every cell an owner rank, and
+//! [`op2_mesh::build_halo`] over the `pecell` table derives, per rank, the
+//! edges it executes and the remote cells it mirrors. Each rank then
+//! declares a fully local problem:
+//!
+//! * **cells** — the owned cells (local ids `0..n_owned`, ascending global
+//!   order), with the cell dats (`q`, `adt`, `res`) carrying halo mirror
+//!   rows appended per peer rank (`decl_dat_halo`). Direct loops
+//!   (`save_soln`, `adt_calc`, `update`) iterate the owned prefix only, so
+//!   reductions never double-count;
+//! * **edges** — every edge reaching at least one owned cell, *interior*
+//!   edges (both cells owned) numbered first, *boundary* edges after.
+//!   Partition-boundary edges are executed redundantly by both adjacent
+//!   ranks (OP2's execute-halo), so residual increments never travel:
+//!   each rank's owned cells accumulate all their contributions locally,
+//!   while increments into halo rows are dead values that no loop reads;
+//! * **nodes / bedges** — replicated as reached: coordinates are
+//!   read-only, and a boundary edge belongs to its single cell's owner.
+//!
+//! # The exchange schedule
+//!
+//! Per inner step, `q` and `adt` halos are refreshed through
+//! [`op2_core::locality::exchange`] *between* submitting `adt_calc` and
+//! `res_calc`. Nothing blocks: the send nodes chain behind the epoch-table
+//! writers of the exported rows, the receive nodes register as writers of
+//! the halo blocks, and `res_calc`'s interior blocks — which reach no halo
+//! block — start immediately while the exchange is in flight. Only the
+//! boundary blocks gate on the receives. A rank's `rms` contribution is a
+//! per-rank [`Global`] summed after the run, which keeps the pipeline free
+//! of cross-rank reduction barriers.
+
+use std::time::Instant;
+
+use op2_core::locality::{exchange, HaloSpec, LocalityGroup};
+use op2_core::{
+    arg_gbl_inc, arg_inc_via, arg_read, arg_read_via, arg_rw, arg_write, par_loop2, par_loop5,
+    par_loop6, par_loop8, Dat, Global, LoopHandle, Map, Op2Config, Set,
+};
+use op2_mesh::{build_halo, neighbors_from_pairs, partition_greedy_bfs, QuadMesh};
+
+use crate::constants::qinf;
+use crate::kernels;
+use crate::solver::{RunResult, SolverConfig};
+
+/// One rank's fully local view of the Airfoil problem (compare
+/// [`crate::Problem`], plus the shard bookkeeping).
+pub struct RankProblem {
+    /// Local mesh nodes (replicated as reached).
+    pub nodes: Set,
+    /// Local interior edges, interior-first (see module docs).
+    pub edges: Set,
+    /// Local boundary edges.
+    pub bedges: Set,
+    /// Owned cells.
+    pub cells: Set,
+    /// edge → 2 nodes.
+    pub pedge: Map,
+    /// edge → 2 cells (may target halo rows).
+    pub pecell: Map,
+    /// bedge → 2 nodes.
+    pub pbedge: Map,
+    /// bedge → 1 cell (always owned).
+    pub pbecell: Map,
+    /// owned cell → 4 nodes.
+    pub pcell: Map,
+    /// Node coordinates.
+    pub p_x: Dat<f64>,
+    /// Conserved variables, with halo rows.
+    pub p_q: Dat<f64>,
+    /// Saved solution (owned rows only — never read indirectly).
+    pub p_qold: Dat<f64>,
+    /// Local timestep, with halo rows.
+    pub p_adt: Dat<f64>,
+    /// Residual, with halo rows (halo increments are dead values).
+    pub p_res: Dat<f64>,
+    /// Boundary flags.
+    pub p_bound: Dat<i32>,
+    /// Free-stream state.
+    pub qinf: [f64; 4],
+    /// Edges `0..n_interior_edges` touch owned cells only.
+    pub n_interior_edges: usize,
+    /// Halo mirror rows appended to the cell dats.
+    pub n_halo_cells: usize,
+}
+
+/// The sharded Airfoil problem: the rank contexts, their local problems,
+/// and the cell halo spec shared by `q`/`adt`/`res`.
+pub struct ShardedProblem {
+    /// The simulated ranks (shared worker pool).
+    pub group: LocalityGroup,
+    /// Per-rank local problems.
+    pub parts: Vec<RankProblem>,
+    /// Cell halo exchange spec in local row numbering.
+    pub cell_spec: HaloSpec,
+    /// Owner rank of every global cell.
+    pub cell_owner: Vec<u32>,
+    /// Per rank: global ids of its owned cells, ascending — local owned
+    /// row `i` of rank `r` is global cell `owned_cells[r][i]`.
+    pub owned_cells: Vec<Vec<u32>>,
+    /// Global cell count.
+    pub ncell_global: usize,
+}
+
+impl ShardedProblem {
+    /// Partitions `mesh` into `nranks` shards and declares every rank's
+    /// local problem (see module docs). Deterministic: the same mesh and
+    /// rank count always produce the same shards.
+    pub fn declare(config: Op2Config, mesh: &QuadMesh, nranks: usize) -> ShardedProblem {
+        assert!(
+            nranks >= 1 && nranks <= mesh.ncell,
+            "rank count must be in 1..=ncell"
+        );
+        let adj = neighbors_from_pairs(&mesh.edge_cells, mesh.ncell);
+        let part = partition_greedy_bfs(&adj, nranks);
+        let halo = build_halo(&part, &mesh.edge_cells, 2);
+        let group = LocalityGroup::new(config, nranks);
+        let qinf = qinf();
+
+        let mut parts = Vec::with_capacity(nranks);
+        let mut owned_cells = Vec::with_capacity(nranks);
+        let mut spec = HaloSpec::empty(nranks);
+
+        for r in 0..nranks {
+            let op2 = group.rank(r);
+            let owned = part.owned(r);
+            let n_owned = owned.len();
+
+            // Local cell numbering: owned first, then halo imports grouped
+            // by owner rank (contiguous per peer — the exchange relies on
+            // contiguity to scatter with one copy).
+            let mut g2l_cell = vec![u32::MAX; mesh.ncell];
+            for (i, &c) in owned.iter().enumerate() {
+                g2l_cell[c as usize] = i as u32;
+            }
+            let mut off = n_owned;
+            for s in 0..nranks {
+                let imp = &halo.import[r][s];
+                spec.import_range[r][s] = off..off + imp.len();
+                for (j, &c) in imp.iter().enumerate() {
+                    g2l_cell[c as usize] = (off + j) as u32;
+                }
+                off += imp.len();
+            }
+            let n_halo = off - n_owned;
+
+            // Exported rows are owned, so their local ids are final here.
+            for s in 0..nranks {
+                spec.export_rows[r][s] = halo.export[r][s]
+                    .iter()
+                    .map(|&c| g2l_cell[c as usize])
+                    .collect();
+            }
+
+            // Local edges: interior (both cells owned) first, boundary
+            // after, each ascending in global order.
+            let is_owned = |c: u32| part.part_of[c as usize] as usize == r;
+            let (interior, boundary): (Vec<u32>, Vec<u32>) = halo.exec[r].iter().partition(|&&e| {
+                is_owned(mesh.edge_cells[2 * e as usize])
+                    && is_owned(mesh.edge_cells[2 * e as usize + 1])
+            });
+            let n_interior = interior.len();
+            let ledges: Vec<u32> = interior.into_iter().chain(boundary).collect();
+
+            // Local boundary edges: owned by their single cell's owner.
+            let lbedges: Vec<u32> = (0..mesh.nbedge as u32)
+                .filter(|&b| is_owned(mesh.bedge_cells[b as usize]))
+                .collect();
+
+            // Local nodes: everything the local elements reach, ascending.
+            let mut lnodes: Vec<u32> = Vec::new();
+            for &c in &owned {
+                lnodes.extend_from_slice(&mesh.cell_nodes[4 * c as usize..4 * c as usize + 4]);
+            }
+            for &e in &ledges {
+                lnodes.extend_from_slice(&mesh.edge_nodes[2 * e as usize..2 * e as usize + 2]);
+            }
+            for &b in &lbedges {
+                lnodes.extend_from_slice(&mesh.bedge_nodes[2 * b as usize..2 * b as usize + 2]);
+            }
+            lnodes.sort_unstable();
+            lnodes.dedup();
+            let mut g2l_node = vec![u32::MAX; mesh.nnode];
+            for (i, &gn) in lnodes.iter().enumerate() {
+                g2l_node[gn as usize] = i as u32;
+            }
+
+            // Renumbered tables.
+            let pcell_idx: Vec<u32> = owned
+                .iter()
+                .flat_map(|&c| {
+                    mesh.cell_nodes[4 * c as usize..4 * c as usize + 4]
+                        .iter()
+                        .map(|&gn| g2l_node[gn as usize])
+                })
+                .collect();
+            let pedge_idx: Vec<u32> = ledges
+                .iter()
+                .flat_map(|&e| {
+                    mesh.edge_nodes[2 * e as usize..2 * e as usize + 2]
+                        .iter()
+                        .map(|&gn| g2l_node[gn as usize])
+                })
+                .collect();
+            let pecell_idx: Vec<u32> = ledges
+                .iter()
+                .flat_map(|&e| {
+                    mesh.edge_cells[2 * e as usize..2 * e as usize + 2]
+                        .iter()
+                        .map(|&gc| g2l_cell[gc as usize])
+                })
+                .collect();
+            let pbedge_idx: Vec<u32> = lbedges
+                .iter()
+                .flat_map(|&b| {
+                    mesh.bedge_nodes[2 * b as usize..2 * b as usize + 2]
+                        .iter()
+                        .map(|&gn| g2l_node[gn as usize])
+                })
+                .collect();
+            let pbecell_idx: Vec<u32> = lbedges
+                .iter()
+                .map(|&b| g2l_cell[mesh.bedge_cells[b as usize] as usize])
+                .collect();
+
+            let nodes = op2.decl_set(lnodes.len(), "nodes");
+            let edges = op2.decl_set(ledges.len(), "edges");
+            let bedges = op2.decl_set(lbedges.len(), "bedges");
+            let cells = op2.decl_set(n_owned, "cells");
+
+            let pedge = op2.decl_map(&edges, &nodes, 2, pedge_idx, "pedge");
+            let pecell = op2.decl_map_halo(&edges, &cells, 2, pecell_idx, "pecell", n_halo);
+            let pbedge = op2.decl_map(&bedges, &nodes, 2, pbedge_idx, "pbedge");
+            let pbecell = op2.decl_map(&bedges, &cells, 1, pbecell_idx, "pbecell");
+            let pcell = op2.decl_map(&cells, &nodes, 4, pcell_idx, "pcell");
+
+            let x_local: Vec<f64> = lnodes
+                .iter()
+                .flat_map(|&gn| {
+                    let gn = gn as usize;
+                    [mesh.x[2 * gn], mesh.x[2 * gn + 1]]
+                })
+                .collect();
+            let bound_local: Vec<i32> = lbedges.iter().map(|&b| mesh.bound[b as usize]).collect();
+            let n_cells_total = n_owned + n_halo;
+            let mut q0 = Vec::with_capacity(n_cells_total * 4);
+            for _ in 0..n_cells_total {
+                q0.extend_from_slice(&qinf);
+            }
+
+            let p_x = op2.decl_dat(&nodes, 2, "p_x", x_local);
+            let p_q = op2.decl_dat_halo(&cells, 4, "p_q", q0, n_halo);
+            let p_qold = op2.decl_dat(&cells, 4, "p_qold", vec![0.0; n_owned * 4]);
+            let p_adt = op2.decl_dat_halo(&cells, 1, "p_adt", vec![0.0; n_cells_total], n_halo);
+            let p_res = op2.decl_dat_halo(&cells, 4, "p_res", vec![0.0; n_cells_total * 4], n_halo);
+            let p_bound = op2.decl_dat(&bedges, 1, "p_bound", bound_local);
+
+            parts.push(RankProblem {
+                nodes,
+                edges,
+                bedges,
+                cells,
+                pedge,
+                pecell,
+                pbedge,
+                pbecell,
+                pcell,
+                p_x,
+                p_q,
+                p_qold,
+                p_adt,
+                p_res,
+                p_bound,
+                qinf,
+                n_interior_edges: n_interior,
+                n_halo_cells: n_halo,
+            });
+            owned_cells.push(owned);
+        }
+        spec.validate().expect("shard construction broke the spec");
+
+        ShardedProblem {
+            group,
+            parts,
+            cell_spec: spec,
+            cell_owner: part.part_of,
+            owned_cells,
+            ncell_global: mesh.ncell,
+        }
+    }
+
+    /// Assembles the global solution vector from the ranks' owned rows
+    /// (waits for pending writers).
+    pub fn gather_q(&self) -> Vec<f64> {
+        let mut q = vec![0.0f64; self.ncell_global * 4];
+        for (r, part) in self.parts.iter().enumerate() {
+            let local = part.p_q.read();
+            for (i, &gc) in self.owned_cells[r].iter().enumerate() {
+                q[4 * gc as usize..4 * gc as usize + 4].copy_from_slice(local.row(i));
+            }
+        }
+        q
+    }
+}
+
+/// Runs `cfg.niter` Airfoil iterations over the sharded problem — the
+/// `--ranks N` execution path. Loop-for-loop equivalent to
+/// [`crate::solver::run`], with `q`/`adt` halo exchanges submitted between
+/// `adt_calc` and `res_calc` of every inner step (and overlapped with
+/// interior compute under the Dataflow backend; see module docs).
+pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
+    let nranks = shp.parts.len();
+    let ncell = shp.ncell_global;
+    let t0 = Instant::now();
+
+    let qs: Vec<Dat<f64>> = shp.parts.iter().map(|p| p.p_q.clone()).collect();
+    let adts: Vec<Dat<f64>> = shp.parts.iter().map(|p| p.p_adt.clone()).collect();
+
+    let mut rms_globals: Vec<Vec<Global<f64>>> = Vec::with_capacity(cfg.niter);
+    let mut window_handles: Vec<Vec<LoopHandle>> = Vec::with_capacity(cfg.niter);
+
+    for iter in 1..=cfg.niter {
+        for (r, p) in shp.parts.iter().enumerate() {
+            let op2 = shp.group.rank(r);
+            par_loop2(
+                op2,
+                "save_soln",
+                &p.cells,
+                (arg_read(&p.p_q), arg_write(&p.p_qold)),
+                |q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold),
+            );
+        }
+
+        let mut last_update: Option<(Vec<Global<f64>>, Vec<LoopHandle>)> = None;
+        for _k in 0..2 {
+            for (r, p) in shp.parts.iter().enumerate() {
+                let op2 = shp.group.rank(r);
+                par_loop6(
+                    op2,
+                    "adt_calc",
+                    &p.cells,
+                    (
+                        arg_read_via(&p.p_x, &p.pcell, 0),
+                        arg_read_via(&p.p_x, &p.pcell, 1),
+                        arg_read_via(&p.p_x, &p.pcell, 2),
+                        arg_read_via(&p.p_x, &p.pcell, 3),
+                        arg_read(&p.p_q),
+                        arg_write(&p.p_adt),
+                    ),
+                    |x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]| {
+                        kernels::adt_calc(x1, x2, x3, x4, q, adt)
+                    },
+                );
+            }
+
+            // Refresh the halos the flux loop reads. Sends chain behind
+            // the exported rows' writers (`update` for q, `adt_calc` for
+            // adt); receives gate only res_calc's boundary blocks.
+            exchange(shp.group.ranks(), &qs, &shp.cell_spec);
+            exchange(shp.group.ranks(), &adts, &shp.cell_spec);
+
+            for (r, p) in shp.parts.iter().enumerate() {
+                let op2 = shp.group.rank(r);
+                par_loop8(
+                    op2,
+                    "res_calc",
+                    &p.edges,
+                    (
+                        arg_read_via(&p.p_x, &p.pedge, 0),
+                        arg_read_via(&p.p_x, &p.pedge, 1),
+                        arg_read_via(&p.p_q, &p.pecell, 0),
+                        arg_read_via(&p.p_q, &p.pecell, 1),
+                        arg_read_via(&p.p_adt, &p.pecell, 0),
+                        arg_read_via(&p.p_adt, &p.pecell, 1),
+                        arg_inc_via(&p.p_res, &p.pecell, 0),
+                        arg_inc_via(&p.p_res, &p.pecell, 1),
+                    ),
+                    |x1: &[f64],
+                     x2: &[f64],
+                     q1: &[f64],
+                     q2: &[f64],
+                     adt1: &[f64],
+                     adt2: &[f64],
+                     res1: &mut [f64],
+                     res2: &mut [f64]| {
+                        kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
+                    },
+                );
+            }
+
+            for (r, p) in shp.parts.iter().enumerate() {
+                let op2 = shp.group.rank(r);
+                let qinf = p.qinf;
+                par_loop6(
+                    op2,
+                    "bres_calc",
+                    &p.bedges,
+                    (
+                        arg_read_via(&p.p_x, &p.pbedge, 0),
+                        arg_read_via(&p.p_x, &p.pbedge, 1),
+                        arg_read_via(&p.p_q, &p.pbecell, 0),
+                        arg_read_via(&p.p_adt, &p.pbecell, 0),
+                        arg_inc_via(&p.p_res, &p.pbecell, 0),
+                        arg_read(&p.p_bound),
+                    ),
+                    move |x1: &[f64],
+                          x2: &[f64],
+                          q1: &[f64],
+                          adt1: &[f64],
+                          res1: &mut [f64],
+                          bound: &[i32]| {
+                        kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
+                    },
+                );
+            }
+
+            let mut step_rms = Vec::with_capacity(nranks);
+            let mut step_handles = Vec::with_capacity(nranks);
+            for (r, p) in shp.parts.iter().enumerate() {
+                let op2 = shp.group.rank(r);
+                let rms = Global::<f64>::sum(1, "rms");
+                let h = par_loop5(
+                    op2,
+                    "update",
+                    &p.cells,
+                    (
+                        arg_read(&p.p_qold),
+                        arg_write(&p.p_q),
+                        arg_rw(&p.p_res),
+                        arg_read(&p.p_adt),
+                        arg_gbl_inc(&rms),
+                    ),
+                    |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
+                        kernels::update(qold, q, res, adt, rms)
+                    },
+                );
+                step_rms.push(rms);
+                step_handles.push(h);
+            }
+            last_update = Some((step_rms, step_handles));
+        }
+
+        let (rms, handles) = last_update.expect("two inner steps ran");
+        rms_globals.push(rms);
+        window_handles.push(handles);
+
+        // Backpressure: bound in-flight iterations across all ranks.
+        if cfg.window > 0 && iter > cfg.window {
+            for h in &window_handles[iter - 1 - cfg.window] {
+                h.wait();
+            }
+        }
+
+        if cfg.print_every > 0 && iter % cfg.print_every == 0 {
+            let total: f64 = rms_globals[iter - 1].iter().map(Global::get_scalar).sum();
+            println!(" {iter:6} {:10.5e}", (total / ncell as f64).sqrt());
+        }
+    }
+
+    shp.group.fence();
+    let elapsed = t0.elapsed();
+
+    let rms_history = rms_globals
+        .iter()
+        .map(|per_rank| {
+            let total: f64 = per_rank.iter().map(Global::get_scalar).sum();
+            (total / ncell as f64).sqrt()
+        })
+        .collect();
+
+    RunResult {
+        rms_history,
+        elapsed,
+        ncell,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_mesh::channel_with_bump;
+
+    fn shard(nranks: usize) -> (QuadMesh, ShardedProblem) {
+        let mesh = channel_with_bump(16, 8);
+        let shp = ShardedProblem::declare(Op2Config::seq(), &mesh, nranks);
+        (mesh, shp)
+    }
+
+    #[test]
+    fn shards_cover_the_mesh_exactly() {
+        let (mesh, shp) = shard(3);
+        // Owned cells partition the global cells.
+        let mut owner_seen = vec![0usize; mesh.ncell];
+        for owned in &shp.owned_cells {
+            for &c in owned {
+                owner_seen[c as usize] += 1;
+            }
+        }
+        assert!(owner_seen.iter().all(|&n| n == 1));
+        // Every global boundary edge executes on exactly one rank; every
+        // interior edge on the owner(s) of its cells.
+        let total_bedges: usize = shp.parts.iter().map(|p| p.bedges.size()).sum();
+        assert_eq!(total_bedges, mesh.nbedge);
+        let total_edges: usize = shp.parts.iter().map(|p| p.edges.size()).sum();
+        assert!(total_edges >= mesh.nedge, "exec halo duplicates edges");
+    }
+
+    #[test]
+    fn interior_prefix_reaches_no_halo() {
+        let (_, shp) = shard(4);
+        for p in &shp.parts {
+            let n_owned = p.cells.size();
+            for e in 0..p.edges.size() {
+                let reaches_halo = p.pecell.at(e, 0) >= n_owned || p.pecell.at(e, 1) >= n_owned;
+                assert_eq!(
+                    reaches_halo,
+                    e >= p.n_interior_edges,
+                    "edge {e} misplaced relative to the interior prefix"
+                );
+            }
+            // Boundary-edge cells are always owned.
+            for b in 0..p.bedges.size() {
+                assert!(p.pbecell.at(b, 0) < n_owned);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_seq_single_rank_is_bitwise_the_plain_run() {
+        let mesh = channel_with_bump(12, 6);
+        let cfg = SolverConfig {
+            niter: 4,
+            window: 2,
+            print_every: 0,
+        };
+        // Plain single-context run.
+        let op2 = op2_core::Op2::new(Op2Config::seq());
+        let p = crate::Problem::declare(&op2, &mesh);
+        let plain = crate::solver::run(&op2, &p, &cfg);
+        let q_plain = p.p_q.snapshot();
+        // Sharded run with one rank: identical renumbering, identical
+        // execution order under Seq — results must match bit for bit.
+        let shp = ShardedProblem::declare(Op2Config::seq(), &mesh, 1);
+        let sharded = run_sharded(&shp, &cfg);
+        assert_eq!(sharded.rms_history, plain.rms_history);
+        assert_eq!(shp.gather_q(), q_plain);
+    }
+
+    #[test]
+    fn sharded_dataflow_smoke() {
+        let mesh = channel_with_bump(12, 6);
+        let cfg = SolverConfig {
+            niter: 3,
+            window: 2,
+            print_every: 0,
+        };
+        let shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, 3);
+        let r = run_sharded(&shp, &cfg);
+        assert!(r.rms_history.iter().all(|v| v.is_finite()));
+    }
+}

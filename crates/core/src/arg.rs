@@ -206,6 +206,14 @@ impl<T: OpType, A: AccessTag> DatArg<T, A> {
                 m.to_set().name(),
                 dat.set().name()
             );
+            assert!(
+                m.target_rows() <= dat.total_rows(),
+                "arg on dat '{}': map '{}' addresses {} rows (incl. halo) but the dat stores {}",
+                dat.name(),
+                m.name(),
+                m.target_rows(),
+                dat.total_rows()
+            );
         }
         DatArg {
             dat: dat.clone(),

@@ -42,10 +42,13 @@ pub struct Op2Config {
     /// block-granular engine, the task granularity of every Dataflow
     /// loop (one dataflow node per block).
     pub block_size: usize,
-    /// Chunking strategy for the ForkJoin backend's parallel-for phases.
-    /// The block-granular Dataflow backend does not consult it: its task
-    /// granularity is [`Op2Config::block_size`] (tune with
-    /// [`Op2Config::with_block_size`]).
+    /// Chunking strategy for the ForkJoin backend's parallel-for phases —
+    /// and, for the probe-free uniform policies ([`ChunkPolicy::Static`],
+    /// [`ChunkPolicy::NumChunks`]), the node granularity of *direct*
+    /// Dataflow loops. Colored (indirect) Dataflow loops always use
+    /// [`Op2Config::block_size`], the coloring granularity; the measuring
+    /// policies fall back to it too (a timing probe has no place in graph
+    /// construction).
     pub chunk: ChunkPolicy,
     /// Prefetch distance factor (cache lines of look-ahead, paper §V);
     /// `None` disables the prefetching iterator.
@@ -92,13 +95,16 @@ impl Op2Config {
     }
 
     /// Dataflow with the paper's `persistent_auto_chunk_size` policy
-    /// (§IV-B) installed as the chunk policy. Note: since the
-    /// block-granular engine, Dataflow loop bodies are scheduled per
-    /// `block_size` block and do not consult the chunk policy — the
-    /// persistent chunker still calibrates any `hpx-rt` algorithms run
-    /// through this config and the ForkJoin fallback, and the constructor
-    /// is kept so paper-harness variants remain expressible. Tune
-    /// Dataflow granularity with [`Op2Config::with_block_size`] instead.
+    /// (§IV-B) installed as the chunk policy. Note: measuring policies
+    /// need a synchronous timing probe, which has no place in dataflow
+    /// graph construction, so Dataflow nodes fall back to `block_size`
+    /// granularity under this config — the persistent chunker still
+    /// calibrates any `hpx-rt` algorithms run through it and the ForkJoin
+    /// fallback, and the constructor is kept so paper-harness variants
+    /// remain expressible. To tune Dataflow granularity use
+    /// [`Op2Config::with_block_size`], or a probe-free uniform policy
+    /// ([`ChunkPolicy::Static`] / [`ChunkPolicy::NumChunks`]), which
+    /// direct Dataflow loops honor.
     pub fn dataflow_persistent(threads: usize, chunker: PersistentChunker) -> Self {
         Op2Config {
             threads,

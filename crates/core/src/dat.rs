@@ -218,6 +218,10 @@ pub(crate) struct DatInner<T> {
     pub set: Set,
     pub dim: usize,
     pub name: String,
+    /// Mirror rows beyond `set.size()` holding halo copies of remote-owned
+    /// elements under the multi-locality layer (see [`crate::locality`]).
+    /// 0 for ordinary dats.
+    pub halo_rows: usize,
     data: UnsafeCell<Vec<T>>,
     pub deps: DepTable,
     /// User-guard tracking: >0 read guards, -1 write guard, 0 free.
@@ -261,13 +265,31 @@ impl<T: OpType> Dat<T> {
         data: Vec<T>,
         dep_block_size: usize,
     ) -> Self {
+        Self::with_halo(set, dim, name, data, dep_block_size, 0)
+    }
+
+    /// Creates a dat with `halo_rows` mirror rows appended beyond the
+    /// set's own elements: storage, the dependency table and user guards
+    /// all cover `set.size() + halo_rows` rows, while loops keep iterating
+    /// the owned prefix only. Halo rows are fed by remote ranks through
+    /// [`crate::locality::exchange`], whose receive nodes register in the
+    /// same per-block epoch table as local writers — a halo block is just
+    /// a remote-fed block to the dependency engine.
+    pub(crate) fn with_halo(
+        set: &Set,
+        dim: usize,
+        name: &str,
+        data: Vec<T>,
+        dep_block_size: usize,
+        halo_rows: usize,
+    ) -> Self {
         assert!(dim > 0, "dat '{name}': dim must be positive");
+        let rows = set.size() + halo_rows;
         assert_eq!(
             data.len(),
-            set.size() * dim,
-            "dat '{name}': expected {} values ({} x {dim}), got {}",
-            set.size() * dim,
-            set.size(),
+            rows * dim,
+            "dat '{name}': expected {} values ({rows} x {dim}, incl. {halo_rows} halo rows), got {}",
+            rows * dim,
             data.len()
         );
         Dat {
@@ -276,8 +298,9 @@ impl<T: OpType> Dat<T> {
                 set: set.clone(),
                 dim,
                 name: name.to_owned(),
+                halo_rows,
                 data: UnsafeCell::new(data),
-                deps: DepTable::new(set.size(), dep_block_size),
+                deps: DepTable::new(rows, dep_block_size),
                 borrow: AtomicIsize::new(0),
             }),
         }
@@ -303,9 +326,22 @@ impl<T: OpType> Dat<T> {
         self.inner.id
     }
 
-    /// Total scalar count (`set.size() * dim`).
+    /// Halo mirror rows beyond the set's own elements (0 for ordinary
+    /// dats).
+    #[inline]
+    pub fn halo_rows(&self) -> usize {
+        self.inner.halo_rows
+    }
+
+    /// Total storage rows: `set.size() + halo_rows()`.
+    #[inline]
+    pub fn total_rows(&self) -> usize {
+        self.inner.set.size() + self.inner.halo_rows
+    }
+
+    /// Total scalar count (`total_rows() * dim` — owned plus halo rows).
     pub fn len(&self) -> usize {
-        self.inner.set.size() * self.inner.dim
+        self.total_rows() * self.inner.dim
     }
 
     /// True for a dat on an empty set.

@@ -20,7 +20,7 @@ use std::ops::Range;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use hpx_rt::{schedule_after, when_all_shared, ExecutionPolicy, SharedFuture};
+use hpx_rt::{schedule_after, when_all_shared, ChunkPolicy, ExecutionPolicy, SharedFuture};
 
 use crate::arg::{ArgInfo, BlockCtx};
 use crate::config::Backend;
@@ -128,6 +128,7 @@ fn run_parallel_phases(world: &Op2, spec: &LoopSpec, n: usize) {
 /// cached plan (no per-submission copies of its block/color tables).
 enum Schedule {
     Direct {
+        block_size: usize,
         blocks: Vec<Range<usize>>,
         round: Vec<usize>,
     },
@@ -148,33 +149,76 @@ impl Schedule {
             Schedule::Planned(plan) => &plan.color_blocks,
         }
     }
+
+    /// The uniform node granularity the schedule was built with — what
+    /// every node's `BlockCtx::block_size` (and thus the block-reach
+    /// resolution of indirect arguments) must use.
+    fn block_size(&self) -> usize {
+        match self {
+            Schedule::Direct { block_size, .. } => *block_size,
+            Schedule::Planned(plan) => plan.block_size,
+        }
+    }
+}
+
+/// Node granularity of a *direct* dataflow loop: the chunk policy is
+/// honored where it yields a uniform, probe-free block size
+/// ([`ChunkPolicy::Static`] and [`ChunkPolicy::NumChunks`]); the measuring
+/// policies would need a synchronous timing probe that has no place in
+/// graph construction, and [`ChunkPolicy::Guided`] is non-uniform, so
+/// those fall back to the configured mini-partition block size. Colored
+/// (indirect) loops always use the mini-partition block size — it is the
+/// coloring granularity, exactly as in OP2's plans.
+fn dataflow_direct_block_size(world: &Op2, n: usize) -> usize {
+    let bs = world.config().block_size.max(1);
+    match &world.config().chunk {
+        ChunkPolicy::Static { size } => (*size).max(1),
+        ChunkPolicy::NumChunks { chunks } => n.div_ceil((*chunks).clamp(1, n.max(1))).max(1),
+        _ => bs,
+    }
 }
 
 fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize) -> Schedule {
-    let bs = world.config().block_size.max(1);
     let conflicts = conflicts_of(&spec.infos);
     if conflicts.is_empty() {
+        let bs = dataflow_direct_block_size(world, n);
         let nblocks = n.div_ceil(bs);
         return Schedule::Direct {
+            block_size: bs,
             blocks: (0..nblocks)
                 .map(|b| b * bs..((b + 1) * bs).min(n))
                 .collect(),
             round: (0..nblocks).collect(),
         };
     }
-    Schedule::Planned(world.plans().get(&spec.set, bs, &conflicts))
+    Schedule::Planned(
+        world
+            .plans()
+            .get(&spec.set, world.config().block_size.max(1), &conflicts),
+    )
+}
+
+/// The block partition a *direct* dataflow loop of `n` elements would be
+/// scheduled with under `world`'s configuration — exposed so tests can
+/// assert the chunk-policy wiring without reaching into the driver.
+#[doc(hidden)]
+pub fn __dataflow_direct_blocks(world: &Op2, n: usize) -> Vec<Range<usize>> {
+    let bs = dataflow_direct_block_size(world, n);
+    (0..n.div_ceil(bs))
+        .map(|b| b * bs..((b + 1) * bs).min(n))
+        .collect()
 }
 
 fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     let rt = world.runtime_arc();
     let stats = world.stats_handle();
     let n = spec.set.size();
-    let bs = world.config().block_size.max(1);
     let name = spec.name.clone();
     // First node to execute stamps the start; the finalize node reads it.
     let t0_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
 
     let schedule = dataflow_schedule(world, &spec, n);
+    let bs = schedule.block_size();
     let (blocks, rounds) = (schedule.blocks(), schedule.rounds());
 
     // Build one dataflow node per block, round by round. Collection reads

@@ -41,6 +41,7 @@ mod dat;
 pub mod diag;
 mod driver;
 mod gbl;
+pub mod locality;
 mod map;
 mod par_loop;
 pub mod plan;
@@ -55,7 +56,7 @@ pub use arg::{
 };
 pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
 pub use dat::{Dat, DatReadGuard, DatWriteGuard};
-pub use driver::{plan_for, LoopHandle};
+pub use driver::{__dataflow_direct_blocks, plan_for, LoopHandle};
 pub use gbl::{Global, ReduceOp, Reducible};
 pub use map::Map;
 pub use par_loop::{

@@ -1,0 +1,432 @@
+//! Multi-locality sharding: simulated ranks and asynchronous halo
+//! exchange over channel LCOs.
+//!
+//! The paper's endgame (§VI: "HPX can run distributed") is OP2 loops over
+//! a *partitioned* mesh where halo communication hides behind futures
+//! instead of bulk-synchronous MPI exchanges. This module provides the
+//! runtime side of that design, simulated inside one process:
+//!
+//! * a [`LocalityGroup`] holds one [`Op2`] context per **rank**. Every
+//!   rank declares its own shard of each set/map/dat (the partitioner in
+//!   `op2-mesh` computes who owns what); all ranks share a single worker
+//!   pool so their tasks interleave like HPX localities on one node.
+//! * each sharded dat is declared with [`Op2::decl_dat_halo`]: its owned
+//!   rows first, then **halo mirror rows** for the remote-owned elements
+//!   its loops reach, grouped contiguously by owner rank.
+//! * [`exchange`] refreshes the halo: for every (sender, receiver) pair it
+//!   schedules a **send node** (gathers the exported rows once their
+//!   writers finish, pushes them through a one-shot channel LCO) and a
+//!   **receive node** (pops the channel and scatters into the halo rows).
+//!
+//! The crucial property is *what the receive node registers as*: a writer
+//! of the halo blocks in the dat's per-block epoch table — exactly like a
+//! local loop node. A subsequent `par_loop` whose indirect arguments reach
+//! halo blocks therefore gates **only the blocks that touch the halo** on
+//! the receive future, through the ordinary block-reach dependency
+//! collection; its interior blocks carry no such edge and start
+//! immediately. Halo blocks are just remote-fed blocks, and communication
+//! overlaps interior compute with no global barrier per loop.
+//!
+//! ```
+//! use op2_core::locality::{exchange, HaloSpec, LocalityGroup};
+//! use op2_core::Op2Config;
+//!
+//! // Two ranks; rank 0 mirrors rank 1's first two rows.
+//! let group = LocalityGroup::new(Op2Config::dataflow(2), 2);
+//! let c0 = group.rank(0).decl_set(4, "cells");
+//! let c1 = group.rank(1).decl_set(4, "cells");
+//! let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![0.0f64; 6], 2);
+//! let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![7.0, 8.0, 0.0, 0.0]);
+//!
+//! let mut spec = HaloSpec::empty(2);
+//! spec.export_rows[1][0] = vec![0, 1];
+//! spec.import_range[0][1] = 4..6;
+//! spec.validate().unwrap();
+//!
+//! let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+//! recvs[0][1].wait();
+//! assert_eq!(&q0.snapshot()[4..6], &[7.0, 8.0]);
+//! ```
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpx_rt::lco::oneshot;
+use hpx_rt::{schedule_after, Runtime, SharedFuture};
+
+use crate::config::Op2Config;
+use crate::dat::Dat;
+use crate::types::{next_loop_gen, OpType};
+use crate::world::Op2;
+
+/// A group of simulated ranks sharing one worker pool (see module docs).
+pub struct LocalityGroup {
+    ranks: Vec<Op2>,
+}
+
+impl LocalityGroup {
+    /// Creates `nranks` contexts with `config` on a shared runtime.
+    pub fn new(config: Op2Config, nranks: usize) -> Self {
+        assert!(nranks >= 1, "a locality group needs at least one rank");
+        let rt = Arc::new(Runtime::with_name(config.threads, "op2-locality"));
+        let ranks = (0..nranks)
+            .map(|_| Op2::with_runtime(config.clone(), Arc::clone(&rt)))
+            .collect();
+        LocalityGroup { ranks }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The context of one rank.
+    pub fn rank(&self, r: usize) -> &Op2 {
+        &self.ranks[r]
+    }
+
+    /// All rank contexts, indexable by rank id.
+    pub fn ranks(&self) -> &[Op2] {
+        &self.ranks
+    }
+
+    /// Fences every rank — the whole-group global synchronization point.
+    pub fn fence(&self) {
+        for r in &self.ranks {
+            r.fence();
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalityGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalityGroup")
+            .field("nranks", &self.ranks.len())
+            .finish()
+    }
+}
+
+/// Who sends which local rows to whom, and where received rows land — the
+/// runtime-level mirror of the partitioner's import/export lists, in each
+/// rank's *local* row numbering.
+///
+/// `export_rows[r][s]` lists the owned local rows rank `r` gathers and
+/// sends to rank `s`; `import_range[s][r]` is the contiguous halo row
+/// range on rank `s` those values land in, in the same order. Halo rows
+/// are contiguous per peer because the shard builders group imports by
+/// owner rank.
+#[derive(Debug, Clone, Default)]
+pub struct HaloSpec {
+    /// Number of ranks.
+    pub nranks: usize,
+    /// `export_rows[r][s]`: local rows on rank `r` sent to rank `s`.
+    pub export_rows: Vec<Vec<Vec<u32>>>,
+    /// `import_range[r][s]`: local halo rows on rank `r` fed by rank `s`.
+    pub import_range: Vec<Vec<Range<usize>>>,
+}
+
+impl HaloSpec {
+    /// A spec with no traffic between `nranks` ranks.
+    pub fn empty(nranks: usize) -> Self {
+        HaloSpec {
+            nranks,
+            export_rows: vec![vec![Vec::new(); nranks]; nranks],
+            import_range: vec![vec![0..0; nranks]; nranks],
+        }
+    }
+
+    /// Checks shape and pairwise symmetry: `export_rows[r][s]` must be as
+    /// long as `import_range[s][r]`, and the diagonal must be empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.export_rows.len() != self.nranks || self.import_range.len() != self.nranks {
+            return Err("spec shape does not match nranks".into());
+        }
+        for r in 0..self.nranks {
+            if self.export_rows[r].len() != self.nranks || self.import_range[r].len() != self.nranks
+            {
+                return Err(format!("rank {r}: spec row shape does not match nranks"));
+            }
+            if !self.export_rows[r][r].is_empty() || !self.import_range[r][r].is_empty() {
+                return Err(format!("rank {r}: non-empty self exchange"));
+            }
+            for s in 0..self.nranks {
+                let sent = self.export_rows[r][s].len();
+                let landed = self.import_range[s][r].len();
+                if sent != landed {
+                    return Err(format!(
+                        "ranks {r}->{s}: {sent} rows exported but {landed} halo rows imported"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Tuning knobs for [`exchange_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeOpts {
+    /// Artificial per-message delay injected on the send side before the
+    /// value enters the channel — models interconnect latency so overlap
+    /// benchmarks and tests can measure how much of it interior compute
+    /// hides. `None` (the default) sends immediately.
+    pub link_delay: Option<Duration>,
+}
+
+/// [`exchange_with`] under default options.
+pub fn exchange<T: OpType>(
+    ranks: &[Op2],
+    dats: &[Dat<T>],
+    spec: &HaloSpec,
+) -> Vec<Vec<SharedFuture<()>>> {
+    exchange_with(ranks, dats, spec, &ExchangeOpts::default())
+}
+
+/// Schedules one asynchronous halo refresh of `dats` (one per rank, all
+/// shards of the same logical dat) according to `spec`, returning the
+/// receive-completion futures: `result[r][s]` completes when rank `r`'s
+/// halo rows from rank `s` are in place (already-ready for pairs with no
+/// traffic).
+///
+/// Nothing blocks: per nonempty pair this schedules a gather/send node
+/// (after the exported rows' pending writers; registered as a *reader* of
+/// those blocks so later writers wait for the send) and a receive/scatter
+/// node (after the halo rows' pending readers and writers; registered as
+/// a *writer* of the halo blocks, which is what gates exactly the
+/// boundary blocks of subsequent consumer loops). Values travel through
+/// one-shot channel LCOs.
+///
+/// The receive node additionally lists the send node's completion among
+/// its dependencies and pops the channel with a non-blocking `try_recv`.
+/// This keeps every node *reactive*: a task that blocked mid-body on
+/// `recv()` would pin its stack frame while help-first execution nests
+/// other tasks above it, and a nested task whose sender transitively
+/// waits on the pinned node completing deadlocks the pool (observed with
+/// ≥ 3 ranks exchanging through one worker group).
+pub fn exchange_with<T: OpType>(
+    ranks: &[Op2],
+    dats: &[Dat<T>],
+    spec: &HaloSpec,
+    opts: &ExchangeOpts,
+) -> Vec<Vec<SharedFuture<()>>> {
+    let n = spec.nranks;
+    assert_eq!(ranks.len(), n, "one Op2 context per rank");
+    assert_eq!(dats.len(), n, "one dat shard per rank");
+    // All receive nodes of this exchange form one writer generation, like
+    // the many nodes of one scattering loop: two peers' halo ranges may
+    // share a dependency block, and distinct generations would supersede
+    // each other's writer entry (a lost dependency). Sends get their own
+    // generation (readers ignore it).
+    let send_gen = next_loop_gen();
+    let recv_gen = next_loop_gen();
+    let mut recvs: Vec<Vec<SharedFuture<()>>> =
+        (0..n).map(|_| vec![SharedFuture::ready(()); n]).collect();
+    let mut deps: Vec<SharedFuture<()>> = Vec::new();
+
+    for src in 0..n {
+        for dst in 0..n {
+            let rows = &spec.export_rows[src][dst];
+            if src == dst || rows.is_empty() {
+                continue;
+            }
+            let range = spec.import_range[dst][src].clone();
+            assert_eq!(
+                rows.len(),
+                range.len(),
+                "halo spec {src}->{dst}: export/import length mismatch"
+            );
+            let dat_src = &dats[src];
+            let dat_dst = &dats[dst];
+            assert!(
+                rows.iter().all(|&r| (r as usize) < dat_src.set().size()),
+                "halo spec {src}->{dst}: export rows must be owned rows of dat '{}' \
+                 (halo mirror rows hold possibly-stale copies and are never authoritative)",
+                dat_src.name()
+            );
+            assert!(
+                range.end <= dat_dst.total_rows() && range.start >= dat_dst.set().size(),
+                "halo spec {src}->{dst}: import range {range:?} outside the halo region of dat '{}'",
+                dat_dst.name()
+            );
+            let (tx, rx) = oneshot::<Vec<T>>();
+
+            // --- Send node on `src`: gather + push.
+            let bsz = dat_src.dep_block_size().max(1);
+            let mut blocks: Vec<usize> = rows.iter().map(|&r| r as usize / bsz).collect();
+            blocks.sort_unstable();
+            blocks.dedup();
+            deps.clear();
+            for &b in &blocks {
+                dat_src.deps().collect_block(b, false, &mut deps);
+            }
+            let gather_rows: Arc<[u32]> = Arc::from(rows.as_slice());
+            let gather_dat = dat_src.clone();
+            let delay = opts.link_delay;
+            let send_done = schedule_after(ranks[src].runtime(), &deps, move || {
+                let dim = gather_dat.dim();
+                let mut buf = Vec::with_capacity(gather_rows.len() * dim);
+                for &row in gather_rows.iter() {
+                    // SAFETY: this node was scheduled after every pending
+                    // writer of the gathered blocks and is registered as a
+                    // reader, so the rows are stable while it runs.
+                    unsafe {
+                        let p = gather_dat.ptr().add(row as usize * dim);
+                        buf.extend_from_slice(std::slice::from_raw_parts(p, dim));
+                    }
+                }
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                // A dropped receiver means the exchange was abandoned
+                // (e.g. a panicking run); nothing to do.
+                let _ = tx.send(buf);
+            });
+            for &b in &blocks {
+                dat_src.deps().record_block(b, false, send_gen, &send_done);
+            }
+            ranks[src].track(send_done.clone());
+
+            // --- Receive node on `dst`: pop + scatter into the halo.
+            // Gated on the send's completion (the value is in the channel
+            // by then), never blocked mid-body — see above.
+            deps.clear();
+            dat_dst.deps().collect_rows(&range, true, &mut deps);
+            deps.push(send_done);
+            let scatter_dat = dat_dst.clone();
+            let scatter_range = range.clone();
+            let recv_done = schedule_after(ranks[dst].runtime(), &deps, move || {
+                let dim = scatter_dat.dim();
+                let buf = rx
+                    .try_recv()
+                    .expect("send node completed without filling the channel")
+                    .expect("halo sender dropped before sending");
+                assert_eq!(buf.len(), scatter_range.len() * dim, "halo payload size");
+                // SAFETY: scheduled after every pending reader and writer
+                // of the halo blocks, and registered as their writer, so
+                // this node has exclusive access to the rows.
+                unsafe {
+                    let p = scatter_dat.ptr().add(scatter_range.start * dim);
+                    std::ptr::copy_nonoverlapping(buf.as_ptr(), p, buf.len());
+                }
+            });
+            dat_dst
+                .deps()
+                .record_rows(&range, true, recv_gen, &recv_done);
+            ranks[dst].track(recv_done.clone());
+            recvs[dst][src] = recv_done;
+        }
+    }
+    recvs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arg::{arg_read_via, arg_write};
+    use crate::par_loop::{par_loop1, par_loop2};
+
+    fn two_rank_spec(halo: usize, owned: usize) -> HaloSpec {
+        let mut spec = HaloSpec::empty(2);
+        spec.export_rows[1][0] = (0..halo as u32).collect();
+        spec.import_range[0][1] = owned..owned + halo;
+        spec
+    }
+
+    #[test]
+    fn values_cross_ranks() {
+        let group = LocalityGroup::new(Op2Config::dataflow(2), 2);
+        let c0 = group.rank(0).decl_set(8, "cells");
+        let c1 = group.rank(1).decl_set(4, "cells");
+        let q0 = group
+            .rank(0)
+            .decl_dat_halo(&c0, 2, "q", vec![0.0f64; 24], 4);
+        let q1 = group
+            .rank(1)
+            .decl_dat(&c1, 2, "q", (0..8).map(|i| i as f64).collect());
+        let spec = two_rank_spec(4, 8);
+        spec.validate().unwrap();
+        let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+        recvs[0][1].wait();
+        assert!(recvs[0][0].is_ready(), "no-traffic pairs are ready");
+        let snap = q0.snapshot();
+        assert_eq!(
+            &snap[16..24],
+            &(0..8).map(|i| i as f64).collect::<Vec<_>>()[..]
+        );
+        assert!(snap[..16].iter().all(|&v| v == 0.0), "owned rows untouched");
+    }
+
+    #[test]
+    fn exchange_waits_for_pending_writer_of_exported_rows() {
+        let group = LocalityGroup::new(Op2Config::dataflow(2), 2);
+        let c0 = group.rank(0).decl_set(4, "cells");
+        let c1 = group.rank(1).decl_set(4, "cells");
+        let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![0.0f64; 8], 4);
+        let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![0.0f64; 4]);
+        // The writer is still pending when the exchange is scheduled.
+        par_loop1(
+            group.rank(1),
+            "w",
+            &c1,
+            (arg_write(&q1),),
+            |q: &mut [f64]| {
+                q[0] = 9.0;
+            },
+        );
+        let spec = two_rank_spec(4, 4);
+        let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+        recvs[0][1].wait();
+        assert_eq!(&q0.snapshot()[4..8], &[9.0; 4]);
+    }
+
+    #[test]
+    fn consumer_loop_after_exchange_reads_fresh_halo() {
+        let group = LocalityGroup::new(Op2Config::dataflow(2).with_block_size(2), 2);
+        let c0 = group.rank(0).decl_set(4, "cells");
+        let c1 = group.rank(1).decl_set(2, "cells");
+        let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![1.0f64; 6], 2);
+        let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![5.0f64, 6.0]);
+        let spec = two_rank_spec(2, 4);
+        exchange(group.ranks(), &[q0.clone(), q1], &spec);
+        // Gather through a map that reaches the halo rows.
+        let edges = group.rank(0).decl_set(6, "edges");
+        let m = group
+            .rank(0)
+            .decl_map_halo(&edges, &c0, 1, (0..6).collect(), "ident", 2);
+        let out = group.rank(0).decl_dat(&edges, 1, "out", vec![0.0f64; 6]);
+        let h = par_loop2(
+            group.rank(0),
+            "gather",
+            &edges,
+            (arg_read_via(&q0, &m, 0), arg_write(&out)),
+            |q: &[f64], o: &mut [f64]| o[0] = q[0],
+        );
+        h.wait();
+        assert_eq!(out.snapshot(), vec![1.0, 1.0, 1.0, 1.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn spec_validation_catches_asymmetry() {
+        let mut spec = HaloSpec::empty(2);
+        spec.export_rows[1][0] = vec![0, 1];
+        spec.import_range[0][1] = 4..5; // one row short
+        assert!(spec.validate().is_err());
+        spec.import_range[0][1] = 4..6;
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the halo region")]
+    fn import_range_must_lie_in_the_halo() {
+        let group = LocalityGroup::new(Op2Config::dataflow(1), 2);
+        let c0 = group.rank(0).decl_set(4, "cells");
+        let c1 = group.rank(1).decl_set(4, "cells");
+        let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![0.0f64; 8], 4);
+        let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![0.0f64; 4]);
+        let mut spec = HaloSpec::empty(2);
+        spec.export_rows[1][0] = vec![0];
+        spec.import_range[0][1] = 1..2; // owned region, not halo
+        let _ = exchange(group.ranks(), &[q0, q1], &spec);
+    }
+}

@@ -19,6 +19,10 @@ pub(crate) struct MapInner {
     pub dim: usize,
     pub indices: Vec<u32>,
     pub name: String,
+    /// Target rows beyond `to.size()` the table may index — the halo
+    /// mirror region of a sharded dat (see [`crate::locality`]). 0 for
+    /// ordinary single-locality maps.
+    pub halo_targets: usize,
     /// Block-reach tables keyed by `(slot, from block size, to block
     /// size)`; computed on first use, shared by every loop over this map.
     reach: Mutex<HashMap<(usize, usize, usize), Arc<BlockReach>>>,
@@ -33,6 +37,20 @@ pub struct Map {
 
 impl Map {
     pub(crate) fn new(from: &Set, to: &Set, dim: usize, indices: Vec<u32>, name: &str) -> Self {
+        Self::with_halo(from, to, dim, indices, name, 0)
+    }
+
+    /// A map whose table may additionally index `halo_targets` rows beyond
+    /// `to.size()` — the halo mirror region of sharded dats declared with
+    /// [`crate::Op2::decl_dat_halo`].
+    pub(crate) fn with_halo(
+        from: &Set,
+        to: &Set,
+        dim: usize,
+        indices: Vec<u32>,
+        name: &str,
+        halo_targets: usize,
+    ) -> Self {
         assert!(dim > 0, "map '{name}': dim must be positive");
         assert_eq!(
             indices.len(),
@@ -42,12 +60,13 @@ impl Map {
             from.size(),
             indices.len()
         );
-        let to_size = to.size() as u32;
+        let max_target = (to.size() + halo_targets) as u32;
         for (pos, &t) in indices.iter().enumerate() {
             assert!(
-                t < to_size,
-                "map '{name}': index {t} at position {pos} out of range for target set '{}' of size {to_size}",
-                to.name()
+                t < max_target,
+                "map '{name}': index {t} at position {pos} out of range for target set '{}' of size {} (+{halo_targets} halo)",
+                to.name(),
+                to.size()
             );
         }
         Map {
@@ -58,6 +77,7 @@ impl Map {
                 dim,
                 indices,
                 name: name.to_owned(),
+                halo_targets,
                 reach: Mutex::new(HashMap::new()),
             }),
         }
@@ -96,6 +116,21 @@ impl Map {
     /// Target set.
     pub fn to_set(&self) -> &Set {
         &self.inner.to
+    }
+
+    /// Halo rows beyond the target set the table may index (0 for
+    /// ordinary maps).
+    #[inline]
+    pub fn halo_targets(&self) -> usize {
+        self.inner.halo_targets
+    }
+
+    /// Total addressable target rows: `to_set().size() + halo_targets()`.
+    /// This — not the target set size — bounds the table's indices, and is
+    /// what the planner sizes its conflict masks by.
+    #[inline]
+    pub fn target_rows(&self) -> usize {
+        self.inner.to.size() + self.inner.halo_targets
     }
 
     /// Arity of the mapping.
@@ -142,6 +177,23 @@ mod tests {
     fn rejects_out_of_range_targets() {
         let (edges, nodes) = sets();
         let _ = Map::new(&edges, &nodes, 1, vec![0, 1, 2, 3], "bad");
+    }
+
+    #[test]
+    fn halo_targets_extend_the_index_range() {
+        let (edges, nodes) = sets();
+        // Index 3 is out of range for the 3-node set but inside the halo.
+        let m = Map::with_halo(&edges, &nodes, 1, vec![0, 1, 2, 3], "pecell", 1);
+        assert_eq!(m.halo_targets(), 1);
+        assert_eq!(m.target_rows(), 4);
+        assert_eq!(m.at(3, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn halo_bound_is_still_enforced() {
+        let (edges, nodes) = sets();
+        let _ = Map::with_halo(&edges, &nodes, 1, vec![0, 1, 2, 4], "bad", 1);
     }
 
     #[test]

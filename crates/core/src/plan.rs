@@ -127,9 +127,11 @@ fn try_color(
 ) -> Option<Vec<u32>> {
     // masks[m] is a flat [target_count x words] bitset of colors already
     // used by blocks touching that target.
+    // Masks cover the full addressable target range — including a sharded
+    // dat's halo mirror rows, which conflict exactly like owned rows.
     let mut masks: Vec<Vec<u64>> = by_map
         .iter()
-        .map(|(m, _)| vec![0u64; m.to_set().size() * words])
+        .map(|(m, _)| vec![0u64; m.target_rows() * words])
         .collect();
     let mut colors = Vec::with_capacity(blocks.len());
     let mut forbidden = vec![0u64; words];

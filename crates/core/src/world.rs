@@ -51,6 +51,15 @@ impl Op2 {
     /// Creates a context with its own worker pool.
     pub fn new(config: Op2Config) -> Self {
         let rt = Arc::new(Runtime::with_name(config.threads, "op2-worker"));
+        Self::with_runtime(config, rt)
+    }
+
+    /// Creates a context on an existing runtime. This is how the
+    /// multi-locality layer ([`crate::locality`]) simulates ranks: every
+    /// rank is its own `Op2` context (own plan cache, stats, declared
+    /// entities) but all ranks share one worker pool, so halo-exchange
+    /// tasks and loop blocks of different ranks interleave freely.
+    pub fn with_runtime(config: Op2Config, rt: Arc<Runtime>) -> Self {
         Op2 {
             rt,
             config,
@@ -84,12 +93,44 @@ impl Op2 {
         Map::new(from, to, dim, indices, name)
     }
 
+    /// Declares a map whose table may index `halo_targets` rows beyond the
+    /// target set — local ids of remote-owned elements mirrored in the
+    /// halo region of dats declared with [`Op2::decl_dat_halo`]. This is
+    /// the sharded form of `op_decl_map` (see [`crate::locality`]).
+    pub fn decl_map_halo(
+        &self,
+        from: &Set,
+        to: &Set,
+        dim: usize,
+        indices: Vec<u32>,
+        name: &str,
+        halo_targets: usize,
+    ) -> Map {
+        Map::with_halo(from, to, dim, indices, name, halo_targets)
+    }
+
     /// Declares data on a set (`op_decl_dat`); `data` holds
     /// `set.size() * dim` scalars, row-major. The dat's dependency table
     /// is partitioned to this context's mini-partition block size, so loop
     /// blocks and dependency blocks coincide under the dataflow backend.
     pub fn decl_dat<T: OpType>(&self, set: &Set, dim: usize, name: &str, data: Vec<T>) -> Dat<T> {
         Dat::with_dep_block_size(set, dim, name, data, self.config.block_size)
+    }
+
+    /// Declares data on a set with `halo_rows` mirror rows appended for
+    /// remote-owned elements; `data` holds `(set.size() + halo_rows) * dim`
+    /// scalars, owned rows first. Loops iterate the owned prefix only;
+    /// halo rows are fed by [`crate::locality::exchange`] and reached
+    /// through maps declared with [`Op2::decl_map_halo`].
+    pub fn decl_dat_halo<T: OpType>(
+        &self,
+        set: &Set,
+        dim: usize,
+        name: &str,
+        data: Vec<T>,
+        halo_rows: usize,
+    ) -> Dat<T> {
+        Dat::with_halo(set, dim, name, data, self.config.block_size, halo_rows)
     }
 
     /// Waits for every outstanding loop (every block node's epoch table

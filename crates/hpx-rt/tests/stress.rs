@@ -1,13 +1,15 @@
 //! Stress and failure-injection tests for the runtime: nested
 //! parallelism, panic propagation through every construct, runtime
-//! lifecycle churn, and concurrent chunker calibration.
+//! lifecycle churn, concurrent chunker calibration, and a seeded
+//! scheduler-permutation harness for the halo-exchange task pattern
+//! (channels + `DepCounter`-gated nodes) used by the sharded driver.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use hpx_rt::{
-    dataflow, for_each, for_each_async, par, par_task, ready, reduce, when_all, ChunkPolicy,
-    PersistentChunker, Runtime,
+    channel, dataflow, for_each, for_each_async, lco, par, par_task, ready, reduce, schedule_after,
+    when_all, ChunkPolicy, DepCounter, PersistentChunker, Runtime, SharedFuture,
 };
 
 #[test]
@@ -165,4 +167,193 @@ fn heavy_dataflow_fan_out_and_in() {
         .collect();
     let total: u64 = when_all(mids).get().into_iter().sum();
     assert_eq!(total, 100 + (0..100).sum::<u64>());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded scheduler-permutation harness (the sharded driver's task shape)
+// ---------------------------------------------------------------------------
+
+/// xorshift64* — deterministic shuffles, reproducible from the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Waits with a deadline so a deadlock fails the test instead of hanging
+/// the whole suite.
+fn wait_or_deadlock(futs: &[SharedFuture<()>], context: &str) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    for (i, f) in futs.iter().enumerate() {
+        while !f.is_ready() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{context}: node {i} never completed (deadlock or lost wakeup)"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        f.wait();
+    }
+}
+
+/// The sharded driver's halo-exchange pattern under permuted wake orders:
+/// R ranks exchange D values per round over one-shot channels for several
+/// chained rounds — send nodes gated on the producing rank's previous
+/// consumer, receive nodes gated on their send (reactive `try_recv`, the
+/// non-blocking discipline `op2-core::locality` uses), consumers joining a
+/// rank's receives. Round-0 producers fire in a different seeded
+/// permutation each replay, from two racing threads, on pools of 1-3
+/// workers. Every replay must drain completely with exact payload sums —
+/// no deadlock, no lost wakeup, no double delivery (a one-shot channel
+/// would panic).
+#[test]
+fn halo_exchange_pattern_survives_seeded_wake_permutations() {
+    const RANKS: usize = 4;
+    const DATS: usize = 2;
+    const ROUNDS: usize = 3;
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0xEC4A_0DE5 ^ seed.wrapping_mul(0xA076_1D64_78BD_642F));
+        let rt = Runtime::new(1 + (seed % 3) as usize);
+        let received = Arc::new(AtomicUsize::new(0));
+        let payload_sum = Arc::new(AtomicUsize::new(0));
+
+        // Round-0 producers: one manually-fired trigger per (rank, dat).
+        let mut triggers = Vec::new();
+        let mut producer_futs: Vec<Vec<SharedFuture<()>>> = vec![Vec::new(); RANKS];
+        for futs in &mut producer_futs {
+            for _ in 0..DATS {
+                let (promise, fut) = channel::<()>();
+                futs.push(fut.share());
+                triggers.push(promise);
+            }
+        }
+
+        // Chained rounds: every rank sends to every other rank.
+        let mut consumer_futs: Vec<SharedFuture<()>> = Vec::new();
+        let mut prev: Vec<Vec<SharedFuture<()>>> = producer_futs;
+        for round in 0..ROUNDS {
+            let mut next: Vec<Vec<SharedFuture<()>>> = vec![Vec::new(); RANKS];
+            for (dst, consumers) in next.iter_mut().enumerate() {
+                let mut recvs = Vec::new();
+                for (src, src_prev) in prev.iter().enumerate() {
+                    if src == dst {
+                        continue;
+                    }
+                    for d in 0..DATS {
+                        let (tx, rx) = lco::oneshot::<usize>();
+                        let value = round * 1000 + src * 10 + d;
+                        let send_done =
+                            schedule_after(&rt, src_prev, move || tx.send(value).unwrap());
+                        let sum = Arc::clone(&payload_sum);
+                        let count = Arc::clone(&received);
+                        let recv_done =
+                            schedule_after(&rt, std::slice::from_ref(&send_done), move || {
+                                let v = rx.try_recv().expect("sender done, channel empty").unwrap();
+                                sum.fetch_add(v, Ordering::Relaxed);
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                        recvs.push(recv_done);
+                    }
+                }
+                let consumer = schedule_after(&rt, &recvs, || ());
+                consumers.push(consumer.clone());
+                consumer_futs.push(consumer);
+            }
+            prev = next;
+        }
+
+        // Fire the round-0 triggers in a seeded permutation, racing two
+        // threads over the halves of the shuffled order.
+        rng.shuffle(&mut triggers);
+        let mid = triggers.len() / 2;
+        let tail: Vec<_> = triggers.split_off(mid);
+        let t = std::thread::spawn(move || {
+            for p in tail {
+                p.set_value(());
+                std::thread::yield_now();
+            }
+        });
+        for p in triggers {
+            p.set_value(());
+        }
+        t.join().unwrap();
+
+        wait_or_deadlock(&consumer_futs, &format!("seed {seed}"));
+        let expected_msgs = ROUNDS * RANKS * (RANKS - 1) * DATS;
+        assert_eq!(
+            received.load(Ordering::Relaxed),
+            expected_msgs,
+            "seed {seed}"
+        );
+        let expected_sum: usize = (0..ROUNDS)
+            .map(|round| {
+                (0..RANKS)
+                    .flat_map(|src| (0..DATS).map(move |d| round * 1000 + src * 10 + d))
+                    .sum::<usize>()
+                    * (RANKS - 1)
+            })
+            .sum();
+        assert_eq!(
+            payload_sum.load(Ordering::Relaxed),
+            expected_sum,
+            "seed {seed}"
+        );
+    }
+}
+
+/// `DepCounter` under seeded countdown interleavings: many counters, their
+/// countdown operations shuffled together and raced across four threads —
+/// every counter must fire exactly once, never early, never twice.
+#[test]
+fn dep_counter_exact_fire_under_seeded_interleavings() {
+    const COUNTERS: usize = 32;
+    const COUNT: usize = 8;
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xDEC0_47E5 ^ seed.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let fired: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..COUNTERS).map(|_| AtomicUsize::new(0)).collect());
+        let counters: Vec<Arc<DepCounter>> = (0..COUNTERS)
+            .map(|i| {
+                let f = Arc::clone(&fired);
+                DepCounter::new(COUNT, move || {
+                    f[i].fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        // All countdown ops, shuffled, dealt round-robin to four threads.
+        let mut ops: Vec<usize> = (0..COUNTERS).flat_map(|i| [i; COUNT]).collect();
+        rng.shuffle(&mut ops);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let my_ops: Vec<usize> = ops.iter().skip(t).step_by(4).copied().collect();
+                let counters = counters.clone();
+                std::thread::spawn(move || {
+                    for i in my_ops {
+                        counters[i].count_down();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, f) in fired.iter().enumerate() {
+            assert_eq!(f.load(Ordering::Relaxed), 1, "seed {seed}: counter {i}");
+            assert_eq!(counters[i].pending(), 0, "seed {seed}: counter {i}");
+        }
+    }
 }

@@ -9,18 +9,22 @@
 //!
 //! Also provided: a triangle mesh generator for the secondary example
 //! applications, CSR adjacency inversion, BFS (RCM-style) renumbering for
-//! locality ablations, and structural validation.
+//! locality ablations, deterministic k-way partitioning with halo-list
+//! derivation for the multi-locality execution layer, and structural
+//! validation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod csr;
+pub mod partition;
 pub mod quad;
 pub mod renumber;
 pub mod tri;
 pub mod validate;
 
 pub use csr::{invert_map, neighbors_from_pairs, Csr};
+pub use partition::{build_halo, partition_greedy_bfs, HaloPlan, Partition};
 pub use quad::{channel_with_bump, QuadMesh, BOUND_FARFIELD, BOUND_WALL};
 pub use renumber::{bfs_permutation, mean_pair_span, permute_rows, relabel_targets};
 pub use tri::{unit_square, TriMesh};

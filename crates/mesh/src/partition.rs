@@ -1,0 +1,340 @@
+//! Deterministic k-way mesh partitioning and halo-list construction — the
+//! distributed-memory substrate of the multi-locality execution layer.
+//!
+//! # Ownership model (OP2 MPI semantics)
+//!
+//! A [`Partition`] assigns every element of a *target* set (cells, for the
+//! Airfoil loop nest) to exactly one rank: its **owner**. From a partition
+//! and a mapping table (e.g. `pecell: edges → 2 cells`), [`build_halo`]
+//! derives, per rank:
+//!
+//! * the **exec** list — the source elements a rank executes: every source
+//!   element reaching at least one owned target. Source elements on a
+//!   partition boundary appear in several ranks' exec lists and are
+//!   executed *redundantly* (OP2's "execute halo"), so that every owned
+//!   target receives all of its contributions locally and increment
+//!   results never need to travel;
+//! * the **import** lists — per peer rank, the non-owned targets the
+//!   rank's exec elements reach. These are the halo rows a rank keeps a
+//!   local mirror of, refreshed by asynchronous exchange before each read;
+//! * the **export** lists — the exact mirror image: `export[r][s]` is the
+//!   slice of `r`-owned elements that rank `s` imports, i.e.
+//!   `export[r][s] == import[s][r]` element for element.
+//!
+//! Both the partitioner and the halo derivation are fully deterministic:
+//! the same mesh and rank count always produce the same lists, which is
+//! what makes the sharded execution layer testable against single-locality
+//! goldens.
+
+use crate::csr::Csr;
+
+/// A k-way assignment of elements to ranks (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Number of ranks.
+    pub nparts: usize,
+    /// Owner rank of each element, `part_of[e] < nparts`.
+    pub part_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Elements owned by `rank`, ascending.
+    pub fn owned(&self, rank: usize) -> Vec<u32> {
+        self.part_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p as usize == rank)
+            .map(|(e, _)| e as u32)
+            .collect()
+    }
+
+    /// Element count per rank.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.nparts];
+        for &p in &self.part_of {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Checks the fundamental invariant: every element is owned by exactly
+    /// one rank in range (vacuously true by construction of `part_of`
+    /// unless a value is out of range).
+    pub fn validate(&self) -> Result<(), String> {
+        for (e, &p) in self.part_of.iter().enumerate() {
+            if p as usize >= self.nparts {
+                return Err(format!(
+                    "element {e} owned by rank {p}, only {} ranks exist",
+                    self.nparts
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic greedy-BFS k-way partitioning over a CSR adjacency.
+///
+/// Ranks are grown one at a time: each starts from the lowest-numbered
+/// unassigned element and claims unassigned neighbours breadth-first until
+/// its quota (`⌈n/k⌉` for the first `n mod k` ranks, `⌊n/k⌋` for the rest)
+/// is met, re-seeding from the lowest unassigned element whenever its
+/// frontier is exhausted. Quotas are met exactly, so part sizes differ by
+/// at most one — and the BFS growth keeps parts contiguous on meshes with
+/// contiguous numbering, which is what bounds halo sizes.
+pub fn partition_greedy_bfs(adj: &Csr, nparts: usize) -> Partition {
+    assert!(nparts >= 1, "partition needs at least one rank");
+    let n = adj.len();
+    let mut part_of = vec![u32::MAX; n];
+    let (base, extra) = (n / nparts, n % nparts);
+    let mut next_seed = 0usize;
+    for rank in 0..nparts {
+        let quota = base + usize::from(rank < extra);
+        let mut claimed = 0usize;
+        let mut frontier = std::collections::VecDeque::new();
+        while claimed < quota {
+            let Some(e) = frontier.pop_front() else {
+                // Re-seed from the lowest unassigned element.
+                while next_seed < n && part_of[next_seed] != u32::MAX {
+                    next_seed += 1;
+                }
+                if next_seed >= n {
+                    break;
+                }
+                part_of[next_seed] = rank as u32;
+                claimed += 1;
+                frontier.push_back(next_seed as u32);
+                continue;
+            };
+            for &nb in adj.row(e as usize) {
+                if claimed >= quota {
+                    break;
+                }
+                if part_of[nb as usize] == u32::MAX {
+                    part_of[nb as usize] = rank as u32;
+                    claimed += 1;
+                    frontier.push_back(nb);
+                }
+            }
+        }
+    }
+    debug_assert!(part_of.iter().all(|&p| p != u32::MAX));
+    Partition { nparts, part_of }
+}
+
+/// Per-rank exec/import/export lists derived from a partition and one
+/// mapping table (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloPlan {
+    /// Number of ranks.
+    pub nparts: usize,
+    /// `exec[r]`: source elements rank `r` executes, ascending.
+    pub exec: Vec<Vec<u32>>,
+    /// `import[r][s]`: targets owned by `s` that rank `r` mirrors,
+    /// ascending; empty for `s == r`.
+    pub import: Vec<Vec<Vec<u32>>>,
+    /// `export[r][s] == import[s][r]`: targets owned by `r` that rank `s`
+    /// mirrors.
+    pub export: Vec<Vec<Vec<u32>>>,
+}
+
+impl HaloPlan {
+    /// Total halo (import) rows of `rank`.
+    pub fn halo_size(&self, rank: usize) -> usize {
+        self.import[rank].iter().map(Vec::len).sum()
+    }
+
+    /// Checks the structural invariants: import/export symmetry across
+    /// every rank pair, empty diagonals, imports owned by the peer, and
+    /// every exec element's reach covered by ownership plus imports.
+    pub fn validate(
+        &self,
+        part: &Partition,
+        map_indices: &[u32],
+        dim: usize,
+    ) -> Result<(), String> {
+        for r in 0..self.nparts {
+            if !self.import[r][r].is_empty() || !self.export[r][r].is_empty() {
+                return Err(format!("rank {r}: non-empty self halo"));
+            }
+            for s in 0..self.nparts {
+                if self.export[r][s] != self.import[s][r] {
+                    return Err(format!("ranks {r}->{s}: export/import asymmetry"));
+                }
+                for &t in &self.import[r][s] {
+                    if part.part_of[t as usize] as usize != s {
+                        return Err(format!("rank {r}: import {t} not owned by {s}"));
+                    }
+                }
+            }
+            // Coverage: everything an exec element reaches is resident.
+            for &e in &self.exec[r] {
+                for k in 0..dim {
+                    let t = map_indices[e as usize * dim + k];
+                    let owner = part.part_of[t as usize] as usize;
+                    if owner != r && self.import[r][owner].binary_search(&t).is_err() {
+                        return Err(format!(
+                            "rank {r}: exec element {e} reaches {t} (owner {owner}) outside halo"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the [`HaloPlan`] of `part` for a mapping table of arity `dim`
+/// (see module docs). A source element is executed by every rank owning at
+/// least one of its targets; its non-owned targets become imports.
+pub fn build_halo(part: &Partition, map_indices: &[u32], dim: usize) -> HaloPlan {
+    assert!(dim > 0, "mapping arity must be positive");
+    assert!(
+        map_indices.len().is_multiple_of(dim),
+        "table length not a multiple of the arity"
+    );
+    let nfrom = map_indices.len() / dim;
+    let k = part.nparts;
+    let mut exec: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut import: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); k]; k];
+    let mut owners = Vec::with_capacity(dim);
+    for e in 0..nfrom {
+        let targets = &map_indices[e * dim..(e + 1) * dim];
+        owners.clear();
+        owners.extend(targets.iter().map(|&t| part.part_of[t as usize]));
+        let mut execs: Vec<u32> = owners.clone();
+        execs.sort_unstable();
+        execs.dedup();
+        for &r in &execs {
+            exec[r as usize].push(e as u32);
+            for (slot, &t) in targets.iter().enumerate() {
+                let owner = owners[slot];
+                if owner != r {
+                    import[r as usize][owner as usize].push(t);
+                }
+            }
+        }
+    }
+    for row in &mut import {
+        for list in row {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+    let export: Vec<Vec<Vec<u32>>> = (0..k)
+        .map(|r| (0..k).map(|s| import[s][r].clone()).collect())
+        .collect();
+    HaloPlan {
+        nparts: k,
+        exec,
+        import,
+        export,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::neighbors_from_pairs;
+
+    /// A ring of n cells: cell c neighbours (c±1 mod n); edge e connects
+    /// cells (e, e+1 mod n).
+    fn ring(n: usize) -> (Csr, Vec<u32>) {
+        let mut pairs = Vec::with_capacity(2 * n);
+        for e in 0..n {
+            pairs.push(e as u32);
+            pairs.push(((e + 1) % n) as u32);
+        }
+        (neighbors_from_pairs(&pairs, n), pairs)
+    }
+
+    #[test]
+    fn partition_is_exact_and_balanced() {
+        let (adj, _) = ring(103);
+        for k in [1usize, 2, 3, 7, 103] {
+            let p = partition_greedy_bfs(&adj, k);
+            p.validate().unwrap();
+            let sizes = p.sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), 103);
+            let (base, extra) = (103 / k, 103 % k);
+            for (r, &s) in sizes.iter().enumerate() {
+                assert_eq!(s, base + usize::from(r < extra), "rank {r} off quota");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let (adj, _) = ring(64);
+        assert_eq!(partition_greedy_bfs(&adj, 5), partition_greedy_bfs(&adj, 5));
+    }
+
+    #[test]
+    fn bfs_growth_keeps_ring_parts_contiguous() {
+        let (adj, _) = ring(40);
+        let p = partition_greedy_bfs(&adj, 4);
+        // Each rank's owned set on a ring is one (possibly wrapping) arc:
+        // count ownership changes walking the ring — one per boundary.
+        let changes = (0..40)
+            .filter(|&c| p.part_of[c] != p.part_of[(c + 1) % 40])
+            .count();
+        assert!(changes <= 2 * 4, "fragmented partition: {changes} cuts");
+    }
+
+    #[test]
+    fn halo_of_ring_is_symmetric_and_covering() {
+        let (adj, pairs) = ring(30);
+        let p = partition_greedy_bfs(&adj, 3);
+        let h = build_halo(&p, &pairs, 2);
+        h.validate(&p, &pairs, 2).unwrap();
+        // Every edge is executed by the owner(s) of its two cells and by
+        // no one else.
+        let mut exec_count = vec![0usize; 30];
+        for r in 0..3 {
+            for &e in &h.exec[r] {
+                exec_count[e as usize] += 1;
+            }
+        }
+        for e in 0..30 {
+            let (a, b) = (
+                p.part_of[pairs[2 * e] as usize],
+                p.part_of[pairs[2 * e + 1] as usize],
+            );
+            assert_eq!(exec_count[e], if a == b { 1 } else { 2 }, "edge {e}");
+        }
+    }
+
+    #[test]
+    fn single_rank_needs_no_halo() {
+        let (adj, pairs) = ring(16);
+        let p = partition_greedy_bfs(&adj, 1);
+        let h = build_halo(&p, &pairs, 2);
+        assert_eq!(h.exec[0].len(), 16);
+        assert_eq!(h.halo_size(0), 0);
+    }
+
+    #[test]
+    fn dim1_map_owned_targets_need_no_halo() {
+        // A map whose single target determines the executing rank (the
+        // Airfoil `pbecell` shape) never imports anything.
+        let (adj, _) = ring(20);
+        let p = partition_greedy_bfs(&adj, 4);
+        let table: Vec<u32> = (0..20).map(|e| e as u32).collect();
+        let h = build_halo(&p, &table, 1);
+        for r in 0..4 {
+            assert_eq!(h.halo_size(r), 0, "rank {r}");
+        }
+        h.validate(&p, &table, 1).unwrap();
+    }
+
+    #[test]
+    fn empty_adjacency() {
+        let adj = Csr {
+            offsets: vec![0],
+            adj: Vec::new(),
+        };
+        let p = partition_greedy_bfs(&adj, 2);
+        assert_eq!(p.part_of.len(), 0);
+        assert_eq!(p.sizes(), vec![0, 0]);
+    }
+}

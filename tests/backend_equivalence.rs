@@ -2,6 +2,7 @@
 //! umbrella crate's public API: every execution strategy must produce the
 //! same physics (up to summation-order rounding).
 
+use op2_hpx::airfoil::shard::{run_sharded, ShardedProblem};
 use op2_hpx::airfoil::verify::{all_finite, max_rel_diff, max_scaled_diff};
 use op2_hpx::airfoil::{solver, Problem, SolverConfig};
 use op2_hpx::hpx::PersistentChunker;
@@ -49,6 +50,49 @@ fn all_backends_and_optimizations_agree() {
     for (name, config) in candidates {
         let (rms, q) = simulate(config);
         let d_rms = max_rel_diff(&rms_ref, &rms);
+        let d_q = max_scaled_diff(&q_ref, &q, 1.0);
+        assert!(d_rms < 1e-7, "{name}: rms deviates by {d_rms:e}");
+        assert!(d_q < 1e-9, "{name}: q deviates by {d_q:e}");
+    }
+}
+
+/// The multi-rank extension of the harness above: the sharded execution
+/// path must reproduce the single-locality physics under every backend —
+/// the sequential reference, the fork-join baseline and the dataflow
+/// engine with its overlapped halo exchange all within the same rounding
+/// budget, and 1-rank sharding under Seq *bitwise* (identical renumbering,
+/// identical execution order).
+#[test]
+fn sharded_ranks_agree_with_single_locality_across_backends() {
+    let (rms_ref, q_ref) = simulate(Op2Config::seq());
+    let mesh = channel_with_bump(32, 16);
+    let cfg = SolverConfig {
+        niter: 12,
+        window: 4,
+        print_every: 0,
+    };
+    let candidates: Vec<(&str, Op2Config, usize)> = vec![
+        ("seq x1", Op2Config::seq(), 1),
+        ("seq x4", Op2Config::seq(), 4),
+        ("fork_join(2) x4", Op2Config::fork_join(2), 4),
+        ("dataflow(2) x4", Op2Config::dataflow(2), 4),
+        ("dataflow(4) x3", Op2Config::dataflow(4), 3),
+        (
+            "dataflow(2) x4 block128",
+            Op2Config::dataflow(2).with_block_size(128),
+            4,
+        ),
+    ];
+    for (name, config, nranks) in candidates {
+        let shp = ShardedProblem::declare(config, &mesh, nranks);
+        let r = run_sharded(&shp, &cfg);
+        let q = shp.gather_q();
+        if name == "seq x1" {
+            assert_eq!(r.rms_history, rms_ref, "1-rank Seq sharding is bitwise");
+            assert_eq!(q, q_ref, "1-rank Seq sharding is bitwise");
+            continue;
+        }
+        let d_rms = max_rel_diff(&rms_ref, &r.rms_history);
         let d_q = max_scaled_diff(&q_ref, &q, 1.0);
         assert!(d_rms < 1e-7, "{name}: rms deviates by {d_rms:e}");
         assert!(d_q < 1e-9, "{name}: q deviates by {d_q:e}");

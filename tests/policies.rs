@@ -1,6 +1,7 @@
 //! Table I semantics, asserted through the public API: `seq` preserves
 //! order, `par` completes exactly, task policies return futures that are
-//! genuinely asynchronous, and every policy computes the same result.
+//! genuinely asynchronous, every policy computes the same result — and
+//! the chunk policy's wiring into Dataflow node granularity.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -8,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use op2_hpx::hpx::{
     for_each, for_each_async, par, par_task, par_vec, reduce, seq, seq_task, ChunkPolicy, Runtime,
 };
+use op2_hpx::op2::{arg_read, arg_write, par_loop2, Op2, Op2Config};
 
 #[test]
 fn seq_runs_in_index_order() {
@@ -89,5 +91,70 @@ fn chunk_policies_compose_with_any_policy() {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.into_inner(), 12_345);
+    }
+}
+
+/// The chunk policy governs *direct* Dataflow node granularity for the
+/// probe-free uniform policies; measuring and non-uniform policies fall
+/// back to the mini-partition block size.
+#[test]
+fn chunk_policy_sets_dataflow_direct_node_granularity() {
+    use op2_hpx::op2::__dataflow_direct_blocks as blocks_of;
+
+    let static_cfg = Op2::new(Op2Config::dataflow(2).with_chunk(ChunkPolicy::Static { size: 100 }));
+    let b = blocks_of(&static_cfg, 1000);
+    assert_eq!(b.len(), 10);
+    assert!(b.iter().all(|r| r.len() == 100), "Static{{100}} nodes");
+
+    let numchunks_cfg =
+        Op2::new(Op2Config::dataflow(2).with_chunk(ChunkPolicy::NumChunks { chunks: 4 }));
+    let b = blocks_of(&numchunks_cfg, 1000);
+    assert_eq!(b.len(), 4, "NumChunks{{4}} yields 4 nodes");
+    assert_eq!(b[0].len(), 250);
+
+    // Auto (the default) and Guided keep the configured block size.
+    let auto_cfg = Op2::new(Op2Config::dataflow(2).with_block_size(128));
+    let b = blocks_of(&auto_cfg, 1000);
+    assert!(b.iter().take(b.len() - 1).all(|r| r.len() == 128));
+    let guided_cfg = Op2::new(
+        Op2Config::dataflow(2)
+            .with_block_size(64)
+            .with_chunk(ChunkPolicy::Guided { min: 8 }),
+    );
+    assert_eq!(blocks_of(&guided_cfg, 640).len(), 10);
+}
+
+/// Dataflow results are identical regardless of the chunk-driven node
+/// granularity, including dependent-loop chains.
+#[test]
+fn dataflow_chunked_granularity_preserves_results() {
+    for chunk in [
+        ChunkPolicy::Static { size: 37 },
+        ChunkPolicy::NumChunks { chunks: 3 },
+        ChunkPolicy::default(),
+    ] {
+        let op2 = Op2::new(Op2Config::dataflow(2).with_chunk(chunk));
+        let cells = op2.decl_set(1000, "cells");
+        let a = op2.decl_dat(&cells, 1, "a", vec![1.0f64; 1000]);
+        let b = op2.decl_dat(&cells, 1, "b", vec![0.0f64; 1000]);
+        for _ in 0..5 {
+            par_loop2(
+                &op2,
+                "fwd",
+                &cells,
+                (arg_read(&a), arg_write(&b)),
+                |a: &[f64], b: &mut [f64]| b[0] = a[0] * 2.0,
+            );
+            par_loop2(
+                &op2,
+                "bwd",
+                &cells,
+                (arg_read(&b), arg_write(&a)),
+                |b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0,
+            );
+        }
+        op2.fence();
+        // x -> 2x+1 five times from 1.0 = 63.
+        assert!(a.snapshot().iter().all(|&v| v == 63.0));
     }
 }

@@ -10,7 +10,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use op2_hpx::hpx::{dataflow, ready, ChunkPolicy, Future, Runtime};
-use op2_hpx::mesh::{channel_with_bump, quad_stats, validate_quad};
+use op2_hpx::mesh::{
+    build_halo, channel_with_bump, neighbors_from_pairs, partition_greedy_bfs, quad_stats,
+    validate_quad,
+};
 use op2_hpx::op2::{
     arg_inc_via, par_loop1, par_loop2, plan_for, validate_coloring, ArgSpec, Op2, Op2Config,
 };
@@ -190,6 +193,61 @@ fn dataflow_trees_match_sequential() {
             }
         }
         assert_eq!(fut.get(), expect, "case {case}");
+    }
+}
+
+/// Partitioning invariants on arbitrary meshes and rank counts: every
+/// cell is owned by exactly one rank, part sizes meet their quotas
+/// exactly, import/export lists are symmetric across every rank pair
+/// (with imports owned by the peer), and the halo covers every indirect
+/// reach of the Airfoil loop set — `pecell` imports close over every exec
+/// edge's cells, and the single-target `pbecell` shape needs no halo at
+/// all.
+#[test]
+fn partition_and_halo_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5A4D_ED00 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let imax = rng.in_range(3, 40);
+        let jmax = rng.in_range(1, 24);
+        let nranks = rng.in_range(1, 9).min(imax * jmax);
+        let mesh = channel_with_bump(imax, jmax);
+        let adj = neighbors_from_pairs(&mesh.edge_cells, mesh.ncell);
+        let part = partition_greedy_bfs(&adj, nranks);
+
+        // Exactly-one-owner plus exact quotas.
+        part.validate()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let sizes = part.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), mesh.ncell, "case {case}");
+        let (base, extra) = (mesh.ncell / nranks, mesh.ncell % nranks);
+        for (r, &s) in sizes.iter().enumerate() {
+            assert_eq!(s, base + usize::from(r < extra), "case {case} rank {r}");
+        }
+        // Determinism.
+        assert_eq!(part, partition_greedy_bfs(&adj, nranks), "case {case}");
+
+        // Halo symmetry + coverage over the edge→cells indirection (the
+        // validate method checks import/export mirroring, peer ownership
+        // and reach coverage).
+        let halo = build_halo(&part, &mesh.edge_cells, 2);
+        halo.validate(&part, &mesh.edge_cells, 2)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // Every edge is executed by the owners of its cells and only them.
+        for (e, cells) in mesh.edge_cells.chunks_exact(2).enumerate() {
+            for &c in cells {
+                let owner = part.part_of[c as usize] as usize;
+                assert!(
+                    halo.exec[owner].binary_search(&(e as u32)).is_ok(),
+                    "case {case}: edge {e} missing from owner {owner}'s exec set"
+                );
+            }
+        }
+        // The boundary-edge map shape (one target, executed by its owner)
+        // closes without any halo.
+        let bhalo = build_halo(&part, &mesh.bedge_cells, 1);
+        for r in 0..nranks {
+            assert_eq!(bhalo.halo_size(r), 0, "case {case}: pbecell needs no halo");
+        }
     }
 }
 
