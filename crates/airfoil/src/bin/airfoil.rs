@@ -12,6 +12,7 @@
 
 use airfoil_cfd::{shard, solver, Problem, SolverConfig};
 use op2_core::hpx_rt::PersistentChunker;
+use op2_core::locality::implicit_halo_stats;
 use op2_core::{Op2, Op2Config};
 use op2_mesh::{quad_stats, QuadMesh};
 
@@ -124,6 +125,14 @@ fn main() {
                 part.edges.size(),
                 part.n_interior_edges
             );
+        }
+        for (name, dat) in [("q", &shp.parts[0].p_q), ("adt", &shp.parts[0].p_adt)] {
+            if let Some(st) = implicit_halo_stats(dat) {
+                println!(
+                    "  implicit halo [{name}]: {} pair exchanges, {} refresh checks, {} skipped clean",
+                    st.pair_exchanges, st.refresh_calls, st.skipped_clean
+                );
+            }
         }
         return;
     }

@@ -24,25 +24,34 @@
 //! * **nodes / bedges** — replicated as reached: coordinates are
 //!   read-only, and a boundary edge belongs to its single cell's owner.
 //!
-//! # The exchange schedule
+//! # Implicit communication
 //!
-//! Per inner step, `q` and `adt` halos are refreshed through
-//! [`op2_core::locality::exchange`] *between* submitting `adt_calc` and
-//! `res_calc`. Nothing blocks: the send nodes chain behind the epoch-table
-//! writers of the exported rows, the receive nodes register as writers of
-//! the halo blocks, and `res_calc`'s interior blocks — which reach no halo
-//! block — start immediately while the exchange is in flight. Only the
-//! boundary blocks gate on the receives. A rank's `rms` contribution is a
-//! per-rank [`Global`] summed after the run, which keeps the pipeline free
-//! of cross-rank reduction barriers.
+//! The time loop contains **no communication calls**. At declare time the
+//! `q` and `adt` shards are tied into halo rings
+//! ([`op2_core::locality::link_halo`]); from then on the access
+//! descriptors alone drive the exchanges: `adt_calc`'s write of `adt` and
+//! `update`'s write of `q` mark the exported halos stale, and submitting
+//! `res_calc` — whose `read_via(pecell)` arguments reach the import rows —
+//! schedules the gather/send/scatter nodes for exactly the stale pairs
+//! before its own nodes are built. Nothing blocks: the send nodes chain
+//! behind the epoch-table writers of the exported rows, the receive nodes
+//! register as writers of the halo blocks, and `res_calc`'s interior
+//! blocks — which reach no halo block — start immediately while the
+//! exchange is in flight. Only the boundary blocks gate on the receives;
+//! `bres_calc` reads through `pbecell`, which targets owned cells only,
+//! so it triggers nothing. A rank's `rms` contribution is a per-rank
+//! [`Global`] summed after the run, which keeps the pipeline free of
+//! cross-rank reduction barriers.
+//!
+//! The `res` shards are deliberately *not* linked: increments into `res`
+//! halo mirrors are dead values (partition-boundary edges are executed
+//! redundantly by both ranks), so exchanging them would be pure waste.
 
 use std::time::Instant;
 
-use op2_core::locality::{exchange, HaloSpec, LocalityGroup};
-use op2_core::{
-    arg_gbl_inc, arg_inc_via, arg_read, arg_read_via, arg_rw, arg_write, par_loop2, par_loop5,
-    par_loop6, par_loop8, Dat, Global, LoopHandle, Map, Op2Config, Set,
-};
+use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
+use op2_core::locality::{HaloSpec, LocalityGroup};
+use op2_core::{Dat, Global, LoopHandle, Map, Op2Config, Set};
 use op2_mesh::{build_halo, neighbors_from_pairs, partition_greedy_bfs, QuadMesh};
 
 use crate::constants::qinf;
@@ -285,6 +294,14 @@ impl ShardedProblem {
         }
         spec.validate().expect("shard construction broke the spec");
 
+        // Implicit communication: tie the q and adt shards into halo
+        // rings so the time loop needs no manual exchange calls (res
+        // halo increments are dead values — see module docs).
+        let qs: Vec<Dat<f64>> = parts.iter().map(|p| p.p_q.clone()).collect();
+        let adts: Vec<Dat<f64>> = parts.iter().map(|p| p.p_adt.clone()).collect();
+        group.link_halo(&qs, &spec);
+        group.link_halo(&adts, &spec);
+
         ShardedProblem {
             group,
             parts,
@@ -311,16 +328,14 @@ impl ShardedProblem {
 
 /// Runs `cfg.niter` Airfoil iterations over the sharded problem — the
 /// `--ranks N` execution path. Loop-for-loop equivalent to
-/// [`crate::solver::run`], with `q`/`adt` halo exchanges submitted between
-/// `adt_calc` and `res_calc` of every inner step (and overlapped with
-/// interior compute under the Dataflow backend; see module docs).
+/// [`crate::solver::run`] with **zero communication calls**: the halo
+/// rings linked at declare time schedule the `q`/`adt` exchanges when
+/// `res_calc`'s stale halo reads are submitted (overlapped with interior
+/// compute under the Dataflow backend; see module docs).
 pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
     let nranks = shp.parts.len();
     let ncell = shp.ncell_global;
     let t0 = Instant::now();
-
-    let qs: Vec<Dat<f64>> = shp.parts.iter().map(|p| p.p_q.clone()).collect();
-    let adts: Vec<Dat<f64>> = shp.parts.iter().map(|p| p.p_adt.clone()).collect();
 
     let mut rms_globals: Vec<Vec<Global<f64>>> = Vec::with_capacity(cfg.niter);
     let mut window_handles: Vec<Vec<LoopHandle>> = Vec::with_capacity(cfg.niter);
@@ -328,96 +343,85 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
     for iter in 1..=cfg.niter {
         for (r, p) in shp.parts.iter().enumerate() {
             let op2 = shp.group.rank(r);
-            par_loop2(
-                op2,
-                "save_soln",
-                &p.cells,
-                (arg_read(&p.p_q), arg_write(&p.p_qold)),
-                |q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold),
-            );
+            op2.loop_("save_soln", &p.cells)
+                .arg(read(&p.p_q))
+                .arg(write(&p.p_qold))
+                .run(|q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold));
         }
 
         let mut last_update: Option<(Vec<Global<f64>>, Vec<LoopHandle>)> = None;
         for _k in 0..2 {
             for (r, p) in shp.parts.iter().enumerate() {
                 let op2 = shp.group.rank(r);
-                par_loop6(
-                    op2,
-                    "adt_calc",
-                    &p.cells,
-                    (
-                        arg_read_via(&p.p_x, &p.pcell, 0),
-                        arg_read_via(&p.p_x, &p.pcell, 1),
-                        arg_read_via(&p.p_x, &p.pcell, 2),
-                        arg_read_via(&p.p_x, &p.pcell, 3),
-                        arg_read(&p.p_q),
-                        arg_write(&p.p_adt),
-                    ),
-                    |x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]| {
-                        kernels::adt_calc(x1, x2, x3, x4, q, adt)
-                    },
-                );
+                op2.loop_("adt_calc", &p.cells)
+                    .arg(read_via(&p.p_x, &p.pcell, 0))
+                    .arg(read_via(&p.p_x, &p.pcell, 1))
+                    .arg(read_via(&p.p_x, &p.pcell, 2))
+                    .arg(read_via(&p.p_x, &p.pcell, 3))
+                    .arg(read(&p.p_q))
+                    .arg(write(&p.p_adt))
+                    .run(
+                        |x1: &[f64],
+                         x2: &[f64],
+                         x3: &[f64],
+                         x4: &[f64],
+                         q: &[f64],
+                         adt: &mut [f64]| {
+                            kernels::adt_calc(x1, x2, x3, x4, q, adt)
+                        },
+                    );
             }
 
-            // Refresh the halos the flux loop reads. Sends chain behind
-            // the exported rows' writers (`update` for q, `adt_calc` for
-            // adt); receives gate only res_calc's boundary blocks.
-            exchange(shp.group.ranks(), &qs, &shp.cell_spec);
-            exchange(shp.group.ranks(), &adts, &shp.cell_spec);
-
+            // No manual exchange: res_calc's read_via(pecell) arguments
+            // reach the halo rows, so submitting it refreshes the stale
+            // q/adt imports automatically (sends chain behind the exported
+            // rows' writers — `update` for q, `adt_calc` for adt — and
+            // receives gate only res_calc's boundary blocks).
             for (r, p) in shp.parts.iter().enumerate() {
                 let op2 = shp.group.rank(r);
-                par_loop8(
-                    op2,
-                    "res_calc",
-                    &p.edges,
-                    (
-                        arg_read_via(&p.p_x, &p.pedge, 0),
-                        arg_read_via(&p.p_x, &p.pedge, 1),
-                        arg_read_via(&p.p_q, &p.pecell, 0),
-                        arg_read_via(&p.p_q, &p.pecell, 1),
-                        arg_read_via(&p.p_adt, &p.pecell, 0),
-                        arg_read_via(&p.p_adt, &p.pecell, 1),
-                        arg_inc_via(&p.p_res, &p.pecell, 0),
-                        arg_inc_via(&p.p_res, &p.pecell, 1),
-                    ),
-                    |x1: &[f64],
-                     x2: &[f64],
-                     q1: &[f64],
-                     q2: &[f64],
-                     adt1: &[f64],
-                     adt2: &[f64],
-                     res1: &mut [f64],
-                     res2: &mut [f64]| {
-                        kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
-                    },
-                );
+                op2.loop_("res_calc", &p.edges)
+                    .arg(read_via(&p.p_x, &p.pedge, 0))
+                    .arg(read_via(&p.p_x, &p.pedge, 1))
+                    .arg(read_via(&p.p_q, &p.pecell, 0))
+                    .arg(read_via(&p.p_q, &p.pecell, 1))
+                    .arg(read_via(&p.p_adt, &p.pecell, 0))
+                    .arg(read_via(&p.p_adt, &p.pecell, 1))
+                    .arg(inc_via(&p.p_res, &p.pecell, 0))
+                    .arg(inc_via(&p.p_res, &p.pecell, 1))
+                    .run(
+                        |x1: &[f64],
+                         x2: &[f64],
+                         q1: &[f64],
+                         q2: &[f64],
+                         adt1: &[f64],
+                         adt2: &[f64],
+                         res1: &mut [f64],
+                         res2: &mut [f64]| {
+                            kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
+                        },
+                    );
             }
 
             for (r, p) in shp.parts.iter().enumerate() {
                 let op2 = shp.group.rank(r);
                 let qinf = p.qinf;
-                par_loop6(
-                    op2,
-                    "bres_calc",
-                    &p.bedges,
-                    (
-                        arg_read_via(&p.p_x, &p.pbedge, 0),
-                        arg_read_via(&p.p_x, &p.pbedge, 1),
-                        arg_read_via(&p.p_q, &p.pbecell, 0),
-                        arg_read_via(&p.p_adt, &p.pbecell, 0),
-                        arg_inc_via(&p.p_res, &p.pbecell, 0),
-                        arg_read(&p.p_bound),
-                    ),
-                    move |x1: &[f64],
-                          x2: &[f64],
-                          q1: &[f64],
-                          adt1: &[f64],
-                          res1: &mut [f64],
-                          bound: &[i32]| {
-                        kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
-                    },
-                );
+                op2.loop_("bres_calc", &p.bedges)
+                    .arg(read_via(&p.p_x, &p.pbedge, 0))
+                    .arg(read_via(&p.p_x, &p.pbedge, 1))
+                    .arg(read_via(&p.p_q, &p.pbecell, 0))
+                    .arg(read_via(&p.p_adt, &p.pbecell, 0))
+                    .arg(inc_via(&p.p_res, &p.pbecell, 0))
+                    .arg(read(&p.p_bound))
+                    .run(
+                        move |x1: &[f64],
+                              x2: &[f64],
+                              q1: &[f64],
+                              adt1: &[f64],
+                              res1: &mut [f64],
+                              bound: &[i32]| {
+                            kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
+                        },
+                    );
             }
 
             let mut step_rms = Vec::with_capacity(nranks);
@@ -425,21 +429,22 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
             for (r, p) in shp.parts.iter().enumerate() {
                 let op2 = shp.group.rank(r);
                 let rms = Global::<f64>::sum(1, "rms");
-                let h = par_loop5(
-                    op2,
-                    "update",
-                    &p.cells,
-                    (
-                        arg_read(&p.p_qold),
-                        arg_write(&p.p_q),
-                        arg_rw(&p.p_res),
-                        arg_read(&p.p_adt),
-                        arg_gbl_inc(&rms),
-                    ),
-                    |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
-                        kernels::update(qold, q, res, adt, rms)
-                    },
-                );
+                let h = op2
+                    .loop_("update", &p.cells)
+                    .arg(read(&p.p_qold))
+                    .arg(write(&p.p_q))
+                    .arg(rw(&p.p_res))
+                    .arg(read(&p.p_adt))
+                    .arg(gbl_inc(&rms))
+                    .run(
+                        |qold: &[f64],
+                         q: &mut [f64],
+                         res: &mut [f64],
+                         adt: &[f64],
+                         rms: &mut [f64]| {
+                            kernels::update(qold, q, res, adt, rms)
+                        },
+                    );
                 step_rms.push(rms);
                 step_handles.push(h);
             }

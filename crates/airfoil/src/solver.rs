@@ -10,10 +10,8 @@
 
 use std::time::{Duration, Instant};
 
-use op2_core::{
-    arg_gbl_inc, arg_inc_via, arg_read, arg_read_via, arg_rw, arg_write, par_loop2, par_loop5,
-    par_loop6, par_loop8, Global, LoopHandle, Op2,
-};
+use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
+use op2_core::{Global, LoopHandle, Op2};
 
 use crate::kernels;
 use crate::setup::Problem;
@@ -73,102 +71,84 @@ pub fn run(op2: &Op2, p: &Problem, cfg: &SolverConfig) -> RunResult {
 
     for iter in 1..=cfg.niter {
         // Save the old solution.
-        par_loop2(
-            op2,
-            "save_soln",
-            &p.cells,
-            (arg_read(&p.p_q), arg_write(&p.p_qold)),
-            |q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold),
-        );
+        op2.loop_("save_soln", &p.cells)
+            .arg(read(&p.p_q))
+            .arg(write(&p.p_qold))
+            .run(|q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold));
 
         let mut last_update: Option<(Global<f64>, LoopHandle)> = None;
         for _k in 0..2 {
             // Local timestep.
-            par_loop6(
-                op2,
-                "adt_calc",
-                &p.cells,
-                (
-                    arg_read_via(&p.p_x, &p.pcell, 0),
-                    arg_read_via(&p.p_x, &p.pcell, 1),
-                    arg_read_via(&p.p_x, &p.pcell, 2),
-                    arg_read_via(&p.p_x, &p.pcell, 3),
-                    arg_read(&p.p_q),
-                    arg_write(&p.p_adt),
-                ),
-                |x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]| {
-                    kernels::adt_calc(x1, x2, x3, x4, q, adt)
-                },
-            );
+            op2.loop_("adt_calc", &p.cells)
+                .arg(read_via(&p.p_x, &p.pcell, 0))
+                .arg(read_via(&p.p_x, &p.pcell, 1))
+                .arg(read_via(&p.p_x, &p.pcell, 2))
+                .arg(read_via(&p.p_x, &p.pcell, 3))
+                .arg(read(&p.p_q))
+                .arg(write(&p.p_adt))
+                .run(
+                    |x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]| {
+                        kernels::adt_calc(x1, x2, x3, x4, q, adt)
+                    },
+                );
 
             // Interior fluxes (indirect increments -> colored plan).
-            par_loop8(
-                op2,
-                "res_calc",
-                &p.edges,
-                (
-                    arg_read_via(&p.p_x, &p.pedge, 0),
-                    arg_read_via(&p.p_x, &p.pedge, 1),
-                    arg_read_via(&p.p_q, &p.pecell, 0),
-                    arg_read_via(&p.p_q, &p.pecell, 1),
-                    arg_read_via(&p.p_adt, &p.pecell, 0),
-                    arg_read_via(&p.p_adt, &p.pecell, 1),
-                    arg_inc_via(&p.p_res, &p.pecell, 0),
-                    arg_inc_via(&p.p_res, &p.pecell, 1),
-                ),
-                |x1: &[f64],
-                 x2: &[f64],
-                 q1: &[f64],
-                 q2: &[f64],
-                 adt1: &[f64],
-                 adt2: &[f64],
-                 res1: &mut [f64],
-                 res2: &mut [f64]| {
-                    kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
-                },
-            );
+            op2.loop_("res_calc", &p.edges)
+                .arg(read_via(&p.p_x, &p.pedge, 0))
+                .arg(read_via(&p.p_x, &p.pedge, 1))
+                .arg(read_via(&p.p_q, &p.pecell, 0))
+                .arg(read_via(&p.p_q, &p.pecell, 1))
+                .arg(read_via(&p.p_adt, &p.pecell, 0))
+                .arg(read_via(&p.p_adt, &p.pecell, 1))
+                .arg(inc_via(&p.p_res, &p.pecell, 0))
+                .arg(inc_via(&p.p_res, &p.pecell, 1))
+                .run(
+                    |x1: &[f64],
+                     x2: &[f64],
+                     q1: &[f64],
+                     q2: &[f64],
+                     adt1: &[f64],
+                     adt2: &[f64],
+                     res1: &mut [f64],
+                     res2: &mut [f64]| {
+                        kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
+                    },
+                );
 
             // Boundary fluxes.
-            par_loop6(
-                op2,
-                "bres_calc",
-                &p.bedges,
-                (
-                    arg_read_via(&p.p_x, &p.pbedge, 0),
-                    arg_read_via(&p.p_x, &p.pbedge, 1),
-                    arg_read_via(&p.p_q, &p.pbecell, 0),
-                    arg_read_via(&p.p_adt, &p.pbecell, 0),
-                    arg_inc_via(&p.p_res, &p.pbecell, 0),
-                    arg_read(&p.p_bound),
-                ),
-                move |x1: &[f64],
-                      x2: &[f64],
-                      q1: &[f64],
-                      adt1: &[f64],
-                      res1: &mut [f64],
-                      bound: &[i32]| {
-                    kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
-                },
-            );
+            op2.loop_("bres_calc", &p.bedges)
+                .arg(read_via(&p.p_x, &p.pbedge, 0))
+                .arg(read_via(&p.p_x, &p.pbedge, 1))
+                .arg(read_via(&p.p_q, &p.pbecell, 0))
+                .arg(read_via(&p.p_adt, &p.pbecell, 0))
+                .arg(inc_via(&p.p_res, &p.pbecell, 0))
+                .arg(read(&p.p_bound))
+                .run(
+                    move |x1: &[f64],
+                          x2: &[f64],
+                          q1: &[f64],
+                          adt1: &[f64],
+                          res1: &mut [f64],
+                          bound: &[i32]| {
+                        kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
+                    },
+                );
 
             // Update; a fresh rms Global per step keeps the pipeline free
             // of reduction-read barriers.
             let rms = Global::<f64>::sum(1, "rms");
-            let h = par_loop5(
-                op2,
-                "update",
-                &p.cells,
-                (
-                    arg_read(&p.p_qold),
-                    arg_write(&p.p_q),
-                    arg_rw(&p.p_res),
-                    arg_read(&p.p_adt),
-                    arg_gbl_inc(&rms),
-                ),
-                |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
-                    kernels::update(qold, q, res, adt, rms)
-                },
-            );
+            let h = op2
+                .loop_("update", &p.cells)
+                .arg(read(&p.p_qold))
+                .arg(write(&p.p_q))
+                .arg(rw(&p.p_res))
+                .arg(read(&p.p_adt))
+                .arg(gbl_inc(&rms))
+                .run(
+                    |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
+                        kernels::update(qold, q, res, adt, rms)
+                    },
+                );
             last_update = Some((rms, h));
         }
 

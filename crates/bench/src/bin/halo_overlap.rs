@@ -22,8 +22,9 @@
 use std::time::{Duration, Instant};
 
 use op2_bench::{SweepArgs, Table};
+use op2_core::args::{read_via, write};
 use op2_core::locality::{exchange_with, ExchangeOpts, HaloSpec, LocalityGroup};
-use op2_core::{arg_read_via, arg_write, par_loop1, par_loop2, Dat, Map, Op2Config, Set};
+use op2_core::{Dat, Map, Op2Config, Set};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Schedule {
@@ -107,16 +108,14 @@ fn run_ring(
         // the iterations without any explicit wait.
         for (r, s) in states.iter().enumerate() {
             let v = (it * ranks + r) as f64;
-            par_loop1(
-                group.rank(r),
-                "produce",
-                &s.cells,
-                (arg_write(&s.q),),
-                move |q: &mut [f64]| {
+            group
+                .rank(r)
+                .loop_("produce", &s.cells)
+                .arg(write(&s.q))
+                .run(move |q: &mut [f64]| {
                     spin(40);
                     q[0] = v;
-                },
-            );
+                });
         }
         let recvs = exchange_with(group.ranks(), &qs, &spec, &opts);
         if schedule == Schedule::BulkSync {
@@ -127,16 +126,15 @@ fn run_ring(
             }
         }
         for (r, s) in states.iter().enumerate() {
-            par_loop2(
-                group.rank(r),
-                "consume",
-                &s.edges,
-                (arg_read_via(&s.q, &s.ident, 0), arg_write(&s.out)),
-                |q: &[f64], o: &mut [f64]| {
+            group
+                .rank(r)
+                .loop_("consume", &s.edges)
+                .arg(read_via(&s.q, &s.ident, 0))
+                .arg(write(&s.out))
+                .run(|q: &[f64], o: &mut [f64]| {
                     spin(40);
                     o[0] = q[0];
-                },
-            );
+                });
         }
     }
     group.fence();

@@ -15,7 +15,8 @@
 use std::time::{Duration, Instant};
 
 use op2_bench::{SweepArgs, Table};
-use op2_core::{arg_read, arg_write, par_loop2, Op2, Op2Config};
+use op2_core::args::{read, write};
+use op2_core::{Op2, Op2Config};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Chaining {
@@ -70,11 +71,7 @@ fn run_chain(mode: Chaining, threads: usize, n: usize, iters: usize) -> Duration
 
     let t0 = Instant::now();
     for _ in 0..iters {
-        let h1 = par_loop2(
-            &op2,
-            "fwd",
-            &cells,
-            (arg_read(&a), arg_write(&b)),
+        let h1 = op2.loop_("fwd", &cells).arg(read(&a)).arg(write(&b)).run(
             move |a: &[f64], b: &mut [f64]| {
                 spin(kernel_cost(a[0] as usize, n));
                 b[0] = a[0];
@@ -83,11 +80,7 @@ fn run_chain(mode: Chaining, threads: usize, n: usize, iters: usize) -> Duration
         if mode == Chaining::WholeLoop {
             h1.wait();
         }
-        let h2 = par_loop2(
-            &op2,
-            "bwd",
-            &cells,
-            (arg_read(&b), arg_write(&a)),
+        let h2 = op2.loop_("bwd", &cells).arg(read(&b)).arg(write(&a)).run(
             move |b: &[f64], a: &mut [f64]| {
                 spin(kernel_cost(b[0] as usize, n));
                 a[0] = b[0];
@@ -191,10 +184,17 @@ fn main() {
         table.write_csv(csv).expect("write CSV");
     }
 
+    // Loop-spec cache effectiveness across the whole sweep: every repeated
+    // submission of a (name, set, signature, chunk) shape should hit.
+    let spec_hits = op2_core::hpx_rt::stats::counter_value("op2.spec_cache.hits");
+    let spec_misses = op2_core::hpx_rt::stats::counter_value("op2.spec_cache.misses");
+    println!("loop-spec cache: {spec_hits} hits / {spec_misses} misses (process-wide)");
+
     // Hand-rolled JSON (offline build: no serde).
     let mut json = String::from("{\n  \"bench\": \"pipeline_chain\",\n");
     json.push_str(&format!(
-        "  \"cells\": {}, \"iters\": {}, \"reps\": {}, \"host_threads\": {},\n  \"results\": [\n",
+        "  \"cells\": {}, \"iters\": {}, \"reps\": {}, \"host_threads\": {},\n  \
+         \"spec_cache_hits\": {spec_hits}, \"spec_cache_misses\": {spec_misses},\n  \"results\": [\n",
         args.cells,
         args.iters,
         args.reps,

@@ -130,6 +130,18 @@ pub unsafe trait ArgSpec: Clone + Send + Sync + 'static {
     /// For the debug aliasing check: `(dat id, target row)` when this
     /// argument yields a mutable view into shared storage.
     fn mut_target(&self, elem: usize) -> Option<(u64, usize)>;
+    /// Implicit-communication pre-submission hook: an argument that *reads*
+    /// a halo-linked dat through a halo-capable map schedules the refresh
+    /// of every stale, reachable import (see the dirty-bit protocol in
+    /// [`crate::locality`]). Runs before the loop's dependency graph is
+    /// built, so the exchange nodes become ordinary predecessors of its
+    /// boundary blocks. Default: no-op.
+    fn halo_refresh(&self) {}
+    /// Implicit-communication pre-submission hook: a *mutating* argument on
+    /// a halo-linked dat marks that rank's exported halos stale. Called
+    /// after [`ArgSpec::halo_refresh`] ran for all of the loop's
+    /// arguments. Default: no-op.
+    fn halo_mark_dirty(&self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -324,6 +336,27 @@ impl<T: OpType, A: AccessTag> DatArg<T, A> {
         }
     }
 
+    /// Shared implicit-communication trigger: only an *indirect* argument
+    /// through a halo-capable map can observe halo mirror rows (loops
+    /// iterate the owned prefix, so direct arguments never reach them).
+    fn halo_refresh_impl(&self) {
+        if let Some((m, slot)) = &self.map {
+            if m.halo_targets() > 0 {
+                if let Some((rank, ring)) = self.dat.halo_ring() {
+                    ring.refresh_for_read(*rank, m, *slot);
+                }
+            }
+        }
+    }
+
+    /// Shared implicit-communication trigger: any mutation makes the owned
+    /// rows (the authoritative copies) newer than the peers' mirrors.
+    fn halo_mark_dirty_impl(&self) {
+        if let Some((rank, ring)) = self.dat.halo_ring() {
+            ring.mark_exports_dirty(*rank);
+        }
+    }
+
     fn add_prefetch_impl(&self, set: &mut PrefetchSet) {
         // Direct (linear-stride) accesses are deliberately *not*
         // registered: modern hardware stride prefetchers already saturate
@@ -399,6 +432,9 @@ macro_rules! impl_dat_arg {
             fn mut_target(&self, _elem: usize) -> Option<(u64, usize)> {
                 None
             }
+            fn halo_refresh(&self) {
+                self.halo_refresh_impl();
+            }
         }
     };
     (mut $tag:ty) => {
@@ -448,6 +484,17 @@ macro_rules! impl_dat_arg {
             }
             fn mut_target(&self, elem: usize) -> Option<(u64, usize)> {
                 Some((self.dat.id(), self.target(elem)))
+            }
+            fn halo_refresh(&self) {
+                // OP_RW reads before writing; OP_WRITE and OP_INC never
+                // read their target, so they need no fresh halo (boundary
+                // increments are covered by exec-halo redundant compute).
+                if <$tag as AccessTag>::ACCESS == Access::Rw {
+                    self.halo_refresh_impl();
+                }
+            }
+            fn halo_mark_dirty(&self) {
+                self.halo_mark_dirty_impl();
             }
         }
     };

@@ -40,7 +40,7 @@ use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicIsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 
 use hpx_rt::SharedFuture;
 
@@ -226,6 +226,11 @@ pub(crate) struct DatInner<T> {
     pub deps: DepTable,
     /// User-guard tracking: >0 read guards, -1 write guard, 0 free.
     borrow: AtomicIsize,
+    /// Implicit-communication link: `(rank, ring)` once this shard was
+    /// registered with [`crate::locality::link_halo`]. The ring carries
+    /// the halo spec, the peer shards and the per-peer dirty bits that
+    /// drive automatic halo exchange at loop submission.
+    halo_ring: OnceLock<(usize, Arc<crate::locality::HaloRing<T>>)>,
 }
 
 // SAFETY: see the module-level safety model; all mutable access is
@@ -302,6 +307,7 @@ impl<T: OpType> Dat<T> {
                 data: UnsafeCell::new(data),
                 deps: DepTable::new(rows, dep_block_size),
                 borrow: AtomicIsize::new(0),
+                halo_ring: OnceLock::new(),
             }),
         }
     }
@@ -359,6 +365,31 @@ impl<T: OpType> Dat<T> {
         // SAFETY: UnsafeCell grants the raw pointer; the Vec itself is
         // never resized after construction, so the pointer is stable.
         unsafe { (*self.inner.data.get()).as_mut_ptr() }
+    }
+
+    // ---- implicit halo exchange -----------------------------------------
+
+    /// Links this shard (as `rank`) to a halo ring. Once per dat.
+    pub(crate) fn attach_halo_ring(&self, rank: usize, ring: Arc<crate::locality::HaloRing<T>>) {
+        assert!(
+            self.inner.halo_ring.set((rank, ring)).is_ok(),
+            "dat '{}': already linked to a halo ring",
+            self.inner.name
+        );
+    }
+
+    /// `(rank, ring)` when this shard participates in implicit halo
+    /// exchange.
+    pub(crate) fn halo_ring(&self) -> Option<&(usize, Arc<crate::locality::HaloRing<T>>)> {
+        self.inner.halo_ring.get()
+    }
+
+    pub(crate) fn inner_weak(&self) -> Weak<DatInner<T>> {
+        Arc::downgrade(&self.inner)
+    }
+
+    pub(crate) fn from_inner(inner: Arc<DatInner<T>>) -> Dat<T> {
+        Dat { inner }
     }
 
     // ---- dependency bookkeeping (dataflow backend) ----------------------

@@ -16,16 +16,21 @@
 //!   intra-loop conflicts the plan colored apart while leaving loop-to-loop
 //!   edges block-granular.
 
+use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use hpx_rt::{schedule_after, when_all_shared, ChunkPolicy, ExecutionPolicy, SharedFuture};
 
-use crate::arg::{ArgInfo, BlockCtx};
+use crate::arg::{ArgInfo, ArgKind, BlockCtx};
 use crate::config::Backend;
 use crate::plan::{conflicts_of, Plan};
 use crate::set::Set;
+use crate::types::Access;
 use crate::world::{record_loop_time, Op2};
 
 /// Per-block dependency collection over all of a loop's arguments.
@@ -40,7 +45,9 @@ pub(crate) type RecordLoopFn = Arc<dyn Fn(&SharedFuture<()>) + Send + Sync>;
 
 /// Everything the driver needs, pre-assembled by the `par_loop*` fronts.
 pub(crate) struct LoopSpec {
-    pub name: String,
+    /// Kernel name (`Arc` so per-submission bookkeeping — spec-cache keys,
+    /// stats, the handle — shares one allocation).
+    pub name: Arc<str>,
     pub set: Set,
     pub infos: Vec<ArgInfo>,
     /// Whole-loop dependencies (synchronous backends only; empty under
@@ -198,6 +205,99 @@ fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize) -> Schedule {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Loop-spec cache
+// ---------------------------------------------------------------------------
+
+/// One argument's contribution to a [`SpecKey`]: enough shape to make the
+/// cached schedule valid for any loop sharing it.
+#[derive(PartialEq, Eq, Hash)]
+enum SigKind {
+    Direct,
+    Via(u64, usize),
+    Global,
+}
+
+/// Cache key of a built [`Schedule`]: kernel name, iteration set, argument
+/// signature (access mode + direct/indirect/global shape), and the chunk
+/// policy (which governs direct-loop node granularity).
+#[derive(PartialEq, Eq, Hash)]
+struct SpecKey {
+    name: Arc<str>,
+    set: u64,
+    sig: Vec<(Access, SigKind)>,
+    chunk: (u8, usize),
+}
+
+impl SpecKey {
+    fn of(world: &Op2, spec: &LoopSpec) -> SpecKey {
+        let sig = spec
+            .infos
+            .iter()
+            .map(|i| {
+                let kind = match &i.kind {
+                    ArgKind::Direct => SigKind::Direct,
+                    ArgKind::Indirect { map, idx } => SigKind::Via(map.id(), *idx),
+                    ArgKind::Global => SigKind::Global,
+                };
+                (i.access, kind)
+            })
+            .collect();
+        let chunk = match &world.config().chunk {
+            ChunkPolicy::Static { size } => (0u8, *size),
+            ChunkPolicy::NumChunks { chunks } => (1, *chunks),
+            ChunkPolicy::Guided { min } => (2, *min),
+            ChunkPolicy::Auto { .. } => (3, 0),
+            ChunkPolicy::PersistentAuto(_) => (4, 0),
+        };
+        SpecKey {
+            name: spec.name.clone(),
+            set: spec.set.id(),
+            sig,
+            chunk: (chunk.0, chunk.1),
+        }
+    }
+}
+
+/// Per-context cache of dataflow [`Schedule`]s, the OP2-style "plan once,
+/// execute many" applied to the *whole* loop shape: repeated solver
+/// iterations of a named loop reuse the block partition and color rounds
+/// without rebuilding or even re-deriving conflicts. Hits/misses are
+/// mirrored in the `op2.spec_cache.*` named counters of
+/// [`hpx_rt::stats`].
+#[derive(Default)]
+pub(crate) struct SpecCache {
+    map: Mutex<HashMap<SpecKey, Arc<Schedule>>>,
+    hits: AtomicU64,
+}
+
+impl SpecCache {
+    fn get(&self, world: &Op2, spec: &LoopSpec, n: usize) -> Arc<Schedule> {
+        let key = SpecKey::of(world, spec);
+        if let Some(s) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            hpx_rt::static_counter!("op2.spec_cache.hits").fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(s);
+        }
+        hpx_rt::static_counter!("op2.spec_cache.misses").fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(dataflow_schedule(world, spec, n));
+        Arc::clone(
+            self.map
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&built)),
+        )
+    }
+
+    pub fn built(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
 /// The block partition a *direct* dataflow loop of `n` elements would be
 /// scheduled with under `world`'s configuration — exposed so tests can
 /// assert the chunk-policy wiring without reaching into the driver.
@@ -217,7 +317,7 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     // First node to execute stamps the start; the finalize node reads it.
     let t0_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
 
-    let schedule = dataflow_schedule(world, &spec, n);
+    let schedule = world.specs().get(world, &spec, n);
     let bs = schedule.block_size();
     let (blocks, rounds) = (schedule.blocks(), schedule.rounds());
 
@@ -298,12 +398,12 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
 /// [`Op2::fence`].
 #[derive(Clone, Debug)]
 pub struct LoopHandle {
-    name: String,
+    name: Arc<str>,
     done: SharedFuture<()>,
 }
 
 impl LoopHandle {
-    pub(crate) fn new(name: String, done: SharedFuture<()>) -> Self {
+    pub(crate) fn new(name: Arc<str>, done: SharedFuture<()>) -> Self {
         LoopHandle { name, done }
     }
 

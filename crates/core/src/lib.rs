@@ -17,20 +17,29 @@
 //!   while its RAW predecessor is still finishing.
 //!
 //! ```
-//! use op2_core::{arg_read, arg_write, par_loop2, Op2, Op2Config};
+//! use op2_core::args::{read, write};
+//! use op2_core::{Op2, Op2Config};
 //!
 //! let op2 = Op2::new(Op2Config::dataflow(2));
 //! let cells = op2.decl_set(100, "cells");
 //! let q = op2.decl_dat(&cells, 4, "q", vec![1.0f64; 400]);
 //! let qold = op2.decl_dat(&cells, 4, "qold", vec![0.0f64; 400]);
 //!
-//! // op_par_loop_save_soln (paper Fig 3): returns a future-backed handle.
-//! let h = par_loop2(&op2, "save_soln", &cells,
-//!     (arg_read(&q), arg_write(&qold)),
-//!     |q: &[f64], qold: &mut [f64]| qold.copy_from_slice(q));
+//! // op_par_loop_save_soln (paper Fig 3) through the arity-free builder:
+//! // returns a future-backed handle.
+//! let h = op2.loop_("save_soln", &cells)
+//!     .arg(read(&q))
+//!     .arg(write(&qold))
+//!     .run(|q: &[f64], qold: &mut [f64]| qold.copy_from_slice(q));
 //! h.wait();
 //! assert_eq!(qold.snapshot(), vec![1.0; 400]);
 //! ```
+//!
+//! At distributed scale the access descriptors also drive **implicit halo
+//! exchange**: [`locality::link_halo`] ties the per-rank shards of one
+//! logical dat together with per-peer dirty bits, after which loop
+//! submission alone schedules every needed gather/send/scatter — see the
+//! dirty-bit protocol in [`locality`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -59,6 +68,8 @@ pub use dat::{Dat, DatReadGuard, DatWriteGuard};
 pub use driver::{__dataflow_direct_blocks, plan_for, LoopHandle};
 pub use gbl::{Global, ReduceOp, Reducible};
 pub use map::Map;
+pub use par_loop::ParLoop;
+#[allow(deprecated)]
 pub use par_loop::{
     par_loop1, par_loop10, par_loop2, par_loop3, par_loop4, par_loop5, par_loop6, par_loop7,
     par_loop8, par_loop9,
@@ -67,6 +78,17 @@ pub use plan::{validate_coloring, Plan};
 pub use set::Set;
 pub use types::{Access, OpType};
 pub use world::{LoopStat, Op2};
+
+/// Short argument-constructor names for v2 builder call-sites:
+/// `op2.loop_("res_calc", &edges).arg(read_via(&x, &m, 0))…`. Aliases of
+/// the `arg_*` constructors (`op_arg_dat` / `op_arg_gbl`).
+pub mod args {
+    pub use crate::arg::{
+        arg_gbl_inc as gbl_inc, arg_gbl_read as gbl_read, arg_inc as inc, arg_inc_via as inc_via,
+        arg_read as read, arg_read_via as read_via, arg_rw as rw, arg_rw_via as rw_via,
+        arg_write as write, arg_write_via as write_via,
+    };
+}
 
 // Downstream crates (airfoil, benches) need the runtime types.
 pub use hpx_rt;

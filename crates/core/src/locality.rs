@@ -27,6 +27,45 @@
 //! immediately. Halo blocks are just remote-fed blocks, and communication
 //! overlaps interior compute with no global barrier per loop.
 //!
+//! # Implicit communication: the dirty-bit protocol
+//!
+//! OP2's contract is that access descriptors fully describe a loop's data
+//! movement — which is what lets the runtime insert communication for the
+//! user. [`link_halo`] restores that contract at distributed scale: it
+//! ties the per-rank shards of one logical dat into a [`HaloRing`]
+//! carrying the [`HaloSpec`] and one **dirty bit per (importer, exporter)
+//! pair**. From then on no manual [`exchange`] call is needed; `par_loop`
+//! submission drives the state machine:
+//!
+//! * **Write ⇒ stale.** A loop with a *mutating* argument on a linked dat
+//!   (any of `OP_WRITE`/`OP_RW`/`OP_INC`, direct or indirect — the owned
+//!   rows are the authoritative copies) marks every export of that rank
+//!   stale: `dirty[dst][rank] = true` for each peer `dst` importing from
+//!   it. Bits start stale at link time (the peers have never been fed).
+//! * **Stale read ⇒ exchange.** A loop submitted later with an argument
+//!   that *reads* the dat through a halo-capable map (`OP_READ`/`OP_RW`
+//!   indirect via a map with halo targets) checks, per peer, (a) the
+//!   dirty bit and (b) whether the map's slot can reach that peer's
+//!   import blocks at all (the block-reach tables collapsed over source
+//!   blocks, see `Map::touched_target_blocks`). For each stale, reachable
+//!   import it schedules exactly the [`exchange_with`] gather/send and
+//!   receive/scatter nodes into the dataflow graph — *before* the loop's
+//!   own nodes are built, so its boundary blocks gate on the receive
+//!   through the ordinary epoch tables while interior blocks start
+//!   immediately — and clears the bit.
+//! * **Clean read ⇒ skip.** A read of an up-to-date import schedules
+//!   nothing (counted in [`HaloStats::skipped_clean`]): redundant
+//!   exchanges of a manually scheduled program simply disappear.
+//!
+//! `OP_INC` deliberately does not trigger a refresh: increments are
+//! computed without reading the target, and partition-boundary work is
+//! executed redundantly by both ranks (OP2's exec-halo), so increments
+//! into halo mirrors are dead values. All receives of one refresh share a
+//! writer generation (adjacent peers' import ranges may share a
+//! dependency block); a refresh superseding an in-flight older receive
+//! chains behind it through the ordinary collect-then-record discipline,
+//! so no dependency is lost.
+//!
 //! ```
 //! use op2_core::locality::{exchange, HaloSpec, LocalityGroup};
 //! use op2_core::Op2Config;
@@ -49,16 +88,20 @@
 //! ```
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use hpx_rt::lco::oneshot;
 use hpx_rt::{schedule_after, Runtime, SharedFuture};
 
 use crate::config::Op2Config;
 use crate::dat::Dat;
+use crate::map::Map;
 use crate::types::{next_loop_gen, OpType};
-use crate::world::Op2;
+use crate::world::{CommHooks, Op2};
 
 /// A group of simulated ranks sharing one worker pool (see module docs).
 pub struct LocalityGroup {
@@ -96,6 +139,12 @@ impl LocalityGroup {
         for r in &self.ranks {
             r.fence();
         }
+    }
+
+    /// [`link_halo`] as a method: enables implicit, dirty-bit-driven halo
+    /// exchange for the per-rank shards of one logical dat.
+    pub fn link_halo<T: OpType>(&self, dats: &[Dat<T>], spec: &HaloSpec) {
+        link_halo(self, dats, spec);
     }
 }
 
@@ -220,9 +269,9 @@ pub fn exchange_with<T: OpType>(
     // generation (readers ignore it).
     let send_gen = next_loop_gen();
     let recv_gen = next_loop_gen();
+    let hooks: Vec<CommHooks> = ranks.iter().map(|r| r.comm_hooks()).collect();
     let mut recvs: Vec<Vec<SharedFuture<()>>> =
         (0..n).map(|_| vec![SharedFuture::ready(()); n]).collect();
-    let mut deps: Vec<SharedFuture<()>> = Vec::new();
 
     for src in 0..n {
         for dst in 0..n {
@@ -230,101 +279,317 @@ pub fn exchange_with<T: OpType>(
             if src == dst || rows.is_empty() {
                 continue;
             }
-            let range = spec.import_range[dst][src].clone();
-            assert_eq!(
-                rows.len(),
-                range.len(),
-                "halo spec {src}->{dst}: export/import length mismatch"
+            recvs[dst][src] = schedule_pair(
+                src,
+                dst,
+                &hooks[src],
+                &hooks[dst],
+                &dats[src],
+                &dats[dst],
+                rows,
+                spec.import_range[dst][src].clone(),
+                send_gen,
+                recv_gen,
+                opts,
             );
-            let dat_src = &dats[src];
-            let dat_dst = &dats[dst];
-            assert!(
-                rows.iter().all(|&r| (r as usize) < dat_src.set().size()),
-                "halo spec {src}->{dst}: export rows must be owned rows of dat '{}' \
-                 (halo mirror rows hold possibly-stale copies and are never authoritative)",
-                dat_src.name()
-            );
-            assert!(
-                range.end <= dat_dst.total_rows() && range.start >= dat_dst.set().size(),
-                "halo spec {src}->{dst}: import range {range:?} outside the halo region of dat '{}'",
-                dat_dst.name()
-            );
-            let (tx, rx) = oneshot::<Vec<T>>();
-
-            // --- Send node on `src`: gather + push.
-            let bsz = dat_src.dep_block_size().max(1);
-            let mut blocks: Vec<usize> = rows.iter().map(|&r| r as usize / bsz).collect();
-            blocks.sort_unstable();
-            blocks.dedup();
-            deps.clear();
-            for &b in &blocks {
-                dat_src.deps().collect_block(b, false, &mut deps);
-            }
-            let gather_rows: Arc<[u32]> = Arc::from(rows.as_slice());
-            let gather_dat = dat_src.clone();
-            let delay = opts.link_delay;
-            let send_done = schedule_after(ranks[src].runtime(), &deps, move || {
-                let dim = gather_dat.dim();
-                let mut buf = Vec::with_capacity(gather_rows.len() * dim);
-                for &row in gather_rows.iter() {
-                    // SAFETY: this node was scheduled after every pending
-                    // writer of the gathered blocks and is registered as a
-                    // reader, so the rows are stable while it runs.
-                    unsafe {
-                        let p = gather_dat.ptr().add(row as usize * dim);
-                        buf.extend_from_slice(std::slice::from_raw_parts(p, dim));
-                    }
-                }
-                if let Some(d) = delay {
-                    std::thread::sleep(d);
-                }
-                // A dropped receiver means the exchange was abandoned
-                // (e.g. a panicking run); nothing to do.
-                let _ = tx.send(buf);
-            });
-            for &b in &blocks {
-                dat_src.deps().record_block(b, false, send_gen, &send_done);
-            }
-            ranks[src].track(send_done.clone());
-
-            // --- Receive node on `dst`: pop + scatter into the halo.
-            // Gated on the send's completion (the value is in the channel
-            // by then), never blocked mid-body — see above.
-            deps.clear();
-            dat_dst.deps().collect_rows(&range, true, &mut deps);
-            deps.push(send_done);
-            let scatter_dat = dat_dst.clone();
-            let scatter_range = range.clone();
-            let recv_done = schedule_after(ranks[dst].runtime(), &deps, move || {
-                let dim = scatter_dat.dim();
-                let buf = rx
-                    .try_recv()
-                    .expect("send node completed without filling the channel")
-                    .expect("halo sender dropped before sending");
-                assert_eq!(buf.len(), scatter_range.len() * dim, "halo payload size");
-                // SAFETY: scheduled after every pending reader and writer
-                // of the halo blocks, and registered as their writer, so
-                // this node has exclusive access to the rows.
-                unsafe {
-                    let p = scatter_dat.ptr().add(scatter_range.start * dim);
-                    std::ptr::copy_nonoverlapping(buf.as_ptr(), p, buf.len());
-                }
-            });
-            dat_dst
-                .deps()
-                .record_rows(&range, true, recv_gen, &recv_done);
-            ranks[dst].track(recv_done.clone());
-            recvs[dst][src] = recv_done;
         }
     }
     recvs
+}
+
+/// Schedules one (src → dst) gather/send + receive/scatter pair — the
+/// communication primitive shared by the manual [`exchange_with`] and the
+/// implicit [`HaloRing`] refresh. Returns the receive-completion future.
+#[allow(clippy::too_many_arguments)]
+fn schedule_pair<T: OpType>(
+    src: usize,
+    dst: usize,
+    src_hooks: &CommHooks,
+    dst_hooks: &CommHooks,
+    dat_src: &Dat<T>,
+    dat_dst: &Dat<T>,
+    rows: &[u32],
+    range: Range<usize>,
+    send_gen: u64,
+    recv_gen: u64,
+    opts: &ExchangeOpts,
+) -> SharedFuture<()> {
+    assert_eq!(
+        rows.len(),
+        range.len(),
+        "halo spec {src}->{dst}: export/import length mismatch"
+    );
+    assert!(
+        rows.iter().all(|&r| (r as usize) < dat_src.set().size()),
+        "halo spec {src}->{dst}: export rows must be owned rows of dat '{}' \
+         (halo mirror rows hold possibly-stale copies and are never authoritative)",
+        dat_src.name()
+    );
+    assert!(
+        range.end <= dat_dst.total_rows() && range.start >= dat_dst.set().size(),
+        "halo spec {src}->{dst}: import range {range:?} outside the halo region of dat '{}'",
+        dat_dst.name()
+    );
+    let (tx, rx) = oneshot::<Vec<T>>();
+    let mut deps: Vec<SharedFuture<()>> = Vec::new();
+
+    // --- Send node on `src`: gather + push.
+    let bsz = dat_src.dep_block_size().max(1);
+    let mut blocks: Vec<usize> = rows.iter().map(|&r| r as usize / bsz).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    for &b in &blocks {
+        dat_src.deps().collect_block(b, false, &mut deps);
+    }
+    let gather_rows: Arc<[u32]> = Arc::from(rows);
+    let gather_dat = dat_src.clone();
+    let delay = opts.link_delay;
+    let send_done = schedule_after(src_hooks.runtime(), &deps, move || {
+        let dim = gather_dat.dim();
+        let mut buf = Vec::with_capacity(gather_rows.len() * dim);
+        for &row in gather_rows.iter() {
+            // SAFETY: this node was scheduled after every pending
+            // writer of the gathered blocks and is registered as a
+            // reader, so the rows are stable while it runs.
+            unsafe {
+                let p = gather_dat.ptr().add(row as usize * dim);
+                buf.extend_from_slice(std::slice::from_raw_parts(p, dim));
+            }
+        }
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        // A dropped receiver means the exchange was abandoned
+        // (e.g. a panicking run); nothing to do.
+        let _ = tx.send(buf);
+    });
+    for &b in &blocks {
+        dat_src.deps().record_block(b, false, send_gen, &send_done);
+    }
+    src_hooks.track(send_done.clone());
+
+    // --- Receive node on `dst`: pop + scatter into the halo.
+    // Gated on the send's completion (the value is in the channel
+    // by then), never blocked mid-body — see above.
+    deps.clear();
+    dat_dst.deps().collect_rows(&range, true, &mut deps);
+    deps.push(send_done);
+    let scatter_dat = dat_dst.clone();
+    let scatter_range = range.clone();
+    let recv_done = schedule_after(dst_hooks.runtime(), &deps, move || {
+        let dim = scatter_dat.dim();
+        let buf = rx
+            .try_recv()
+            .expect("send node completed without filling the channel")
+            .expect("halo sender dropped before sending");
+        assert_eq!(buf.len(), scatter_range.len() * dim, "halo payload size");
+        // SAFETY: scheduled after every pending reader and writer
+        // of the halo blocks, and registered as their writer, so
+        // this node has exclusive access to the rows.
+        unsafe {
+            let p = scatter_dat.ptr().add(scatter_range.start * dim);
+            std::ptr::copy_nonoverlapping(buf.as_ptr(), p, buf.len());
+        }
+    });
+    dat_dst
+        .deps()
+        .record_rows(&range, true, recv_gen, &recv_done);
+    dst_hooks.track(recv_done.clone());
+    recv_done
+}
+
+// ---------------------------------------------------------------------------
+// Implicit communication: dirty-bit halo rings
+// ---------------------------------------------------------------------------
+
+/// Counters of one halo ring's implicit-communication activity (see
+/// [`implicit_halo_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaloStats {
+    /// (src → dst) pair exchanges actually scheduled.
+    pub pair_exchanges: u64,
+    /// Loop submissions that checked this ring for stale imports.
+    pub refresh_calls: u64,
+    /// Per-pair checks that found the import clean and scheduled nothing —
+    /// the exchanges a manual schedule would have issued redundantly.
+    pub skipped_clean: u64,
+}
+
+/// The shared state tying the per-rank shards of one logical dat together
+/// for implicit communication: halo spec, per-peer dirty bits, and the
+/// scheduling hooks of every rank (see the module-level dirty-bit
+/// protocol). Created by [`link_halo`]; not user-visible beyond
+/// [`HaloStats`].
+pub(crate) struct HaloRing<T> {
+    spec: HaloSpec,
+    opts: ExchangeOpts,
+    /// Weak so ring ↔ dat references cannot leak the payloads; a shard
+    /// must outlive the ring's use, which the owning program guarantees by
+    /// holding the `Dat` handles it loops over.
+    shards: Vec<std::sync::Weak<crate::dat::DatInner<T>>>,
+    hooks: Vec<CommHooks>,
+    /// `dirty[dst * nranks + src]`: rank `dst`'s import from `src` is
+    /// stale.
+    dirty: Mutex<Vec<bool>>,
+    pair_exchanges: AtomicU64,
+    refresh_calls: AtomicU64,
+    skipped_clean: AtomicU64,
+}
+
+impl<T: OpType> HaloRing<T> {
+    fn shard(&self, rank: usize) -> Dat<T> {
+        self.shards[rank]
+            .upgrade()
+            .map(Dat::from_inner)
+            .unwrap_or_else(|| {
+                panic!("halo ring: rank {rank}'s dat shard was dropped while the ring is in use")
+            })
+    }
+
+    /// A mutating loop argument on rank `src`'s shard: every peer
+    /// importing from `src` now holds a stale mirror.
+    pub(crate) fn mark_exports_dirty(&self, src: usize) {
+        let n = self.spec.nranks;
+        let mut dirty = self.dirty.lock();
+        for dst in 0..n {
+            if dst != src && !self.spec.export_rows[src][dst].is_empty() {
+                dirty[dst * n + src] = true;
+            }
+        }
+    }
+
+    /// A reading loop argument on rank `dst`'s shard, indirect through
+    /// `map` slot `slot`: schedule the exchange for every stale import the
+    /// map can actually observe, then clear those bits. All receives of
+    /// one refresh share a writer generation, exactly like one
+    /// [`exchange_with`] call.
+    pub(crate) fn refresh_for_read(&self, dst: usize, map: &Map, slot: usize) {
+        self.refresh_calls.fetch_add(1, Ordering::Relaxed);
+        let n = self.spec.nranks;
+        let dat_dst = self.shard(dst);
+        let to_bs = dat_dst.dep_block_size().max(1);
+        let mut gens: Option<(u64, u64)> = None;
+        let mut dirty = self.dirty.lock();
+        for src in 0..n {
+            if src == dst {
+                continue;
+            }
+            let range = self.spec.import_range[dst][src].clone();
+            if range.is_empty() {
+                continue;
+            }
+            if !dirty[dst * n + src] {
+                self.skipped_clean.fetch_add(1, Ordering::Relaxed);
+                hpx_rt::static_counter!("op2.halo.refresh_skipped").fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // Leave the bit set when this map cannot observe the import at
+            // all — a later loop through a reaching map still needs it.
+            let block_range = range.start / to_bs..(range.end - 1) / to_bs + 1;
+            if !map.reaches_target_blocks(slot, to_bs, block_range) {
+                continue;
+            }
+            let (send_gen, recv_gen) =
+                *gens.get_or_insert_with(|| (next_loop_gen(), next_loop_gen()));
+            let dat_src = self.shard(src);
+            // The receive is not waited on here: it is registered as a
+            // writer of the halo blocks, so the submitting loop's boundary
+            // blocks (and any rank fence) chain behind it.
+            let _ = schedule_pair(
+                src,
+                dst,
+                &self.hooks[src],
+                &self.hooks[dst],
+                &dat_src,
+                &dat_dst,
+                &self.spec.export_rows[src][dst],
+                range,
+                send_gen,
+                recv_gen,
+                &self.opts,
+            );
+            dirty[dst * n + src] = false;
+            self.pair_exchanges.fetch_add(1, Ordering::Relaxed);
+            hpx_rt::static_counter!("op2.halo.pairs_fired").fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> HaloStats {
+        HaloStats {
+            pair_exchanges: self.pair_exchanges.load(Ordering::Relaxed),
+            refresh_calls: self.refresh_calls.load(Ordering::Relaxed),
+            skipped_clean: self.skipped_clean.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// [`link_halo_with`] under default exchange options.
+pub fn link_halo<T: OpType>(group: &LocalityGroup, dats: &[Dat<T>], spec: &HaloSpec) {
+    link_halo_with(group, dats, spec, &ExchangeOpts::default());
+}
+
+/// Ties the per-rank shards of one logical dat into a [`HaloRing`] so all
+/// halo communication becomes **implicit**: loops that mutate a shard mark
+/// its exports stale, loops that read stale imports through a halo-capable
+/// map schedule the exchange automatically (see the module-level dirty-bit
+/// protocol). Every import starts stale, so the first reader is fed
+/// unconditionally.
+///
+/// `dats[r]` must be rank `r`'s shard (declared with
+/// [`crate::Op2::decl_dat_halo`] on `group.rank(r)`), and each shard can
+/// belong to at most one ring.
+pub fn link_halo_with<T: OpType>(
+    group: &LocalityGroup,
+    dats: &[Dat<T>],
+    spec: &HaloSpec,
+    opts: &ExchangeOpts,
+) {
+    let n = spec.nranks;
+    assert_eq!(group.nranks(), n, "one rank context per spec rank");
+    assert_eq!(dats.len(), n, "one dat shard per rank");
+    spec.validate().expect("halo spec invalid");
+    for (r, d) in dats.iter().enumerate() {
+        for s in 0..n {
+            let range = &spec.import_range[r][s];
+            assert!(
+                range.is_empty() || (range.start >= d.set().size() && range.end <= d.total_rows()),
+                "link_halo: rank {r} import range {range:?} outside the halo region of dat '{}'",
+                d.name()
+            );
+        }
+    }
+    let mut dirty = vec![false; n * n];
+    for dst in 0..n {
+        for src in 0..n {
+            dirty[dst * n + src] = dst != src && !spec.import_range[dst][src].is_empty();
+        }
+    }
+    let ring = Arc::new(HaloRing {
+        spec: spec.clone(),
+        opts: opts.clone(),
+        shards: dats.iter().map(Dat::inner_weak).collect(),
+        hooks: group.ranks().iter().map(Op2::comm_hooks).collect(),
+        dirty: Mutex::new(dirty),
+        pair_exchanges: AtomicU64::new(0),
+        refresh_calls: AtomicU64::new(0),
+        skipped_clean: AtomicU64::new(0),
+    });
+    for (r, d) in dats.iter().enumerate() {
+        d.attach_halo_ring(r, Arc::clone(&ring));
+    }
+}
+
+/// The implicit-communication counters of the ring `dat` belongs to
+/// (`None` for unlinked dats). Every shard of a ring reports the same,
+/// ring-wide numbers.
+pub fn implicit_halo_stats<T: OpType>(dat: &Dat<T>) -> Option<HaloStats> {
+    dat.halo_ring().map(|(_, ring)| ring.stats())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arg::{arg_read_via, arg_write};
-    use crate::par_loop::{par_loop1, par_loop2};
 
     fn two_rank_spec(halo: usize, owned: usize) -> HaloSpec {
         let mut spec = HaloSpec::empty(2);
@@ -365,15 +630,13 @@ mod tests {
         let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![0.0f64; 8], 4);
         let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![0.0f64; 4]);
         // The writer is still pending when the exchange is scheduled.
-        par_loop1(
-            group.rank(1),
-            "w",
-            &c1,
-            (arg_write(&q1),),
-            |q: &mut [f64]| {
+        group
+            .rank(1)
+            .loop_("w", &c1)
+            .arg(arg_write(&q1))
+            .run(|q: &mut [f64]| {
                 q[0] = 9.0;
-            },
-        );
+            });
         let spec = two_rank_spec(4, 4);
         let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
         recvs[0][1].wait();
@@ -395,13 +658,12 @@ mod tests {
             .rank(0)
             .decl_map_halo(&edges, &c0, 1, (0..6).collect(), "ident", 2);
         let out = group.rank(0).decl_dat(&edges, 1, "out", vec![0.0f64; 6]);
-        let h = par_loop2(
-            group.rank(0),
-            "gather",
-            &edges,
-            (arg_read_via(&q0, &m, 0), arg_write(&out)),
-            |q: &[f64], o: &mut [f64]| o[0] = q[0],
-        );
+        let h = group
+            .rank(0)
+            .loop_("gather", &edges)
+            .arg(arg_read_via(&q0, &m, 0))
+            .arg(arg_write(&out))
+            .run(|q: &[f64], o: &mut [f64]| o[0] = q[0]);
         h.wait();
         assert_eq!(out.snapshot(), vec![1.0, 1.0, 1.0, 1.0, 5.0, 6.0]);
     }

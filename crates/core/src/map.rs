@@ -11,6 +11,10 @@ use crate::plan::{build_block_reach, BlockReach};
 use crate::set::Set;
 use crate::types::next_entity_id;
 
+/// Cache of [`Map::touched_target_blocks`] results, keyed by
+/// `(slot, target block size)`.
+type TouchedCache = Mutex<HashMap<(usize, usize), Arc<Vec<u32>>>>;
+
 #[derive(Debug)]
 pub(crate) struct MapInner {
     pub id: u64,
@@ -26,6 +30,12 @@ pub(crate) struct MapInner {
     /// Block-reach tables keyed by `(slot, from block size, to block
     /// size)`; computed on first use, shared by every loop over this map.
     reach: Mutex<HashMap<(usize, usize, usize), Arc<BlockReach>>>,
+    /// Sorted, deduplicated union of the target dependency blocks one slot
+    /// reaches, keyed by `(slot, to block size)` — the block-reach table
+    /// collapsed over source blocks. The implicit halo-exchange engine
+    /// intersects it with a peer's import-block range to decide whether a
+    /// loop through this map can observe that halo at all.
+    touched: TouchedCache,
 }
 
 /// A declared mapping of arity `dim` from one set to another, e.g. the
@@ -79,6 +89,7 @@ impl Map {
                 name: name.to_owned(),
                 halo_targets,
                 reach: Mutex::new(HashMap::new()),
+                touched: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -99,6 +110,46 @@ impl Map {
                 .entry(key)
                 .or_insert_with(|| Arc::clone(&built)),
         )
+    }
+
+    /// The sorted set of `to_bs`-sized target dependency blocks reachable
+    /// through `slot` from *any* source element (cached per key).
+    pub(crate) fn touched_target_blocks(&self, slot: usize, to_bs: usize) -> Arc<Vec<u32>> {
+        let key = (slot, to_bs.max(1));
+        if let Some(t) = self.inner.touched.lock().get(&key) {
+            return Arc::clone(t);
+        }
+        let mut blocks: Vec<u32> = (0..self.inner.from.size())
+            .map(|e| (self.at(e, slot) / key.1) as u32)
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        let built = Arc::new(blocks);
+        Arc::clone(
+            self.inner
+                .touched
+                .lock()
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&built)),
+        )
+    }
+
+    /// True when `slot` reaches at least one target dependency block in
+    /// `block_range` (block indices for `to_bs`-sized blocks).
+    pub(crate) fn reaches_target_blocks(
+        &self,
+        slot: usize,
+        to_bs: usize,
+        block_range: std::ops::Range<usize>,
+    ) -> bool {
+        if block_range.is_empty() {
+            return false;
+        }
+        let touched = self.touched_target_blocks(slot, to_bs);
+        let start = touched.partition_point(|&b| (b as usize) < block_range.start);
+        touched
+            .get(start)
+            .is_some_and(|&b| (b as usize) < block_range.end)
     }
 
     /// Target element for source element `e`, slot `k` (`k < dim`).

@@ -1,15 +1,41 @@
-//! The `op_par_loop` family (paper §II-B / §IV).
+//! The parallel-loop surface (paper §II-B / §IV): one arity-free builder.
 //!
-//! `par_loopN` applies a kernel to every element of a set. Each argument
-//! carries its access descriptor in its type, so the kernel receives
-//! `&[T]` for reads and `&mut [T]` for writes/increments — the code the
-//! OP2 translator would generate by hand is expressed here once per arity.
+//! [`Op2::loop_`] opens a [`ParLoop`] builder; each [`ParLoop::arg`] call
+//! appends one access-described argument (growing the argument tuple in
+//! the builder's *type*, so the kernel signature stays fully checked); and
+//! [`ParLoop::run`] submits the loop:
 //!
-//! Under the [`Dataflow`](crate::Backend::Dataflow) backend the call
-//! returns immediately; the returned [`LoopHandle`] wraps the loop's
-//! completion future, and the arguments' dats remember it so later loops
-//! depending on the same data chain automatically (loop interleaving,
-//! paper Figs 9-11).
+//! ```
+//! use op2_core::args::{read, write};
+//! use op2_core::{Op2, Op2Config};
+//!
+//! let op2 = Op2::new(Op2Config::dataflow(2));
+//! let cells = op2.decl_set(100, "cells");
+//! let q = op2.decl_dat(&cells, 1, "q", vec![1.0f64; 100]);
+//! let qold = op2.decl_dat(&cells, 1, "qold", vec![0.0f64; 100]);
+//! op2.loop_("save_soln", &cells)
+//!     .arg(read(&q))
+//!     .arg(write(&qold))
+//!     .run(|q: &[f64], qold: &mut [f64]| qold.copy_from_slice(q))
+//!     .wait();
+//! assert_eq!(qold.snapshot(), vec![1.0; 100]);
+//! ```
+//!
+//! The kernel receives `&[T]` for reads and `&mut [T]` for writes and
+//! increments — the code the OP2 translator would generate by hand,
+//! expressed once per arity *internally* (the macro below) but behind a
+//! single user-visible entry point. The [`par_loop!`] macro offers the
+//! same surface in one expression. The old `par_loop1..par_loop10` free
+//! functions remain as `#[deprecated]` shims over the builder.
+//!
+//! Under the [`Dataflow`](crate::Backend::Dataflow) backend `run` returns
+//! immediately; the returned [`LoopHandle`] wraps the loop's completion
+//! future, and the arguments' dats remember it so later loops depending on
+//! the same data chain automatically (loop interleaving, paper Figs 9-11).
+//! Submission also drives the implicit-communication hooks: arguments
+//! reading stale halo imports of a [`crate::locality::link_halo`]-linked
+//! dat schedule their refresh exchanges first, and mutating arguments mark
+//! the dat's exported halos stale (see [`crate::locality`]).
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -23,10 +49,293 @@ use crate::set::Set;
 use crate::types::next_loop_gen;
 use crate::world::Op2;
 
+/// An in-construction parallel loop: the iteration set, the kernel name
+/// (diagnostics + plan/spec caching) and the argument tuple accumulated so
+/// far in the type parameter. See the module docs.
+#[must_use = "a ParLoop does nothing until .run(kernel) is called"]
+pub struct ParLoop<'w, Args> {
+    world: &'w Op2,
+    name: Arc<str>,
+    set: Set,
+    args: Args,
+}
+
+impl Op2 {
+    /// Opens the arity-free loop builder over `set`; `name` identifies the
+    /// kernel for diagnostics, per-loop statistics and the loop-spec
+    /// cache. (Named `loop_` because `loop` is a Rust keyword.)
+    pub fn loop_(&self, name: &str, set: &Set) -> ParLoop<'_, ()> {
+        ParLoop {
+            world: self,
+            name: Arc::from(name),
+            set: set.clone(),
+            args: (),
+        }
+    }
+}
+
+/// Generates `ParLoop::arg` for one accumulated arity (tuple of the given
+/// type/value idents → tuple with one more argument appended).
+macro_rules! builder_step {
+    ( $(($A:ident, $a:ident)),* ) => {
+        impl<'w, $($A: ArgSpec),*> ParLoop<'w, ($($A,)*)> {
+            /// Appends one access-described argument (`op_arg_dat` /
+            /// `op_arg_gbl`); the kernel later receives one view per
+            /// argument, in append order.
+            pub fn arg<Next: ArgSpec>(self, arg: Next) -> ParLoop<'w, ($($A,)* Next,)> {
+                let ($($a,)*) = self.args;
+                ParLoop {
+                    world: self.world,
+                    name: self.name,
+                    set: self.set,
+                    args: ($($a,)* arg,),
+                }
+            }
+        }
+    };
+}
+
+builder_step!();
+builder_step!((A0, a0));
+builder_step!((A0, a0), (A1, a1));
+builder_step!((A0, a0), (A1, a1), (A2, a2));
+builder_step!((A0, a0), (A1, a1), (A2, a2), (A3, a3));
+builder_step!((A0, a0), (A1, a1), (A2, a2), (A3, a3), (A4, a4));
+builder_step!((A0, a0), (A1, a1), (A2, a2), (A3, a3), (A4, a4), (A5, a5));
+builder_step!(
+    (A0, a0),
+    (A1, a1),
+    (A2, a2),
+    (A3, a3),
+    (A4, a4),
+    (A5, a5),
+    (A6, a6)
+);
+builder_step!(
+    (A0, a0),
+    (A1, a1),
+    (A2, a2),
+    (A3, a3),
+    (A4, a4),
+    (A5, a5),
+    (A6, a6),
+    (A7, a7)
+);
+builder_step!(
+    (A0, a0),
+    (A1, a1),
+    (A2, a2),
+    (A3, a3),
+    (A4, a4),
+    (A5, a5),
+    (A6, a6),
+    (A7, a7),
+    (A8, a8)
+);
+
+/// Submits the loop described by `op2.loop_(name, set)` plus the given
+/// argument expressions in one expression — sugar over the [`ParLoop`]
+/// builder with the same type checking:
+///
+/// ```
+/// use op2_core::args::{read, write};
+/// use op2_core::{par_loop, Op2, Op2Config};
+///
+/// let op2 = Op2::new(Op2Config::seq());
+/// let cells = op2.decl_set(4, "cells");
+/// let a = op2.decl_dat(&cells, 1, "a", vec![2.0f64; 4]);
+/// let b = op2.decl_dat(&cells, 1, "b", vec![0.0f64; 4]);
+/// par_loop!(op2, "copy", &cells, [read(&a), write(&b)],
+///     |a: &[f64], b: &mut [f64]| b[0] = a[0])
+/// .wait();
+/// assert_eq!(b.snapshot(), vec![2.0; 4]);
+/// ```
+#[macro_export]
+macro_rules! par_loop {
+    ($op2:expr, $name:expr, $set:expr, [$($arg:expr),+ $(,)?], $kernel:expr $(,)?) => {
+        $op2.loop_($name, $set)$(.arg($arg))+.run($kernel)
+    };
+}
+
 macro_rules! gen_par_loop {
     ($fname:ident, $arity:literal; $( $A:ident / $a:ident / $idx:tt ),+ ) => {
+        impl<'w, $($A: ArgSpec,)+> ParLoop<'w, ($($A,)+)> {
+            /// Submits the loop, applying `kernel` to every element of the
+            /// iteration set with the accumulated arguments' views; see
+            /// the module docs.
+            pub fn run<K>(self, kernel: K) -> LoopHandle
+            where
+                K: for<'e> Fn($(<$A as ArgSpec>::View<'e>),+) + Send + Sync + 'static,
+            {
+                let ParLoop { world, name, set, args } = self;
+                let ($($a,)+) = args;
+                $(
+                    $a.check_against(&set, &name);
+                    $a.assert_borrowable();
+                )+
+                // Implicit communication (see `crate::locality`): reads of
+                // stale halo imports schedule their refresh exchanges
+                // before the loop's dependency graph is built (so boundary
+                // blocks gate on the receives); mutations then mark the
+                // exported halos stale for later consumers.
+                $( $a.halo_refresh(); )+
+                $( $a.halo_mark_dirty(); )+
+                let infos = vec![$( ArgSpec::info(&$a) ),+];
+                let gen = next_loop_gen();
+                let is_dataflow = world.config().backend == Backend::Dataflow;
+
+                // Whole-loop dependency collection for the synchronous
+                // backends only: the dataflow driver collects per block
+                // (and a whole-dat collection here would drain the
+                // per-block write-after-read state it needs).
+                let mut deps = Vec::new();
+                if !is_dataflow {
+                    $( $a.collect_deps(&mut deps); )+
+                }
+
+                // Prefetching iterator tables (paper §V): registered once
+                // per loop launch, consulted every iteration. Loops with
+                // nothing useful to prefetch (no indirect args) carry no
+                // prefetch code at all.
+                let prefetch: Option<(PrefetchSet, usize)> = world
+                    .config()
+                    .prefetch_distance
+                    .and_then(|factor| {
+                        let mut ps = PrefetchSet::new();
+                        $( $a.add_prefetch(&mut ps); )+
+                        // Gather distance is in iteration elements: factor
+                        // edges of look-ahead (the gathered rows have no
+                        // meaningful cache-line stride to scale by).
+                        if ps.is_empty() {
+                            None
+                        } else {
+                            Some((ps, factor))
+                        }
+                    });
+
+                let finalize_args = ($( $a.clone(), )+);
+                // Only the backend that will call a hook pays for its
+                // argument clones and closure allocation.
+                let record_args = (!is_dataflow).then(|| ($( $a.clone(), )+));
+                let collect_block_args = is_dataflow.then(|| ($( $a.clone(), )+));
+                let record_block_args = is_dataflow.then(|| ($( $a.clone(), )+));
+                let record_loop_args = is_dataflow.then(|| ($( $a.clone(), )+));
+                let collect_loop_args = is_dataflow.then(|| ($( $a.clone(), )+));
+
+                let block_body: Arc<dyn Fn(Range<usize>) + Send + Sync> =
+                    Arc::new(move |r: Range<usize>| {
+                        let mut tls = ($( $a.task_local(), )+);
+                        // The prefetch branch is hoisted out of the element
+                        // loop so the common (no-prefetch) path stays tight.
+                        match &prefetch {
+                            None => {
+                                for e in r.clone() {
+                                    #[cfg(debug_assertions)]
+                                    {
+                                        let targets = [$( $a.mut_target(e) ),+];
+                                        crate::diag::check_mut_overlap(&targets, e);
+                                    }
+                                    // SAFETY: the driver guarantees the
+                                    // executor discipline in `crate::dat`.
+                                    unsafe {
+                                        kernel($( $a.view(e, &mut tls.$idx) ),+);
+                                    }
+                                }
+                            }
+                            Some((ps, d)) => {
+                                for e in r.clone() {
+                                    ps.prefetch(e + *d);
+                                    #[cfg(debug_assertions)]
+                                    {
+                                        let targets = [$( $a.mut_target(e) ),+];
+                                        crate::diag::check_mut_overlap(&targets, e);
+                                    }
+                                    // SAFETY: as above.
+                                    unsafe {
+                                        kernel($( $a.view(e, &mut tls.$idx) ),+);
+                                    }
+                                }
+                            }
+                        }
+                        $( $a.commit(gen, r.start, tls.$idx); )+
+                    });
+
+                let finalize: Arc<dyn Fn() + Send + Sync> = {
+                    let ($($a,)+) = finalize_args;
+                    Arc::new(move || {
+                        $( $a.finalize(gen); )+
+                    })
+                };
+
+                // Per-block dependency hooks for the dataflow driver: one
+                // dataflow node per block, wired only to the dependency
+                // blocks its arguments actually touch. The synchronous
+                // backends get inert hooks (the driver never calls them
+                // there).
+                let collect_block: Arc<dyn Fn(&BlockCtx, &mut Vec<SharedFuture<()>>) + Send + Sync> =
+                    match collect_block_args {
+                        Some(($($a,)+)) => Arc::new(move |ctx, out| {
+                            $( $a.collect_block_deps(ctx, out); )+
+                        }),
+                        None => Arc::new(|_, _| {}),
+                    };
+                let record_block: Arc<dyn Fn(&BlockCtx, &SharedFuture<()>) + Send + Sync> =
+                    match record_block_args {
+                        Some(($($a,)+)) => Arc::new(move |ctx, done| {
+                            $( $a.record_block_completion(ctx, done); )+
+                        }),
+                        None => Arc::new(|_, _| {}),
+                    };
+                let record_loop: Arc<dyn Fn(&SharedFuture<()>) + Send + Sync> =
+                    match record_loop_args {
+                        Some(($($a,)+)) => Arc::new(move |done| {
+                            $( $a.record_loop_completion(done); )+
+                        }),
+                        None => Arc::new(|_| {}),
+                    };
+                let collect_loop: Arc<dyn Fn(&mut Vec<SharedFuture<()>>) + Send + Sync> =
+                    match collect_loop_args {
+                        Some(($($a,)+)) => Arc::new(move |out| {
+                            $( $a.collect_loop_deps(out); )+
+                        }),
+                        None => Arc::new(|_| {}),
+                    };
+
+                let spec = LoopSpec {
+                    name: name.clone(),
+                    set,
+                    infos,
+                    deps,
+                    gen,
+                    block_body,
+                    finalize,
+                    collect_block,
+                    collect_loop,
+                    record_block,
+                    record_loop,
+                };
+                let done = drive(world, spec);
+                if let Some(($($a,)+)) = record_args {
+                    // Whole-loop recording for the synchronous backends;
+                    // the dataflow driver records per block at
+                    // graph-build time.
+                    $( $a.record_completion(gen, &done); )+
+                }
+                world.track(done.clone());
+                LoopHandle::new(name, done)
+            }
+        }
+
         /// Applies `kernel` to every element of `set` with the given
-        #[doc = concat!(stringify!($arity), " argument(s); see module docs.")]
+        #[doc = concat!(stringify!($arity), " argument(s).")]
+        ///
+        /// Deprecated shim over the arity-free builder; see the module
+        /// docs.
+        #[deprecated(
+            since = "0.3.0",
+            note = "use the arity-free builder `op2.loop_(name, set).arg(…).run(kernel)` \
+                    (or the `par_loop!` macro)"
+        )]
         pub fn $fname<$($A,)+ K>(
             world: &Op2,
             name: &str,
@@ -39,151 +348,7 @@ macro_rules! gen_par_loop {
             K: for<'e> Fn($(<$A as ArgSpec>::View<'e>),+) + Send + Sync + 'static,
         {
             let ($($a,)+) = args;
-            $(
-                $a.check_against(set, name);
-                $a.assert_borrowable();
-            )+
-            let infos = vec![$( ArgSpec::info(&$a) ),+];
-            let gen = next_loop_gen();
-            let is_dataflow = world.config().backend == Backend::Dataflow;
-
-            // Whole-loop dependency collection for the synchronous
-            // backends only: the dataflow driver collects per block (and a
-            // whole-dat collection here would drain the per-block
-            // write-after-read state it needs).
-            let mut deps = Vec::new();
-            if !is_dataflow {
-                $( $a.collect_deps(&mut deps); )+
-            }
-
-            // Prefetching iterator tables (paper §V): registered once per
-            // loop launch, consulted every iteration. Loops with nothing
-            // useful to prefetch (no indirect args) carry no prefetch
-            // code at all.
-            let prefetch: Option<(PrefetchSet, usize)> = world
-                .config()
-                .prefetch_distance
-                .and_then(|factor| {
-                    let mut ps = PrefetchSet::new();
-                    $( $a.add_prefetch(&mut ps); )+
-                    // Gather distance is in iteration elements: factor
-                    // edges of look-ahead (the gathered rows have no
-                    // meaningful cache-line stride to scale by).
-                    if ps.is_empty() {
-                        None
-                    } else {
-                        Some((ps, factor))
-                    }
-                });
-
-            let finalize_args = ($( $a.clone(), )+);
-            // Only the backend that will call a hook pays for its argument
-            // clones and closure allocation.
-            let record_args = (!is_dataflow).then(|| ($( $a.clone(), )+));
-            let collect_block_args = is_dataflow.then(|| ($( $a.clone(), )+));
-            let record_block_args = is_dataflow.then(|| ($( $a.clone(), )+));
-            let record_loop_args = is_dataflow.then(|| ($( $a.clone(), )+));
-            let collect_loop_args = is_dataflow.then(|| ($( $a.clone(), )+));
-
-            let block_body: Arc<dyn Fn(Range<usize>) + Send + Sync> =
-                Arc::new(move |r: Range<usize>| {
-                    let mut tls = ($( $a.task_local(), )+);
-                    // The prefetch branch is hoisted out of the element
-                    // loop so the common (no-prefetch) path stays tight.
-                    match &prefetch {
-                        None => {
-                            for e in r.clone() {
-                                #[cfg(debug_assertions)]
-                                {
-                                    let targets = [$( $a.mut_target(e) ),+];
-                                    crate::diag::check_mut_overlap(&targets, e);
-                                }
-                                // SAFETY: the driver guarantees the
-                                // executor discipline in `crate::dat`.
-                                unsafe {
-                                    kernel($( $a.view(e, &mut tls.$idx) ),+);
-                                }
-                            }
-                        }
-                        Some((ps, d)) => {
-                            for e in r.clone() {
-                                ps.prefetch(e + *d);
-                                #[cfg(debug_assertions)]
-                                {
-                                    let targets = [$( $a.mut_target(e) ),+];
-                                    crate::diag::check_mut_overlap(&targets, e);
-                                }
-                                // SAFETY: as above.
-                                unsafe {
-                                    kernel($( $a.view(e, &mut tls.$idx) ),+);
-                                }
-                            }
-                        }
-                    }
-                    $( $a.commit(gen, r.start, tls.$idx); )+
-                });
-
-            let finalize: Arc<dyn Fn() + Send + Sync> = {
-                let ($($a,)+) = finalize_args;
-                Arc::new(move || {
-                    $( $a.finalize(gen); )+
-                })
-            };
-
-            // Per-block dependency hooks for the dataflow driver: one
-            // dataflow node per block, wired only to the dependency blocks
-            // its arguments actually touch. The synchronous backends get
-            // inert hooks (the driver never calls them there).
-            let collect_block: Arc<dyn Fn(&BlockCtx, &mut Vec<SharedFuture<()>>) + Send + Sync> =
-                match collect_block_args {
-                    Some(($($a,)+)) => Arc::new(move |ctx, out| {
-                        $( $a.collect_block_deps(ctx, out); )+
-                    }),
-                    None => Arc::new(|_, _| {}),
-                };
-            let record_block: Arc<dyn Fn(&BlockCtx, &SharedFuture<()>) + Send + Sync> =
-                match record_block_args {
-                    Some(($($a,)+)) => Arc::new(move |ctx, done| {
-                        $( $a.record_block_completion(ctx, done); )+
-                    }),
-                    None => Arc::new(|_, _| {}),
-                };
-            let record_loop: Arc<dyn Fn(&SharedFuture<()>) + Send + Sync> =
-                match record_loop_args {
-                    Some(($($a,)+)) => Arc::new(move |done| {
-                        $( $a.record_loop_completion(done); )+
-                    }),
-                    None => Arc::new(|_| {}),
-                };
-            let collect_loop: Arc<dyn Fn(&mut Vec<SharedFuture<()>>) + Send + Sync> =
-                match collect_loop_args {
-                    Some(($($a,)+)) => Arc::new(move |out| {
-                        $( $a.collect_loop_deps(out); )+
-                    }),
-                    None => Arc::new(|_| {}),
-                };
-
-            let spec = LoopSpec {
-                name: name.to_owned(),
-                set: set.clone(),
-                infos,
-                deps,
-                gen,
-                block_body,
-                finalize,
-                collect_block,
-                collect_loop,
-                record_block,
-                record_loop,
-            };
-            let done = drive(world, spec);
-            if let Some(($($a,)+)) = record_args {
-                // Whole-loop recording for the synchronous backends; the
-                // dataflow driver records per block at graph-build time.
-                $( $a.record_completion(gen, &done); )+
-            }
-            world.track(done.clone());
-            LoopHandle::new(name.to_owned(), done)
+            world.loop_(name, set)$(.arg($a))+.run(kernel)
         }
     };
 }
@@ -201,11 +366,11 @@ gen_par_loop!(par_loop10, 10; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4, A5/a5
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::arg::{arg_gbl_inc, arg_inc_via, arg_read, arg_read_via, arg_write};
+    use crate::arg::{arg_gbl_inc, arg_inc_via, arg_read, arg_read_via, arg_rw, arg_write};
     use crate::config::{Backend, Op2Config};
     use crate::gbl::Global;
     use crate::types::Access;
+    use crate::world::Op2;
 
     fn each_backend() -> Vec<Op2> {
         vec![
@@ -221,15 +386,13 @@ mod tests {
             let cells = op2.decl_set(1000, "cells");
             let q = op2.decl_dat(&cells, 4, "q", (0..4000).map(|i| i as f64).collect());
             let qold = op2.decl_dat(&cells, 4, "qold", vec![0.0f64; 4000]);
-            let h = par_loop2(
-                &op2,
-                "save_soln",
-                &cells,
-                (arg_read(&q), arg_write(&qold)),
-                |q: &[f64], qold: &mut [f64]| {
+            let h = op2
+                .loop_("save_soln", &cells)
+                .arg(arg_read(&q))
+                .arg(arg_write(&qold))
+                .run(|q: &[f64], qold: &mut [f64]| {
                     qold.copy_from_slice(q);
-                },
-            );
+                });
             h.wait();
             assert_eq!(qold.snapshot(), q.snapshot(), "{:?}", op2.config().backend);
         }
@@ -250,16 +413,14 @@ mod tests {
             }
             let pedge = op2.decl_map(&edges, &nodes, 2, idx, "pedge");
             let acc = op2.decl_dat(&nodes, 1, "acc", vec![0.0f64; n]);
-            let h = par_loop2(
-                &op2,
-                "ring_inc",
-                &edges,
-                (arg_inc_via(&acc, &pedge, 0), arg_inc_via(&acc, &pedge, 1)),
-                |a: &mut [f64], b: &mut [f64]| {
+            let h = op2
+                .loop_("ring_inc", &edges)
+                .arg(arg_inc_via(&acc, &pedge, 0))
+                .arg(arg_inc_via(&acc, &pedge, 1))
+                .run(|a: &mut [f64], b: &mut [f64]| {
                     a[0] += 1.0;
                     b[0] += 1.0;
-                },
-            );
+                });
             h.wait();
             let snap = acc.snapshot();
             assert!(
@@ -280,14 +441,14 @@ mod tests {
             let cells = op2.decl_set(5000, "cells");
             let vals = op2.decl_dat(&cells, 1, "v", (0..5000).map(|i| i as f64).collect());
             let total = Global::<f64>::sum(1, "total");
-            let h = par_loop2(
-                &op2,
+            let h = crate::par_loop!(
+                op2,
                 "sum",
                 &cells,
-                (arg_read(&vals), arg_gbl_inc(&total)),
+                [arg_read(&vals), arg_gbl_inc(&total)],
                 |v: &[f64], acc: &mut [f64]| {
                     acc[0] += v[0];
-                },
+                }
             );
             h.wait();
             assert_eq!(total.get_scalar(), 4999.0 * 5000.0 / 2.0);
@@ -302,26 +463,25 @@ mod tests {
         let b = op2.decl_dat(&cells, 1, "b", vec![0.0f64; 2000]);
         // b = a * 2; then a = b + 1  (WAR + RAW chain), repeated.
         for _ in 0..10 {
-            par_loop2(
-                &op2,
-                "double",
-                &cells,
-                (arg_read(&a), arg_write(&b)),
-                |a: &[f64], b: &mut [f64]| b[0] = a[0] * 2.0,
-            );
-            par_loop2(
-                &op2,
-                "incr",
-                &cells,
-                (arg_read(&b), arg_write(&a)),
-                |b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0,
-            );
+            op2.loop_("double", &cells)
+                .arg(arg_read(&a))
+                .arg(arg_write(&b))
+                .run(|a: &[f64], b: &mut [f64]| b[0] = a[0] * 2.0);
+            op2.loop_("incr", &cells)
+                .arg(arg_read(&b))
+                .arg(arg_write(&a))
+                .run(|b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0);
         }
         op2.fence();
         // x -> 2x+1 applied 10 times from 1.0: x_{k+1} = 2 x_k + 1 -> 2^10*1 + (2^10 - 1) = 2047.
         assert!(a.snapshot().iter().all(|&v| v == 2047.0));
         let stats = op2.loop_stats();
         assert_eq!(stats.iter().map(|(_, s)| s.invocations).sum::<u64>(), 20);
+        // Identical (name, set, signature, chunk) submissions hit the
+        // loop-spec cache after the first build of each shape.
+        let (built, hits) = op2.spec_cache_stats();
+        assert_eq!(built, 2, "one schedule per loop shape");
+        assert_eq!(hits, 18, "9 re-submissions per shape");
     }
 
     #[test]
@@ -330,32 +490,23 @@ mod tests {
         let cells = op2.decl_set(5000, "cells");
         let x = op2.decl_dat(&cells, 1, "x", vec![1.0f64; 5000]);
         let y = op2.decl_dat(&cells, 1, "y", vec![2.0f64; 5000]);
-        let hx = par_loop1(
-            &op2,
-            "scale_x",
-            &cells,
-            (arg_rw_local(&x),),
-            |x: &mut [f64]| {
+        let hx = op2
+            .loop_("scale_x", &cells)
+            .arg(arg_rw(&x))
+            .run(|x: &mut [f64]| {
                 x[0] *= 3.0;
-            },
-        );
-        let hy = par_loop1(
-            &op2,
-            "scale_y",
-            &cells,
-            (arg_rw_local(&y),),
-            |y: &mut [f64]| {
+            });
+        let hy = op2
+            .loop_("scale_y", &cells)
+            .arg(arg_rw(&y))
+            .run(|y: &mut [f64]| {
                 y[0] *= 5.0;
-            },
-        );
+            });
         hx.wait();
         hy.wait();
         assert!(x.snapshot().iter().all(|&v| v == 3.0));
         assert!(y.snapshot().iter().all(|&v| v == 10.0));
     }
-
-    // Local alias so the test reads naturally.
-    use crate::arg::arg_rw as arg_rw_local;
 
     #[test]
     #[should_panic(expected = "kernel blew up")]
@@ -363,15 +514,12 @@ mod tests {
         let op2 = Op2::new(Op2Config::dataflow(2));
         let cells = op2.decl_set(100, "cells");
         let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 100]);
-        let h = par_loop1(
-            &op2,
-            "boom",
-            &cells,
-            (arg_write(&x),),
-            |_x: &mut [f64]| {
+        let h = op2
+            .loop_("boom", &cells)
+            .arg(arg_write(&x))
+            .run(|_x: &mut [f64]| {
                 panic!("kernel blew up");
-            },
-        );
+            });
         h.wait();
     }
 
@@ -382,7 +530,10 @@ mod tests {
         let cells = op2.decl_set(10, "cells");
         let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 10]);
         let _guard = x.read();
-        let _ = par_loop1(&op2, "w", &cells, (arg_write(&x),), |_: &mut [f64]| {});
+        let _ = op2
+            .loop_("w", &cells)
+            .arg(arg_write(&x))
+            .run(|_: &mut [f64]| {});
     }
 
     #[test]
@@ -391,13 +542,11 @@ mod tests {
             let empty = op2.decl_set(0, "empty");
             let x = op2.decl_dat(&empty, 1, "x", Vec::<f64>::new());
             let g = Global::<f64>::sum(1, "g");
-            let h = par_loop2(
-                &op2,
-                "noop",
-                &empty,
-                (arg_write(&x), arg_gbl_inc(&g)),
-                |_: &mut [f64], _: &mut [f64]| unreachable!(),
-            );
+            let h = op2
+                .loop_("noop", &empty)
+                .arg(arg_write(&x))
+                .arg(arg_gbl_inc(&g))
+                .run(|_: &mut [f64], _: &mut [f64]| unreachable!());
             h.wait();
             assert_eq!(g.get_scalar(), 0.0);
         }
@@ -416,17 +565,12 @@ mod tests {
         let m = op2.decl_map(&edges, &nodes, 2, idx, "pedge");
         let xn = op2.decl_dat(&nodes, 1, "xn", (0..101).map(|i| i as f64).collect());
         let xe = op2.decl_dat(&edges, 1, "xe", vec![0.0f64; 100]);
-        let h = par_loop3(
-            &op2,
-            "gather",
-            &edges,
-            (
-                arg_read_via(&xn, &m, 0),
-                arg_read_via(&xn, &m, 1),
-                arg_write(&xe),
-            ),
-            |a: &[f64], b: &[f64], out: &mut [f64]| out[0] = 0.5 * (a[0] + b[0]),
-        );
+        let h = op2
+            .loop_("gather", &edges)
+            .arg(arg_read_via(&xn, &m, 0))
+            .arg(arg_read_via(&xn, &m, 1))
+            .arg(arg_write(&xe))
+            .run(|a: &[f64], b: &[f64], out: &mut [f64]| out[0] = 0.5 * (a[0] + b[0]));
         h.wait();
         let (built, _) = op2.plan_cache_stats();
         assert_eq!(built, 0, "gather loops are direct for planning purposes");

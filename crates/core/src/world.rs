@@ -43,8 +43,40 @@ pub struct Op2 {
     rt: Arc<Runtime>,
     config: Op2Config,
     plans: PlanCache,
-    outstanding: Mutex<Vec<SharedFuture<()>>>,
+    specs: crate::driver::SpecCache,
+    outstanding: Arc<Mutex<Vec<SharedFuture<()>>>>,
     stats: StatsHandle,
+}
+
+/// The per-rank handles communication nodes need after the owning [`Op2`]
+/// is out of reach: where to schedule (the shared runtime) and where to
+/// register completions for [`Op2::fence`]. The implicit halo-exchange
+/// ring stores one per rank (see [`crate::locality`]).
+#[derive(Clone)]
+pub(crate) struct CommHooks {
+    rt: Arc<Runtime>,
+    outstanding: Arc<Mutex<Vec<SharedFuture<()>>>>,
+}
+
+impl CommHooks {
+    /// The rank's task runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Registers a completion future for the rank's fence.
+    pub fn track(&self, done: SharedFuture<()>) {
+        track_in(&self.outstanding, done);
+    }
+}
+
+fn track_in(outstanding: &Mutex<Vec<SharedFuture<()>>>, done: SharedFuture<()>) {
+    let mut o = outstanding.lock();
+    o.push(done);
+    // Bound growth across long runs: completed futures need no fence.
+    if o.len() > 1024 {
+        o.retain(|f| !f.is_ready());
+    }
 }
 
 impl Op2 {
@@ -64,8 +96,16 @@ impl Op2 {
             rt,
             config,
             plans: PlanCache::default(),
-            outstanding: Mutex::new(Vec::new()),
+            specs: crate::driver::SpecCache::default(),
+            outstanding: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    pub(crate) fn comm_hooks(&self) -> CommHooks {
+        CommHooks {
+            rt: Arc::clone(&self.rt),
+            outstanding: Arc::clone(&self.outstanding),
         }
     }
 
@@ -147,16 +187,15 @@ impl Op2 {
     }
 
     pub(crate) fn track(&self, done: SharedFuture<()>) {
-        let mut o = self.outstanding.lock();
-        o.push(done);
-        // Bound growth across long runs: completed futures need no fence.
-        if o.len() > 1024 {
-            o.retain(|f| !f.is_ready());
-        }
+        track_in(&self.outstanding, done);
     }
 
     pub(crate) fn plans(&self) -> &PlanCache {
         &self.plans
+    }
+
+    pub(crate) fn specs(&self) -> &crate::driver::SpecCache {
+        &self.specs
     }
 
     pub(crate) fn stats_handle(&self) -> StatsHandle {
@@ -178,6 +217,16 @@ impl Op2 {
     /// `(plans built, cache hits)` — mirrors OP2's plan reuse counters.
     pub fn plan_cache_stats(&self) -> (usize, u64) {
         (self.plans.built(), self.plans.hits())
+    }
+
+    /// `(schedules built, cache hits)` of the loop-spec cache: under the
+    /// Dataflow backend the whole block partition + color-round schedule of
+    /// a loop is cached per (kernel name, iteration set, argument
+    /// signature, chunk policy), so repeated solver iterations skip
+    /// re-planning entirely. The process-wide totals are mirrored in the
+    /// `op2.spec_cache.*` named counters of [`hpx_rt::stats`].
+    pub fn spec_cache_stats(&self) -> (usize, u64) {
+        (self.specs.built(), self.specs.hits())
     }
 }
 

@@ -4,8 +4,7 @@
 
 use op2_core::hpx_rt::dataflow;
 use op2_core::{
-    arg_gbl_inc, arg_gbl_read, arg_inc, arg_read, arg_write, par_loop1, par_loop2, par_loop3,
-    Global, Op2, Op2Config, ReduceOp,
+    arg_gbl_inc, arg_gbl_read, arg_inc, arg_read, arg_write, Global, Op2, Op2Config, ReduceOp,
 };
 
 #[test]
@@ -20,14 +19,11 @@ fn gbl_read_broadcasts_current_value() {
         let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 1000]);
         let scale = Global::<f64>::sum(1, "scale");
         scale.set(&[2.5]);
-        par_loop2(
-            &op2,
-            "broadcast",
-            &cells,
-            (arg_gbl_read(&scale), arg_write(&x)),
-            |s: &[f64], x: &mut [f64]| x[0] = s[0] * 2.0,
-        )
-        .wait();
+        op2.loop_("broadcast", &cells)
+            .arg(arg_gbl_read(&scale))
+            .arg(arg_write(&x))
+            .run(|s: &[f64], x: &mut [f64]| x[0] = s[0] * 2.0)
+            .wait();
         assert!(x.snapshot().iter().all(|&v| v == 5.0));
     }
 }
@@ -40,20 +36,14 @@ fn gbl_inc_after_gbl_read_orders_correctly_under_dataflow() {
     let g = Global::<f64>::sum(1, "g");
     // Loop 1 accumulates into g; loop 2 broadcasts g into x. The pending
     // future must serialize them even though both are async.
-    par_loop2(
-        &op2,
-        "accumulate",
-        &cells,
-        (arg_read(&x), arg_gbl_inc(&g)),
-        |x: &[f64], g: &mut [f64]| g[0] += x[0],
-    );
-    par_loop2(
-        &op2,
-        "broadcast",
-        &cells,
-        (arg_gbl_read(&g), arg_write(&x)),
-        |g: &[f64], x: &mut [f64]| x[0] = g[0],
-    );
+    op2.loop_("accumulate", &cells)
+        .arg(arg_read(&x))
+        .arg(arg_gbl_inc(&g))
+        .run(|x: &[f64], g: &mut [f64]| g[0] += x[0]);
+    op2.loop_("broadcast", &cells)
+        .arg(arg_gbl_read(&g))
+        .arg(arg_write(&x))
+        .run(|g: &[f64], x: &mut [f64]| x[0] = g[0]);
     op2.fence();
     assert!(x.snapshot().iter().all(|&v| v == 10_000.0));
 }
@@ -64,11 +54,13 @@ fn direct_increment_accumulates() {
     let cells = op2.decl_set(5000, "cells");
     let acc = op2.decl_dat(&cells, 2, "acc", vec![1.0f64; 10_000]);
     for _ in 0..3 {
-        par_loop1(&op2, "bump", &cells, (arg_inc(&acc),), |a: &mut [f64]| {
-            a[0] += 1.0;
-            a[1] += 2.0;
-        })
-        .wait();
+        op2.loop_("bump", &cells)
+            .arg(arg_inc(&acc))
+            .run(|a: &mut [f64]| {
+                a[0] += 1.0;
+                a[1] += 2.0;
+            })
+            .wait();
     }
     let snap = acc.snapshot();
     assert!(snap.chunks_exact(2).all(|c| c == [4.0, 7.0]));
@@ -79,15 +71,12 @@ fn loop_handle_future_feeds_hpx_dataflow() {
     let op2 = Op2::new(Op2Config::dataflow(2));
     let cells = op2.decl_set(1000, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![3.0f64; 1000]);
-    let h = par_loop1(
-        &op2,
-        "triple",
-        &cells,
-        (op2_core::arg_rw(&x),),
-        |x: &mut [f64]| {
+    let h = op2
+        .loop_("triple", &cells)
+        .arg(op2_core::arg_rw(&x))
+        .run(|x: &mut [f64]| {
             x[0] *= 3.0;
-        },
-    );
+        });
     // The loop's completion future is a first-class dataflow input.
     let x2 = x.clone();
     let summed = dataflow(
@@ -108,18 +97,14 @@ fn single_element_set() {
         let op2 = Op2::new(config);
         let s = op2.decl_set(1, "one");
         let d = op2.decl_dat(&s, 3, "d", vec![1.0f64, 2.0, 3.0]);
-        par_loop1(
-            &op2,
-            "negate",
-            &s,
-            (op2_core::arg_rw(&d),),
-            |v: &mut [f64]| {
+        op2.loop_("negate", &s)
+            .arg(op2_core::arg_rw(&d))
+            .run(|v: &mut [f64]| {
                 for x in v {
                     *x = -*x;
                 }
-            },
-        )
-        .wait();
+            })
+            .wait();
         assert_eq!(d.snapshot(), vec![-1.0, -2.0, -3.0]);
     }
 }
@@ -131,14 +116,11 @@ fn fork_join_with_measuring_chunker_is_correct() {
     let cells = op2.decl_set(50_000, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![1.0f64; 50_000]);
     let total = Global::<f64>::sum(1, "total");
-    par_loop2(
-        &op2,
-        "sum",
-        &cells,
-        (arg_read(&x), arg_gbl_inc(&total)),
-        |x: &[f64], t: &mut [f64]| t[0] += x[0],
-    )
-    .wait();
+    op2.loop_("sum", &cells)
+        .arg(arg_read(&x))
+        .arg(arg_gbl_inc(&total))
+        .run(|x: &[f64], t: &mut [f64]| t[0] += x[0])
+        .wait();
     assert_eq!(total.get_scalar(), 50_000.0);
 }
 
@@ -150,21 +132,19 @@ fn min_and_max_globals() {
     let x = op2.decl_dat(&cells, 1, "x", vals.clone());
     let lo = Global::<f64>::new(1, ReduceOp::Min, "lo");
     let hi = Global::<f64>::new(1, ReduceOp::Max, "hi");
-    par_loop3(
-        &op2,
-        "minmax",
-        &cells,
-        (arg_read(&x), arg_gbl_inc(&lo), arg_gbl_inc(&hi)),
-        |x: &[f64], lo: &mut [f64], hi: &mut [f64]| {
+    op2.loop_("minmax", &cells)
+        .arg(arg_read(&x))
+        .arg(arg_gbl_inc(&lo))
+        .arg(arg_gbl_inc(&hi))
+        .run(|x: &[f64], lo: &mut [f64], hi: &mut [f64]| {
             if x[0] < lo[0] {
                 lo[0] = x[0];
             }
             if x[0] > hi[0] {
                 hi[0] = x[0];
             }
-        },
-    )
-    .wait();
+        })
+        .wait();
     let expect_lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
     let expect_hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     assert_eq!(lo.get_scalar(), expect_lo);
@@ -177,15 +157,11 @@ fn stats_and_plan_counters_track_work() {
     let cells = op2.decl_set(100, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 100]);
     for _ in 0..5 {
-        par_loop1(
-            &op2,
-            "touch",
-            &cells,
-            (arg_write(&x),),
-            |x: &mut [f64]| {
+        op2.loop_("touch", &cells)
+            .arg(arg_write(&x))
+            .run(|x: &mut [f64]| {
                 x[0] += 1.0;
-            },
-        );
+            });
     }
     op2.fence();
     let stats = op2.loop_stats();
@@ -200,9 +176,11 @@ fn fence_propagates_kernel_panics() {
     let op2 = Op2::new(Op2Config::dataflow(2));
     let cells = op2.decl_set(100, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 100]);
-    par_loop1(&op2, "boom", &cells, (arg_write(&x),), |_: &mut [f64]| {
-        panic!("deferred kernel failure");
-    });
+    op2.loop_("boom", &cells)
+        .arg(arg_write(&x))
+        .run(|_: &mut [f64]| {
+            panic!("deferred kernel failure");
+        });
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| op2.fence()))
         .expect_err("fence must re-panic");
     let msg = err
@@ -219,9 +197,11 @@ fn read_guard_waits_for_pending_writer() {
     let op2 = Op2::new(Op2Config::dataflow(2));
     let cells = op2.decl_set(200_000, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 200_000]);
-    par_loop1(&op2, "fill", &cells, (arg_write(&x),), |x: &mut [f64]| {
-        x[0] = 42.0;
-    });
+    op2.loop_("fill", &cells)
+        .arg(arg_write(&x))
+        .run(|x: &mut [f64]| {
+            x[0] = 42.0;
+        });
     let guard = x.read(); // must block on the loop's completion future
     assert!(guard.iter().all(|&v| v == 42.0));
 }

@@ -57,7 +57,7 @@ pub mod lco;
 mod policy;
 pub mod prefetch;
 mod runtime;
-mod stats;
+pub mod stats;
 mod task;
 pub mod timing;
 

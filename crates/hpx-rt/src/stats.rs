@@ -5,10 +5,19 @@
 //! maintained with relaxed atomics — they are diagnostics, not
 //! synchronization.
 //!
+//! The module additionally hosts a process-wide registry of **named
+//! counters** ([`counter`], [`counter_value`], [`counters`]): cheap
+//! relaxed `AtomicU64`s that higher layers (the OP2 loop-spec cache, the
+//! implicit halo-exchange engine) bump and benches report. Names are
+//! dot-namespaced by convention (`op2.spec_cache.hits`).
+//!
 //! [`Runtime::stats`]: crate::Runtime::stats
 
 use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Per-worker counters (cache padded to avoid false sharing).
 #[derive(Default)]
@@ -68,6 +77,63 @@ impl RuntimeStats {
         out.tasks_executed += out.tasks_helped;
         out
     }
+}
+
+// ---------------------------------------------------------------------------
+// Named counters
+// ---------------------------------------------------------------------------
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Arc<AtomicU64>>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Handle to the process-wide named counter `name`, created on first use.
+/// Keep the `Arc` around for hot paths; one registry lookup per call
+/// otherwise.
+///
+/// ```
+/// let c = hpx_rt::stats::counter("doc.example");
+/// c.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+/// assert!(hpx_rt::stats::counter_value("doc.example") >= 2);
+/// ```
+pub fn counter(name: &'static str) -> Arc<AtomicU64> {
+    Arc::clone(registry().lock().entry(name).or_default())
+}
+
+/// Expands to a `&'static Arc<AtomicU64>` handle to the named counter,
+/// resolved through the registry once and cached in a call-site static —
+/// for hot paths that must not re-lock the registry per bump:
+///
+/// ```
+/// use std::sync::atomic::Ordering;
+/// hpx_rt::static_counter!("doc.macro_example").fetch_add(1, Ordering::Relaxed);
+/// assert!(hpx_rt::stats::counter_value("doc.macro_example") >= 1);
+/// ```
+#[macro_export]
+macro_rules! static_counter {
+    ($name:expr) => {{
+        static __COUNTER: ::std::sync::OnceLock<::std::sync::Arc<::std::sync::atomic::AtomicU64>> =
+            ::std::sync::OnceLock::new();
+        __COUNTER.get_or_init(|| $crate::stats::counter($name))
+    }};
+}
+
+/// Current value of the named counter (0 if it was never touched).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .get(name)
+        .map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// Snapshot of every named counter, sorted by name.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    registry()
+        .lock()
+        .iter()
+        .map(|(k, v)| (*k, v.load(Ordering::Relaxed)))
+        .collect()
 }
 
 impl std::fmt::Display for RuntimeStats {

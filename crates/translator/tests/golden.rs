@@ -53,11 +53,17 @@ fn backends_differ_exactly_in_synchronization() {
 }
 
 #[test]
-fn res_calc_uses_arity_eight_with_increments() {
+fn res_calc_emits_eight_builder_args_with_increments() {
     let hpx = translate(AIRFOIL, CodegenBackend::Hpx).unwrap();
-    assert!(hpx.contains("par_loop8("));
-    assert!(hpx.contains("arg_inc_via(p_res, pecell, 0)"));
-    assert!(hpx.contains("arg_inc_via(p_res, pecell, 1)"));
+    let res_calc = hpx
+        .split("pub fn op_par_loop_res_calc")
+        .nth(1)
+        .expect("res_calc wrapper present");
+    let body = res_calc.split("pub fn").next().unwrap();
+    assert_eq!(body.matches(".arg(").count(), 8, "arity-free builder args");
+    assert!(body.contains(".arg(arg_inc_via(p_res, pecell, 0))"));
+    assert!(body.contains(".arg(arg_inc_via(p_res, pecell, 1))"));
+    assert!(body.contains(".run(kernel)"));
 }
 
 #[test]

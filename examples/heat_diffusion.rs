@@ -12,10 +12,8 @@
 //! ```
 
 use op2_hpx::mesh::unit_square;
-use op2_hpx::op2::{
-    arg_gbl_inc, arg_inc_via, arg_read, arg_read_via, arg_rw, par_loop4, par_loop5, Global, Op2,
-    Op2Config, ReduceOp,
-};
+use op2_hpx::op2::args::{gbl_inc, inc_via, read, read_via, rw};
+use op2_hpx::op2::{par_loop, Global, Op2, Op2Config, ReduceOp};
 
 fn main() {
     let n = 64;
@@ -56,16 +54,16 @@ fn main() {
         // Edge loop: gather both endpoint temperatures, scatter the
         // difference into both flux accumulators (indirect increments —
         // the dataflow backend colors and chains this automatically).
-        par_loop4(
-            &op2,
+        par_loop!(
+            op2,
             "edge_flux",
             &edges,
-            (
-                arg_read_via(&temp, &pedge, 0),
-                arg_read_via(&temp, &pedge, 1),
-                arg_inc_via(&flux, &pedge, 0),
-                arg_inc_via(&flux, &pedge, 1),
-            ),
+            [
+                read_via(&temp, &pedge, 0),
+                read_via(&temp, &pedge, 1),
+                inc_via(&flux, &pedge, 0),
+                inc_via(&flux, &pedge, 1),
+            ],
             |t0: &[f64], t1: &[f64], f0: &mut [f64], f1: &mut [f64]| {
                 let d = t1[0] - t0[0];
                 f0[0] += d;
@@ -76,28 +74,25 @@ fn main() {
         // Node loop: apply the flux (zero on the Dirichlet boundary),
         // reset it, and track the largest update.
         let delta = Global::<f64>::new(1, ReduceOp::Max, "delta");
-        let h = par_loop5(
-            &op2,
-            "apply_flux",
-            &nodes,
-            (
-                arg_rw(&temp),
-                arg_rw(&flux),
-                arg_read(&boundary),
-                arg_gbl_inc(&delta),
-                arg_read(&boundary), // second read arg demonstrates arg reuse
-            ),
-            move |t: &mut [f64], f: &mut [f64], b: &[i32], d: &mut [f64], _b2: &[i32]| {
-                if b[0] == 0 {
-                    let change = alpha * f[0];
-                    t[0] += change;
-                    if change.abs() > d[0] {
-                        d[0] = change.abs();
+        let h = op2
+            .loop_("apply_flux", &nodes)
+            .arg(rw(&temp))
+            .arg(rw(&flux))
+            .arg(read(&boundary))
+            .arg(gbl_inc(&delta))
+            .arg(read(&boundary)) // second read arg demonstrates arg reuse
+            .run(
+                move |t: &mut [f64], f: &mut [f64], b: &[i32], d: &mut [f64], _b2: &[i32]| {
+                    if b[0] == 0 {
+                        let change = alpha * f[0];
+                        t[0] += change;
+                        if change.abs() > d[0] {
+                            d[0] = change.abs();
+                        }
                     }
-                }
-                f[0] = 0.0;
-            },
-        );
+                    f[0] = 0.0;
+                },
+            );
         let _ = h;
 
         // Check convergence every 50 steps (the Global::get waits only on

@@ -6,7 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use op2_hpx::op2::{arg_inc_via, arg_read, arg_read_via, arg_write, par_loop3, Op2, Op2Config};
+use op2_hpx::op2::args::{inc_via, read, read_via, write};
+use op2_hpx::op2::{Op2, Op2Config};
 
 fn main() {
     let op2 = Op2::new(Op2Config::dataflow(2));
@@ -27,37 +28,28 @@ fn main() {
     let data_edge = op2.decl_dat(&edges, 1, "data_edge", vec![0.0f64; 12]);
     let degree_sum = op2.decl_dat(&nodes, 1, "degree_sum", vec![0.0f64; 9]);
 
-    // Loop 1: gather — every edge averages its two node values.
-    let h1 = par_loop3(
-        &op2,
-        "edge_average",
-        &edges,
-        (
-            arg_read_via(&data_node, &pedge, 0),
-            arg_read_via(&data_node, &pedge, 1),
-            arg_write(&data_edge),
-        ),
-        |a: &[f64], b: &[f64], out: &mut [f64]| out[0] = 0.5 * (a[0] + b[0]),
-    );
+    // Loop 1: gather — every edge averages its two node values. The
+    // arity-free builder carries one `.arg` per access descriptor.
+    let h1 = op2
+        .loop_("edge_average", &edges)
+        .arg(read_via(&data_node, &pedge, 0))
+        .arg(read_via(&data_node, &pedge, 1))
+        .arg(write(&data_edge))
+        .run(|a: &[f64], b: &[f64], out: &mut [f64]| out[0] = 0.5 * (a[0] + b[0]));
 
     // Loop 2: indirect increment — every edge scatters its value back to
     // both endpoints (this forces plan coloring). Because it reads
     // `data_edge`, the dataflow backend automatically chains it after
     // loop 1 — no barrier in sight.
-    let h2 = par_loop3(
-        &op2,
-        "scatter_back",
-        &edges,
-        (
-            arg_read(&data_edge),
-            arg_inc_via(&degree_sum, &pedge, 0),
-            arg_inc_via(&degree_sum, &pedge, 1),
-        ),
-        |e: &[f64], n0: &mut [f64], n1: &mut [f64]| {
+    let h2 = op2
+        .loop_("scatter_back", &edges)
+        .arg(read(&data_edge))
+        .arg(inc_via(&degree_sum, &pedge, 0))
+        .arg(inc_via(&degree_sum, &pedge, 1))
+        .run(|e: &[f64], n0: &mut [f64], n1: &mut [f64]| {
             n0[0] += e[0];
             n1[0] += e[0];
-        },
-    );
+        });
 
     h1.wait();
     h2.wait();

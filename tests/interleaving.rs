@@ -4,7 +4,8 @@
 
 use std::time::{Duration, Instant};
 
-use op2_hpx::op2::{arg_read, arg_rw, arg_write, par_loop1, par_loop2, Backend, Op2, Op2Config};
+use op2_hpx::op2::args::{read, rw, write};
+use op2_hpx::op2::{Backend, Op2, Op2Config};
 
 /// Under the dataflow backend, submitting heavy loops must return almost
 /// immediately; under fork-join every submission blocks for the loop's
@@ -32,7 +33,7 @@ fn dataflow_submission_does_not_block() {
         let x = op2.decl_dat(&cells, 1, "x", vec![1.0f64; n]);
         let t_submit = Instant::now();
         for _ in 0..6 {
-            par_loop1(&op2, "heavy", &cells, (arg_rw(&x),), heavy);
+            op2.loop_("heavy", &cells).arg(rw(&x)).run(heavy);
         }
         let submit = t_submit.elapsed();
         op2.fence();
@@ -67,20 +68,14 @@ fn dependency_chains_execute_in_order() {
     // 50 alternating dependent loops; all submitted without waiting.
     for step in 0..50u64 {
         let s = step as f64;
-        par_loop2(
-            &op2,
-            "a_to_b",
-            &cells,
-            (arg_read(&a), arg_write(&b)),
-            move |a: &[f64], b: &mut [f64]| b[0] = a[0] + s,
-        );
-        par_loop2(
-            &op2,
-            "b_to_a",
-            &cells,
-            (arg_read(&b), arg_write(&a)),
-            |b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0,
-        );
+        op2.loop_("a_to_b", &cells)
+            .arg(read(&a))
+            .arg(write(&b))
+            .run(move |a: &[f64], b: &mut [f64]| b[0] = a[0] + s);
+        op2.loop_("b_to_a", &cells)
+            .arg(read(&b))
+            .arg(write(&a))
+            .run(|b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0);
     }
     op2.fence();
     // a = sum over steps of (s + 1) = 49*50/2 + 50.
@@ -99,7 +94,7 @@ fn independent_chains_interleave_safely() {
         .collect();
     for _ in 0..10 {
         for d in &dats {
-            par_loop1(&op2, "scale", &cells, (arg_rw(d),), |x: &mut [f64]| {
+            op2.loop_("scale", &cells).arg(rw(d)).run(|x: &mut [f64]| {
                 x[0] *= 1.1;
             });
         }

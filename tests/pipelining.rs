@@ -10,9 +10,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use op2_hpx::op2::{
-    arg_inc_via, arg_read, arg_write, par_loop1, par_loop2, par_loop3, Op2, Op2Config,
-};
+use op2_hpx::op2::args::{inc_via, read, rw, write};
+use op2_hpx::op2::{Op2, Op2Config};
 
 const BS: usize = 64;
 const NBLOCKS: usize = 24;
@@ -69,12 +68,10 @@ fn run_chain_once() -> (Vec<Event>, Vec<f64>) {
     let log = EventLog::default();
 
     let log_a = log.clone();
-    par_loop2(
-        &op2,
-        "pred",
-        &cells,
-        (arg_read(&a), arg_write(&b)),
-        move |a: &[f64], b: &mut [f64]| {
+    op2.loop_("pred", &cells)
+        .arg(read(&a))
+        .arg(write(&b))
+        .run(move |a: &[f64], b: &mut [f64]| {
             let e = a[0] as usize;
             if e.is_multiple_of(BS) {
                 log_a.record(0, e / BS);
@@ -84,22 +81,18 @@ fn run_chain_once() -> (Vec<Event>, Vec<f64>) {
                 spin(40_000);
             }
             b[0] = a[0] + 1.0;
-        },
-    );
+        });
     let log_b = log.clone();
-    par_loop2(
-        &op2,
-        "succ",
-        &cells,
-        (arg_read(&b), arg_write(&c)),
-        move |b: &[f64], c: &mut [f64]| {
+    op2.loop_("succ", &cells)
+        .arg(read(&b))
+        .arg(write(&c))
+        .run(move |b: &[f64], c: &mut [f64]| {
             let e = (b[0] - 1.0) as usize;
             if e.is_multiple_of(BS) {
                 log_b.record(1, e / BS);
             }
             c[0] = b[0] * 2.0;
-        },
-    );
+        });
     op2.fence();
     (log.take(), c.snapshot())
 }
@@ -182,15 +175,19 @@ fn epoch_tables_advance_per_block() {
     let cells = op2.decl_set(N, "cells");
     let x = op2.decl_dat(&cells, 1, "x", vec![0.0; N]);
     assert_eq!(x.__dep_epochs(), vec![0; NBLOCKS]);
-    par_loop1(&op2, "w1", &cells, (arg_write(&x),), |x: &mut [f64]| {
-        x[0] = 1.0;
-    })
-    .wait();
+    op2.loop_("w1", &cells)
+        .arg(write(&x))
+        .run(|x: &mut [f64]| {
+            x[0] = 1.0;
+        })
+        .wait();
     assert_eq!(x.__dep_epochs(), vec![1; NBLOCKS]);
-    par_loop1(&op2, "w2", &cells, (arg_write(&x),), |x: &mut [f64]| {
-        x[0] = 2.0;
-    })
-    .wait();
+    op2.loop_("w2", &cells)
+        .arg(write(&x))
+        .run(|x: &mut [f64]| {
+            x[0] = 2.0;
+        })
+        .wait();
     assert_eq!(x.__dep_epochs(), vec![2; NBLOCKS]);
 }
 
@@ -214,12 +211,11 @@ fn shared_global_reduction_does_not_block_pipelining() {
         let log = EventLog::default();
 
         let log_a = log.clone();
-        par_loop3(
-            &op2,
-            "pred",
-            &cells,
-            (arg_read(&a), arg_write(&b), arg_gbl_inc(&g)),
-            move |a: &[f64], b: &mut [f64], g: &mut [f64]| {
+        op2.loop_("pred", &cells)
+            .arg(read(&a))
+            .arg(write(&b))
+            .arg(arg_gbl_inc(&g))
+            .run(move |a: &[f64], b: &mut [f64], g: &mut [f64]| {
                 let e = a[0] as usize;
                 if e.is_multiple_of(BS) {
                     log_a.record(0, e / BS);
@@ -229,23 +225,20 @@ fn shared_global_reduction_does_not_block_pipelining() {
                 }
                 b[0] = a[0] + 1.0;
                 g[0] += 1.0;
-            },
-        );
+            });
         let log_b = log.clone();
-        par_loop3(
-            &op2,
-            "succ",
-            &cells,
-            (arg_read(&b), arg_write(&c), arg_gbl_inc(&g)),
-            move |b: &[f64], c: &mut [f64], g: &mut [f64]| {
+        op2.loop_("succ", &cells)
+            .arg(read(&b))
+            .arg(write(&c))
+            .arg(arg_gbl_inc(&g))
+            .run(move |b: &[f64], c: &mut [f64], g: &mut [f64]| {
                 let e = (b[0] - 1.0) as usize;
                 if e.is_multiple_of(BS) {
                     log_b.record(1, e / BS);
                 }
                 c[0] = b[0] * 2.0;
                 g[0] += 1.0;
-            },
-        );
+            });
         op2.fence();
         // Both loops' increments must land exactly once per element.
         assert_eq!(g.get_scalar(), 2.0 * N as f64, "shared reduction corrupted");
@@ -300,27 +293,20 @@ fn backends_agree_on_dependent_chain_with_indirection() {
         let acc = op2.decl_dat(&nodes, 1, "acc", vec![0.0f64; n]);
         for _ in 0..8 {
             // Direct RAW: val -> val.
-            par_loop1(
-                &op2,
-                "bump",
-                &nodes,
-                (op2_hpx::op2::arg_rw(&val),),
-                |v: &mut [f64]| {
+            op2.loop_("bump", &nodes)
+                .arg(rw(&val))
+                .run(|v: &mut [f64]| {
                     v[0] += 1.0;
-                },
-            );
+                });
             // Indirect increments over both endpoints read nothing, so the
             // chain is val(W) -> acc(W) -> val(W) across iterations.
-            par_loop2(
-                &op2,
-                "scatter",
-                &edges,
-                (arg_inc_via(&acc, &pedge, 0), arg_inc_via(&acc, &pedge, 1)),
-                |a: &mut [f64], b: &mut [f64]| {
+            op2.loop_("scatter", &edges)
+                .arg(inc_via(&acc, &pedge, 0))
+                .arg(inc_via(&acc, &pedge, 1))
+                .run(|a: &mut [f64], b: &mut [f64]| {
                     a[0] += 1.0;
                     b[0] += 2.0;
-                },
-            );
+                });
         }
         op2.fence();
         (val.snapshot(), acc.snapshot())

@@ -9,7 +9,8 @@ use std::sync::{Arc, Mutex};
 use op2_hpx::hpx::{
     for_each, for_each_async, par, par_task, par_vec, reduce, seq, seq_task, ChunkPolicy, Runtime,
 };
-use op2_hpx::op2::{arg_read, arg_write, par_loop2, Op2, Op2Config};
+use op2_hpx::op2::args::{read, write};
+use op2_hpx::op2::{Op2, Op2Config};
 
 #[test]
 fn seq_runs_in_index_order() {
@@ -138,20 +139,14 @@ fn dataflow_chunked_granularity_preserves_results() {
         let a = op2.decl_dat(&cells, 1, "a", vec![1.0f64; 1000]);
         let b = op2.decl_dat(&cells, 1, "b", vec![0.0f64; 1000]);
         for _ in 0..5 {
-            par_loop2(
-                &op2,
-                "fwd",
-                &cells,
-                (arg_read(&a), arg_write(&b)),
-                |a: &[f64], b: &mut [f64]| b[0] = a[0] * 2.0,
-            );
-            par_loop2(
-                &op2,
-                "bwd",
-                &cells,
-                (arg_read(&b), arg_write(&a)),
-                |b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0,
-            );
+            op2.loop_("fwd", &cells)
+                .arg(read(&a))
+                .arg(write(&b))
+                .run(|a: &[f64], b: &mut [f64]| b[0] = a[0] * 2.0);
+            op2.loop_("bwd", &cells)
+                .arg(read(&b))
+                .arg(write(&a))
+                .run(|b: &[f64], a: &mut [f64]| a[0] = b[0] + 1.0);
         }
         op2.fence();
         // x -> 2x+1 five times from 1.0 = 63.

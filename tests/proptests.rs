@@ -14,9 +14,7 @@ use op2_hpx::mesh::{
     build_halo, channel_with_bump, neighbors_from_pairs, partition_greedy_bfs, quad_stats,
     validate_quad,
 };
-use op2_hpx::op2::{
-    arg_inc_via, par_loop1, par_loop2, plan_for, validate_coloring, ArgSpec, Op2, Op2Config,
-};
+use op2_hpx::op2::{arg_inc_via, plan_for, validate_coloring, ArgSpec, Op2, Op2Config};
 
 /// Cases per property; each case spins up pools, keep CI-speed sane.
 const CASES: u64 = 24;
@@ -67,10 +65,12 @@ fn coloring_is_valid_and_increments_exact() {
             1 => {
                 let a0 = arg_inc_via(&acc, &map, 0);
                 let infos = vec![ArgSpec::info(&a0)];
-                par_loop1(&op2, "inc", &from, (a0,), |t0: &mut [f64]| {
-                    t0[0] += 1.0;
-                })
-                .wait();
+                op2.loop_("inc", &from)
+                    .arg(a0)
+                    .run(|t0: &mut [f64]| {
+                        t0[0] += 1.0;
+                    })
+                    .wait();
                 infos
             }
             _ => {
@@ -91,17 +91,14 @@ fn coloring_is_valid_and_increments_exact() {
                     );
                     continue;
                 }
-                par_loop2(
-                    &op2,
-                    "inc2",
-                    &from,
-                    (a0, a1),
-                    |t0: &mut [f64], t1: &mut [f64]| {
+                op2.loop_("inc2", &from)
+                    .arg(a0)
+                    .arg(a1)
+                    .run(|t0: &mut [f64], t1: &mut [f64]| {
                         t0[0] += 1.0;
                         t1[0] += 1.0;
-                    },
-                )
-                .wait();
+                    })
+                    .wait();
                 infos
             }
         };

@@ -12,8 +12,9 @@ use op2_hpx::airfoil::verify::{max_rel_diff, max_scaled_diff};
 use op2_hpx::airfoil::{solver, Problem, SolverConfig};
 use op2_hpx::hpx::lco::Event;
 use op2_hpx::mesh::channel_with_bump;
+use op2_hpx::op2::args::{read_via, write};
 use op2_hpx::op2::locality::{exchange, HaloSpec, LocalityGroup};
-use op2_hpx::op2::{arg_read_via, arg_write, par_loop1, par_loop2, Op2Config};
+use op2_hpx::op2::Op2Config;
 
 /// The tentpole overlap property, deterministically: a consumer loop's
 /// *interior* blocks execute while the same loop's halo receive is
@@ -37,16 +38,12 @@ fn interior_blocks_execute_before_halo_receives_complete() {
     let q1 = r1.decl_dat(&cells1, 1, "q", vec![0.0f64; 64]);
     let gate = Arc::new(Event::new());
     let g = Arc::clone(&gate);
-    par_loop1(
-        r1,
-        "produce",
-        &cells1,
-        (arg_write(&q1),),
-        move |q: &mut [f64]| {
+    r1.loop_("produce", &cells1)
+        .arg(write(&q1))
+        .run(move |q: &mut [f64]| {
             g.wait();
             q[0] = 42.0;
-        },
-    );
+        });
 
     let mut spec = HaloSpec::empty(2);
     spec.export_rows[1][0] = (0..64).collect();
@@ -62,16 +59,14 @@ fn interior_blocks_execute_before_halo_receives_complete() {
     let out = r0.decl_dat(&edges, 1, "out", vec![f64::NAN; 320]);
     let executed = Arc::new(AtomicUsize::new(0));
     let counter = Arc::clone(&executed);
-    let h = par_loop2(
-        r0,
-        "consume",
-        &edges,
-        (arg_read_via(&q0, &ident, 0), arg_write(&out)),
-        move |q: &[f64], o: &mut [f64]| {
+    let h = r0
+        .loop_("consume", &edges)
+        .arg(read_via(&q0, &ident, 0))
+        .arg(write(&out))
+        .run(move |q: &[f64], o: &mut [f64]| {
             o[0] = q[0];
             counter.fetch_add(1, Ordering::Relaxed);
-        },
-    );
+        });
 
     // Interior blocks must make progress while the receive is hostage.
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -122,16 +117,14 @@ fn halo_refresh_waits_for_pending_halo_readers() {
     let seen = r0.decl_dat(&edges, 1, "seen", vec![0.0f64; 64]);
     let gate = Arc::new(Event::new());
     let g = Arc::clone(&gate);
-    let h = par_loop2(
-        r0,
-        "reader",
-        &edges,
-        (arg_read_via(&q0, &ident, 0), arg_write(&seen)),
-        move |q: &[f64], o: &mut [f64]| {
+    let h = r0
+        .loop_("reader", &edges)
+        .arg(read_via(&q0, &ident, 0))
+        .arg(write(&seen))
+        .run(move |q: &[f64], o: &mut [f64]| {
             g.wait();
             o[0] = q[0];
-        },
-    );
+        });
 
     let mut spec = HaloSpec::empty(2);
     spec.export_rows[1][0] = (0..32).collect();
