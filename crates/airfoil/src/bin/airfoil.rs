@@ -11,7 +11,6 @@
 //! asynchronous halo exchange between them.
 
 use airfoil_cfd::{shard, solver, Problem, SolverConfig};
-use op2_core::hpx_rt::PersistentChunker;
 use op2_core::locality::implicit_halo_stats;
 use op2_core::{Op2, Op2Config};
 use op2_mesh::{quad_stats, QuadMesh};
@@ -66,7 +65,8 @@ fn parse_args() -> Args {
                      --ranks N          simulated localities (sharded mesh + halo exchange)\n\
                      --backend B        seq | forkjoin | dataflow\n\
                      --prefetch F       enable prefetching, distance factor F\n\
-                     --persistent       persistent_auto_chunk_size policy\n\
+                     --persistent       persistent_auto_chunk_size: measured,\n    \
+                                    feedback-resolved dataflow node granularity\n\
                      --print-every N    residual print period (default 100)"
                 );
                 std::process::exit(0);
@@ -82,9 +82,7 @@ fn main() {
     let mut config = match args.backend.as_str() {
         "seq" => Op2Config::seq(),
         "forkjoin" => Op2Config::fork_join(args.threads),
-        "dataflow" if args.persistent => {
-            Op2Config::dataflow_persistent(args.threads, PersistentChunker::new())
-        }
+        "dataflow" if args.persistent => Op2Config::persistent_auto(args.threads),
         "dataflow" => Op2Config::dataflow(args.threads),
         other => panic!("unknown backend {other}"),
     };
@@ -166,5 +164,40 @@ fn main() {
     }
     let (plans, hits) = op2.plan_cache_stats();
     println!("plans built: {plans}, cache hits: {hits}");
+    let (spec_built, spec_hits) = op2.spec_cache_stats();
+    println!(
+        "loop-spec cache: {spec_built} schedules, {spec_hits} hits, {} granularity re-plans",
+        op2.spec_cache_replans()
+    );
+    // Adaptive chunking demonstration: what the feedback measured and
+    // what granularity each kernel converged to.
+    let measured = op2.granularity_feedback().snapshot();
+    if !measured.is_empty() {
+        println!("-- adaptive granularity (measured feedback) --");
+        for (kernel, _set, cost) in measured {
+            let set = [
+                ("save_soln", &problem.cells),
+                ("adt_calc", &problem.cells),
+                ("update", &problem.cells),
+                ("res_calc", &problem.edges),
+                ("bres_calc", &problem.bedges),
+            ]
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, s)| (*s).clone());
+            match set {
+                Some(s) => println!(
+                    "  {kernel:12} {:8.0} ns/elem  ({} samples) -> {} elems/node",
+                    cost.ewma_ns_per_elem,
+                    cost.samples,
+                    op2_core::__dataflow_resolved_block_size(&op2, &kernel, &s)
+                ),
+                None => println!(
+                    "  {kernel:12} {:8.0} ns/elem  ({} samples)",
+                    cost.ewma_ns_per_elem, cost.samples
+                ),
+            }
+        }
+    }
     println!("runtime: {}", op2.runtime().stats());
 }

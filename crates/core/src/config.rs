@@ -1,6 +1,7 @@
 //! Execution configuration: which backend runs the loops and how work is
 //! divided.
 
+use hpx_rt::timing::Clock;
 use hpx_rt::{ChunkPolicy, PersistentChunker};
 
 /// The three execution strategies compared in the paper's evaluation.
@@ -38,21 +39,31 @@ pub struct Op2Config {
     pub threads: usize,
     /// Loop execution strategy.
     pub backend: Backend,
-    /// Mini-partition block size for indirect loops — and, since the
-    /// block-granular engine, the task granularity of every Dataflow
-    /// loop (one dataflow node per block).
+    /// Mini-partition block size: the granularity of every dat's
+    /// dependency (epoch) table, and the *conservative probe default* a
+    /// measuring chunk policy schedules a Dataflow loop at until feedback
+    /// for that (kernel, set) exists.
     pub block_size: usize,
     /// Chunking strategy for the ForkJoin backend's parallel-for phases —
-    /// and, for the probe-free uniform policies ([`ChunkPolicy::Static`],
-    /// [`ChunkPolicy::NumChunks`]), the node granularity of *direct*
-    /// Dataflow loops. Colored (indirect) Dataflow loops always use
-    /// [`Op2Config::block_size`], the coloring granularity; the measuring
-    /// policies fall back to it too (a timing probe has no place in graph
-    /// construction).
+    /// and the node granularity of every Dataflow loop. The probe-free
+    /// uniform policies ([`ChunkPolicy::Static`], [`ChunkPolicy::NumChunks`])
+    /// set it directly; the measuring policies ([`ChunkPolicy::Auto`],
+    /// [`ChunkPolicy::PersistentAuto`]) and [`ChunkPolicy::Guided`] resolve
+    /// it from *measured feedback* — executed nodes record their per-element
+    /// cost into a [`hpx_rt::GranularityFeedback`] accumulator, and the next
+    /// submission of the same (kernel, set) sizes its nodes to hit the
+    /// policy's target duration (first submission probes at
+    /// [`Op2Config::block_size`]). See `README.md` § Adaptive chunking.
     pub chunk: ChunkPolicy,
     /// Prefetch distance factor (cache lines of look-ahead, paper §V);
     /// `None` disables the prefetching iterator.
     pub prefetch_distance: Option<usize>,
+    /// Clock the granularity feedback measures through. [`Clock::real`] in
+    /// production; tests inject [`Clock::fake`] to drive adaptive-chunking
+    /// convergence deterministically. A
+    /// [`ChunkPolicy::PersistentAuto`] chunker carries its own clock and
+    /// ignores this one.
+    pub clock: Clock,
 }
 
 impl Op2Config {
@@ -64,6 +75,7 @@ impl Op2Config {
             block_size: DEFAULT_BLOCK_SIZE,
             chunk: ChunkPolicy::NumChunks { chunks: 1 },
             prefetch_distance: None,
+            clock: Clock::real(),
         }
     }
 
@@ -78,6 +90,7 @@ impl Op2Config {
                 chunks: threads.max(1),
             },
             prefetch_distance: None,
+            clock: Clock::real(),
         }
     }
 
@@ -91,28 +104,41 @@ impl Op2Config {
             block_size: DEFAULT_BLOCK_SIZE,
             chunk: ChunkPolicy::default(),
             prefetch_distance: None,
+            clock: Clock::real(),
         }
     }
 
     /// Dataflow with the paper's `persistent_auto_chunk_size` policy
-    /// (§IV-B) installed as the chunk policy. Note: measuring policies
-    /// need a synchronous timing probe, which has no place in dataflow
-    /// graph construction, so Dataflow nodes fall back to `block_size`
-    /// granularity under this config — the persistent chunker still
-    /// calibrates any `hpx-rt` algorithms run through it and the ForkJoin
-    /// fallback, and the constructor is kept so paper-harness variants
-    /// remain expressible. To tune Dataflow granularity use
-    /// [`Op2Config::with_block_size`], or a probe-free uniform policy
-    /// ([`ChunkPolicy::Static`] / [`ChunkPolicy::NumChunks`]), which
-    /// direct Dataflow loops honor.
+    /// (§IV-B) installed as the chunk policy, sharing `chunker`'s
+    /// calibrated target and measured cost table. On the Dataflow backend
+    /// node granularity is *feedback-resolved*: each executed node records
+    /// its per-element cost into the chunker's
+    /// [`hpx_rt::GranularityFeedback`], and later submissions of the same
+    /// (kernel, set) size their nodes so every node takes about the
+    /// chunker's target duration — different kernels get different node
+    /// sizes but equal node times, exactly the paper's Fig 12b behaviour.
+    /// Clone one handle into several configs (ranks, phases) to share the
+    /// calibration.
     pub fn dataflow_persistent(threads: usize, chunker: PersistentChunker) -> Self {
+        let clock = chunker.feedback().clock().clone();
         Op2Config {
             threads,
             backend: Backend::Dataflow,
             block_size: DEFAULT_BLOCK_SIZE,
             chunk: ChunkPolicy::PersistentAuto(chunker),
             prefetch_distance: None,
+            clock,
         }
+    }
+
+    /// The paper's headline configuration: Dataflow backend with
+    /// `persistent_auto_chunk_size` — and, since the feedback-driven
+    /// granularity engine, it means the *same thing on both backends*:
+    /// measured, duration-targeted chunk sizes, whether the chunks are
+    /// ForkJoin parallel-for chunks (sized by a synchronous probe) or
+    /// Dataflow nodes (sized from the feedback of previous executions).
+    pub fn persistent_auto(threads: usize) -> Self {
+        Self::dataflow_persistent(threads, PersistentChunker::new())
     }
 
     /// Overrides the block size.
@@ -141,6 +167,16 @@ impl Op2Config {
     #[must_use]
     pub fn without_prefetch(mut self) -> Self {
         self.prefetch_distance = None;
+        self
+    }
+
+    /// Overrides the feedback clock — tests install [`Clock::fake`] to
+    /// drive adaptive-granularity convergence deterministically. (A
+    /// `PersistentAuto` chunker measures through its own clock instead;
+    /// build it with [`PersistentChunker::with_target_and_clock`].)
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
         self
     }
 }
@@ -173,6 +209,22 @@ mod tests {
         assert_eq!(c.block_size, 128);
         assert_eq!(c.prefetch_distance, Some(15));
         assert_eq!(c.without_prefetch().prefetch_distance, None);
+    }
+
+    #[test]
+    fn persistent_auto_is_dataflow_with_persistent_chunker() {
+        let c = Op2Config::persistent_auto(3);
+        assert_eq!(c.backend, Backend::Dataflow);
+        assert!(matches!(c.chunk, ChunkPolicy::PersistentAuto(_)));
+        assert!(!c.clock.is_fake());
+    }
+
+    #[test]
+    fn persistent_config_inherits_the_chunker_clock() {
+        use std::time::Duration;
+        let h = PersistentChunker::with_target_and_clock(Duration::from_micros(50), Clock::fake());
+        let c = Op2Config::dataflow_persistent(2, h);
+        assert!(c.clock.is_fake(), "config clock follows the chunker");
     }
 
     #[test]

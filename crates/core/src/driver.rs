@@ -24,7 +24,10 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use hpx_rt::{schedule_after, when_all_shared, ChunkPolicy, ExecutionPolicy, SharedFuture};
+use hpx_rt::{
+    schedule_after, when_all_shared, ChunkPolicy, ExecutionPolicy, GranularityFeedback,
+    SharedFuture,
+};
 
 use crate::arg::{ArgInfo, ArgKind, BlockCtx};
 use crate::config::Backend;
@@ -168,27 +171,106 @@ impl Schedule {
     }
 }
 
-/// Node granularity of a *direct* dataflow loop: the chunk policy is
-/// honored where it yields a uniform, probe-free block size
-/// ([`ChunkPolicy::Static`] and [`ChunkPolicy::NumChunks`]); the measuring
-/// policies would need a synchronous timing probe that has no place in
-/// graph construction, and [`ChunkPolicy::Guided`] is non-uniform, so
-/// those fall back to the configured mini-partition block size. Colored
-/// (indirect) loops always use the mini-partition block size — it is the
-/// coloring granularity, exactly as in OP2's plans.
-fn dataflow_direct_block_size(world: &Op2, n: usize) -> usize {
-    let bs = world.config().block_size.max(1);
-    match &world.config().chunk {
+// ---------------------------------------------------------------------------
+// Feedback-resolved node granularity
+// ---------------------------------------------------------------------------
+
+/// Rounds to the nearest power of two in log space (`x >= 1`). The
+/// quantization is the chunker's hysteresis: measured costs jitter, but
+/// the resolved granularity only moves when the ideal size crosses a
+/// power-of-two midpoint — so a converged workload stops re-planning.
+fn pow2_round(x: f64) -> usize {
+    let exp = x.max(1.0).log2().round() as u32;
+    1usize << exp.min(usize::BITS - 2)
+}
+
+/// Largest power of two `<= x` (`x >= 1`).
+fn pow2_floor(x: usize) -> usize {
+    let mut p = 1usize;
+    while p * 2 <= x {
+        p *= 2;
+    }
+    p
+}
+
+/// Sizes a node to take ~`target_ns` at `per_elem_ns`, quantized to a
+/// power of two, capped for load balance (at least ~2 nodes per worker
+/// where the set allows it) and clamped to `[min, n]`.
+fn feedback_block_size(
+    target_ns: u64,
+    per_elem_ns: f64,
+    n: usize,
+    threads: usize,
+    min: usize,
+) -> usize {
+    let ideal = target_ns as f64 / per_elem_ns.max(1e-3);
+    let balance_cap = pow2_floor((n / (2 * threads.max(1))).max(1));
+    pow2_round(ideal)
+        .min(balance_cap)
+        .max(min.max(1))
+        .min(n.max(1))
+}
+
+/// Resolves the configured chunk policy to the concrete, uniform node
+/// granularity a Dataflow loop of `n` elements over `(kernel, set_id)`
+/// schedules with *right now*:
+///
+/// * [`ChunkPolicy::Static`] / [`ChunkPolicy::NumChunks`] — probe-free,
+///   set directly;
+/// * [`ChunkPolicy::Auto`] / [`ChunkPolicy::PersistentAuto`] /
+///   [`ChunkPolicy::Guided`] — **feedback-resolved**: a synchronous timing
+///   probe has no place in graph construction, so executed nodes record
+///   their measured per-element cost into the context's
+///   [`GranularityFeedback`] and the *next* submission of the same
+///   (kernel, set) resolves the policy's target duration against it. The
+///   first submission — no feedback yet — probes at the conservative
+///   mini-partition `block_size` default. `Guided` has no target of its
+///   own and aims for the default chunk target with its `min` as the
+///   granularity floor.
+///
+/// The same resolution applies to colored (indirect) loops: the resolved
+/// granularity is the coloring block size, and the plan cache keys on it.
+fn resolve_granularity(world: &Op2, kernel: &str, set_id: u64, n: usize) -> usize {
+    let cfg = world.config();
+    let default_bs = cfg.block_size.max(1);
+    let measured = |target_ns: u64, min: usize| -> usize {
+        match world.granularity_feedback().cost(kernel, set_id) {
+            None => default_bs,
+            Some(c) => feedback_block_size(target_ns, c.ewma_ns_per_elem, n, cfg.threads, min),
+        }
+    };
+    match &cfg.chunk {
         ChunkPolicy::Static { size } => (*size).max(1),
         ChunkPolicy::NumChunks { chunks } => n.div_ceil((*chunks).clamp(1, n.max(1))).max(1),
-        _ => bs,
+        ChunkPolicy::Guided { min } => measured(
+            hpx_rt::DEFAULT_CHUNK_TARGET.as_nanos() as u64,
+            (*min).max(1),
+        ),
+        ChunkPolicy::Auto { target } => measured(target.as_nanos() as u64, 1),
+        ChunkPolicy::PersistentAuto(handle) => {
+            let target_ns = handle.target_ns();
+            if let Some(c) = world.granularity_feedback().cost(kernel, set_id) {
+                // First kernel with feedback calibrates the shared
+                // duration (first-loop-wins): later kernels match this
+                // duration with their own sizes (paper Fig 12b). The
+                // duration the chunker *aimed for* is locked in — the
+                // uncapped ideal, not the first kernel's achievable node
+                // duration, so a tiny first set (whose nodes can never
+                // reach the target) does not poison every later kernel
+                // with a miniature target.
+                let ideal = (target_ns as f64 / c.ewma_ns_per_elem.max(1e-3)).max(1.0);
+                let aimed_ns = (ideal * c.ewma_ns_per_elem) as u64;
+                handle.calibrate_once(aimed_ns.max(1));
+            }
+            measured(handle.target_ns(), 1)
+        }
     }
 }
 
-fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize) -> Schedule {
+fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize, granularity: usize) -> Schedule {
     let conflicts = conflicts_of(&spec.infos);
+    let bs = granularity.max(1);
     if conflicts.is_empty() {
-        let bs = dataflow_direct_block_size(world, n);
         let nblocks = n.div_ceil(bs);
         return Schedule::Direct {
             block_size: bs,
@@ -198,11 +280,7 @@ fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize) -> Schedule {
             round: (0..nblocks).collect(),
         };
     }
-    Schedule::Planned(
-        world
-            .plans()
-            .get(&spec.set, world.config().block_size.max(1), &conflicts),
-    )
+    Schedule::Planned(world.plans().get(&spec.set, bs, &conflicts))
 }
 
 // ---------------------------------------------------------------------------
@@ -220,7 +298,11 @@ enum SigKind {
 
 /// Cache key of a built [`Schedule`]: kernel name, iteration set, argument
 /// signature (access mode + direct/indirect/global shape), and the chunk
-/// policy (which governs direct-loop node granularity).
+/// policy *kind*. The **resolved granularity** is deliberately not part of
+/// the key — it is stored next to the cached schedule, so a feedback-driven
+/// granularity change *re-keys* (invalidates and rebuilds) the entry
+/// exactly once instead of accumulating one entry per granularity ever
+/// seen.
 #[derive(PartialEq, Eq, Hash)]
 struct SpecKey {
     name: Arc<str>,
@@ -262,31 +344,57 @@ impl SpecKey {
 /// Per-context cache of dataflow [`Schedule`]s, the OP2-style "plan once,
 /// execute many" applied to the *whole* loop shape: repeated solver
 /// iterations of a named loop reuse the block partition and color rounds
-/// without rebuilding or even re-deriving conflicts. Hits/misses are
-/// mirrored in the `op2.spec_cache.*` named counters of
-/// [`hpx_rt::stats`].
+/// without rebuilding or even re-deriving conflicts.
+///
+/// Every cached schedule carries the **resolved node granularity** it was
+/// built at. A lookup whose freshly resolved granularity matches is a
+/// *hit*; a lookup for an unseen shape is a *miss*; a lookup whose
+/// granularity differs — the feedback moved the chunker's decision — is a
+/// *re-plan*: the stale schedule is dropped and rebuilt once, so each
+/// granularity change costs exactly one rebuild. Hits/misses/re-plans are
+/// mirrored in the `op2.spec_cache.{hits,misses,replans}` named counters
+/// of [`hpx_rt::stats`].
 #[derive(Default)]
 pub(crate) struct SpecCache {
-    map: Mutex<HashMap<SpecKey, Arc<Schedule>>>,
+    map: Mutex<HashMap<SpecKey, (usize, Arc<Schedule>)>>,
     hits: AtomicU64,
+    replans: AtomicU64,
 }
 
 impl SpecCache {
     fn get(&self, world: &Op2, spec: &LoopSpec, n: usize) -> Arc<Schedule> {
+        let granularity = resolve_granularity(world, &spec.name, spec.set.id(), n);
         let key = SpecKey::of(world, spec);
-        if let Some(s) = self.map.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            hpx_rt::static_counter!("op2.spec_cache.hits").fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(s);
+        match self.map.lock().get(&key) {
+            Some((g, s)) if *g == granularity => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                hpx_rt::static_counter!("op2.spec_cache.hits").fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(s);
+            }
+            Some(_) => {
+                // Granularity changed: invalidate and rebuild (re-key).
+                self.replans.fetch_add(1, Ordering::Relaxed);
+                hpx_rt::static_counter!("op2.spec_cache.replans").fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                hpx_rt::static_counter!("op2.spec_cache.misses").fetch_add(1, Ordering::Relaxed);
+            }
         }
-        hpx_rt::static_counter!("op2.spec_cache.misses").fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(dataflow_schedule(world, spec, n));
-        Arc::clone(
-            self.map
-                .lock()
-                .entry(key)
-                .or_insert_with(|| Arc::clone(&built)),
-        )
+        let built = Arc::new(dataflow_schedule(world, spec, n, granularity));
+        // Built outside the lock (plan construction can be expensive);
+        // re-check on insert so a concurrent same-shape submission that
+        // won the race at this granularity is reused, not overwritten.
+        match self.map.lock().entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) if e.get().0 != granularity => {
+                e.insert((granularity, Arc::clone(&built)));
+                built
+            }
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().1),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((granularity, Arc::clone(&built)));
+                built
+            }
+        }
     }
 
     pub fn built(&self) -> usize {
@@ -296,17 +404,41 @@ impl SpecCache {
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
+
+    pub fn replans(&self) -> u64 {
+        self.replans.load(Ordering::Relaxed)
+    }
 }
 
-/// The block partition a *direct* dataflow loop of `n` elements would be
-/// scheduled with under `world`'s configuration — exposed so tests can
-/// assert the chunk-policy wiring without reaching into the driver.
+/// The uniform node granularity a Dataflow loop named `kernel` over `set`
+/// resolves to under `world`'s configuration and current feedback —
+/// exposed so tests can assert the feedback wiring (probe default before
+/// the first measurement, measured convergence after) without reaching
+/// into the driver.
 #[doc(hidden)]
-pub fn __dataflow_direct_blocks(world: &Op2, n: usize) -> Vec<Range<usize>> {
-    let bs = dataflow_direct_block_size(world, n);
+pub fn __dataflow_resolved_block_size(world: &Op2, kernel: &str, set: &Set) -> usize {
+    resolve_granularity(world, kernel, set.id(), set.size())
+}
+
+/// The block partition a *direct* dataflow loop named `kernel` over `set`
+/// would be scheduled with under `world`'s configuration and current
+/// feedback.
+#[doc(hidden)]
+pub fn __dataflow_direct_blocks(world: &Op2, kernel: &str, set: &Set) -> Vec<Range<usize>> {
+    let n = set.size();
+    let bs = resolve_granularity(world, kernel, set.id(), n);
     (0..n.div_ceil(bs))
         .map(|b| b * bs..((b + 1) * bs).min(n))
         .collect()
+}
+
+/// What a measuring dataflow node needs to report its execution cost back
+/// to the feedback accumulator: the accumulator itself (which carries the
+/// clock), the kernel name and the set id.
+struct MeasureCtx {
+    feedback: GranularityFeedback,
+    name: Arc<str>,
+    set: u64,
 }
 
 fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
@@ -316,6 +448,22 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     let name = spec.name.clone();
     // First node to execute stamps the start; the finalize node reads it.
     let t0_cell: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+
+    // A measuring policy closes the feedback loop: every node times its
+    // body on the feedback clock and records (elements, elapsed), which
+    // the *next* submission of this (kernel, set) resolves its granularity
+    // from.
+    let measure: Option<Arc<MeasureCtx>> = matches!(
+        world.config().chunk,
+        ChunkPolicy::Auto { .. } | ChunkPolicy::PersistentAuto(_) | ChunkPolicy::Guided { .. }
+    )
+    .then(|| {
+        Arc::new(MeasureCtx {
+            feedback: world.granularity_feedback().clone(),
+            name: spec.name.clone(),
+            set: spec.set.id(),
+        })
+    });
 
     let schedule = world.specs().get(world, &spec, n);
     let bs = schedule.block_size();
@@ -346,9 +494,19 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
             (spec.collect_block)(&ctx, &mut deps_buf);
             let body = Arc::clone(&spec.block_body);
             let t0c = Arc::clone(&t0_cell);
+            let mctx = measure.clone();
             let fut = schedule_after(&rt, &deps_buf, move || {
                 t0c.get_or_init(Instant::now);
-                body(range);
+                match &mctx {
+                    None => body(range),
+                    Some(m) => {
+                        let elems = range.len();
+                        let start = m.feedback.clock().now_ns();
+                        body(range);
+                        let elapsed = m.feedback.clock().now_ns().saturating_sub(start);
+                        m.feedback.record(&m.name, m.set, elems, elapsed);
+                    }
+                }
             });
             round_futs.push(fut.clone());
             nodes.push((b, fut));

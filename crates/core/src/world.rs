@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use hpx_rt::{Runtime, SharedFuture};
+use hpx_rt::{ChunkPolicy, GranularityFeedback, Runtime, SharedFuture};
 
 use crate::config::Op2Config;
 use crate::dat::Dat;
@@ -44,6 +44,13 @@ pub struct Op2 {
     config: Op2Config,
     plans: PlanCache,
     specs: crate::driver::SpecCache,
+    /// Measured per-(kernel, set) cost the Dataflow driver resolves
+    /// adaptive node granularity from. Under a
+    /// [`ChunkPolicy::PersistentAuto`] config this is the chunker's own
+    /// accumulator (shared with every clone of the handle — e.g. sibling
+    /// ranks); otherwise it is private to the context, measuring through
+    /// the config's clock.
+    feedback: GranularityFeedback,
     outstanding: Arc<Mutex<Vec<SharedFuture<()>>>>,
     stats: StatsHandle,
 }
@@ -92,11 +99,16 @@ impl Op2 {
     /// entities) but all ranks share one worker pool, so halo-exchange
     /// tasks and loop blocks of different ranks interleave freely.
     pub fn with_runtime(config: Op2Config, rt: Arc<Runtime>) -> Self {
+        let feedback = match &config.chunk {
+            ChunkPolicy::PersistentAuto(h) => h.feedback().clone(),
+            _ => GranularityFeedback::with_clock(config.clock.clone()),
+        };
         Op2 {
             rt,
             config,
             plans: PlanCache::default(),
             specs: crate::driver::SpecCache::default(),
+            feedback,
             outstanding: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(HashMap::new())),
         }
@@ -222,11 +234,30 @@ impl Op2 {
     /// `(schedules built, cache hits)` of the loop-spec cache: under the
     /// Dataflow backend the whole block partition + color-round schedule of
     /// a loop is cached per (kernel name, iteration set, argument
-    /// signature, chunk policy), so repeated solver iterations skip
-    /// re-planning entirely. The process-wide totals are mirrored in the
-    /// `op2.spec_cache.*` named counters of [`hpx_rt::stats`].
+    /// signature, chunk policy) — keyed additionally by the *resolved* node
+    /// granularity, so repeated solver iterations skip re-planning entirely
+    /// while a feedback-driven granularity change re-plans exactly once
+    /// (see [`Op2::spec_cache_replans`]). The process-wide totals are
+    /// mirrored in the `op2.spec_cache.*` named counters of
+    /// [`hpx_rt::stats`].
     pub fn spec_cache_stats(&self) -> (usize, u64) {
         (self.specs.built(), self.specs.hits())
+    }
+
+    /// Number of loop-spec cache *re-plans*: a cached schedule was
+    /// invalidated and rebuilt because the chunker's resolved granularity
+    /// for that loop shape changed. Each granularity change costs exactly
+    /// one re-plan; a stable chunker keeps this at 0 after warmup.
+    pub fn spec_cache_replans(&self) -> u64 {
+        self.specs.replans()
+    }
+
+    /// The measured per-(kernel, set) cost table adaptive Dataflow
+    /// granularity is resolved from — the context's own accumulator, or
+    /// the shared [`hpx_rt::PersistentChunker`] table under a
+    /// `PersistentAuto` config.
+    pub fn granularity_feedback(&self) -> &GranularityFeedback {
+        &self.feedback
     }
 }
 

@@ -18,10 +18,15 @@
 //!   get chunks of equal execution time but different sizes (Fig 12b),
 //!   minimizing the waiting time between interleaved loops.
 
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::timing::Clock;
 
 /// Default per-chunk execution-time target for the measuring chunkers.
 pub const DEFAULT_CHUNK_TARGET: Duration = Duration::from_micros(200);
@@ -71,6 +76,145 @@ impl Default for ChunkPolicy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Granularity feedback (measured per-element cost)
+// ---------------------------------------------------------------------------
+
+/// EWMA smoothing factor for steady-state cost updates.
+const FEEDBACK_ALPHA: f64 = 0.25;
+/// A sample deviating from the EWMA by more than this factor is treated as
+/// a workload *phase change* and snaps the estimate to the sample, so the
+/// consumer re-plans once instead of drifting through every intermediate
+/// granularity.
+const FEEDBACK_SNAP_FACTOR: f64 = 2.0;
+
+/// Measured per-element cost of one (kernel, set) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Smoothed per-element cost in nanoseconds (EWMA with phase-change
+    /// snapping; see [`GranularityFeedback`]).
+    pub ewma_ns_per_elem: f64,
+    /// Number of measurements folded in.
+    pub samples: u64,
+}
+
+/// Measured-cost accumulator behind the feedback-driven chunk policies:
+/// per (kernel name, set id), an EWMA of the per-element execution cost
+/// reported by executed chunks or dataflow nodes.
+///
+/// This is the persistent half of the paper's `auto_chunk_size` /
+/// `persistent_auto_chunk_size` pair generalized to graph execution: a
+/// synchronous parallel-for can run a timing probe before it chunks, but a
+/// dataflow node graph is built before anything executes — so the graph
+/// builder consults the cost measured on *previous* executions of the same
+/// kernel (recorded here by the executed nodes) and sizes the next
+/// submission's nodes to hit the target duration.
+///
+/// All timing flows through the accumulator's [`Clock`], so tests inject
+/// [`Clock::fake`] and drive convergence deterministically. Every recorded
+/// sample also bumps the process-wide `hpx.feedback.samples` named counter
+/// in [`crate::stats`]. Cloning is cheap and shares the underlying state —
+/// a [`PersistentChunker`] clone carried into several OP2 ranks shares one
+/// cost table.
+#[derive(Debug, Clone, Default)]
+pub struct GranularityFeedback {
+    inner: Arc<FeedbackInner>,
+}
+
+#[derive(Debug, Default)]
+struct FeedbackInner {
+    clock: Clock,
+    /// set id -> kernel name -> smoothed cost.
+    costs: Mutex<HashMap<u64, HashMap<Arc<str>, KernelCost>>>,
+}
+
+impl GranularityFeedback {
+    /// A fresh accumulator on the real clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh accumulator measuring through `clock` (tests inject
+    /// [`Clock::fake`]).
+    pub fn with_clock(clock: Clock) -> Self {
+        GranularityFeedback {
+            inner: Arc::new(FeedbackInner {
+                clock,
+                costs: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The clock all measurements for this accumulator are taken on.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Folds in one measurement: `elems` elements of `kernel` over set
+    /// `set` took `elapsed_ns`. Zero-element or zero-duration samples are
+    /// ignored (they carry no cost information).
+    pub fn record(&self, kernel: &Arc<str>, set: u64, elems: usize, elapsed_ns: u64) {
+        if elems == 0 || elapsed_ns == 0 {
+            return;
+        }
+        let sample = elapsed_ns as f64 / elems as f64;
+        let mut costs = self.inner.costs.lock();
+        let by_kernel = costs.entry(set).or_default();
+        match by_kernel.get_mut(kernel.as_ref()) {
+            Some(c) => {
+                if sample > c.ewma_ns_per_elem * FEEDBACK_SNAP_FACTOR
+                    || sample < c.ewma_ns_per_elem / FEEDBACK_SNAP_FACTOR
+                {
+                    c.ewma_ns_per_elem = sample;
+                } else {
+                    c.ewma_ns_per_elem += FEEDBACK_ALPHA * (sample - c.ewma_ns_per_elem);
+                }
+                c.samples += 1;
+            }
+            None => {
+                by_kernel.insert(
+                    Arc::clone(kernel),
+                    KernelCost {
+                        ewma_ns_per_elem: sample,
+                        samples: 1,
+                    },
+                );
+            }
+        }
+        drop(costs);
+        crate::static_counter!("hpx.feedback.samples").fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The smoothed cost of `(kernel, set)`, if it has ever been measured.
+    pub fn cost(&self, kernel: &str, set: u64) -> Option<KernelCost> {
+        self.inner
+            .costs
+            .lock()
+            .get(&set)
+            .and_then(|m| m.get(kernel))
+            .copied()
+    }
+
+    /// Every measured (kernel, set) cost, sorted by (set, kernel) — the
+    /// diagnostics view the benches report next to the
+    /// [`crate::stats::counters`] snapshot.
+    pub fn snapshot(&self) -> Vec<(String, u64, KernelCost)> {
+        let costs = self.inner.costs.lock();
+        let mut out: Vec<(String, u64, KernelCost)> = costs
+            .iter()
+            .flat_map(|(&set, m)| m.iter().map(move |(k, &c)| (k.as_ref().to_owned(), set, c)))
+            .collect();
+        out.sort_by(|a, b| (a.1, a.0.as_str()).cmp(&(b.1, b.0.as_str())));
+        out
+    }
+
+    /// Forgets every measurement (the next resolutions fall back to their
+    /// probe defaults).
+    pub fn reset(&self) {
+        self.inner.costs.lock().clear();
+    }
+}
+
 /// Shared calibration state for [`ChunkPolicy::PersistentAuto`]. Clone the
 /// handle into every loop that should share the same per-chunk duration.
 #[derive(Debug, Clone)]
@@ -84,6 +228,9 @@ struct PersistentState {
     target_ns: AtomicU64,
     /// Target used by the calibrating (first) loop.
     initial_target_ns: u64,
+    /// Measured per-element costs persisted across loops — the state the
+    /// OP2 dataflow driver resolves node granularity from.
+    feedback: GranularityFeedback,
 }
 
 impl PersistentChunker {
@@ -95,12 +242,42 @@ impl PersistentChunker {
     /// Creates an uncalibrated handle; the first loop aims for `target` per
     /// chunk and locks in whatever duration it actually achieves.
     pub fn with_target(target: Duration) -> Self {
+        Self::with_target_and_clock(target, Clock::real())
+    }
+
+    /// [`PersistentChunker::with_target`] measuring through `clock` —
+    /// tests inject [`Clock::fake`] to drive the feedback loop
+    /// deterministically.
+    pub fn with_target_and_clock(target: Duration, clock: Clock) -> Self {
         PersistentChunker {
             inner: Arc::new(PersistentState {
                 target_ns: AtomicU64::new(0),
                 initial_target_ns: target.as_nanos().max(1) as u64,
+                feedback: GranularityFeedback::with_clock(clock),
             }),
         }
+    }
+
+    /// The per-(kernel, set) cost table persisted in this handle.
+    pub fn feedback(&self) -> &GranularityFeedback {
+        &self.inner.feedback
+    }
+
+    /// The duration the *next* loop under this handle should aim for per
+    /// chunk: the calibrated target once the first loop ran, the initial
+    /// target before.
+    pub fn target_ns(&self) -> u64 {
+        match self.inner.target_ns.load(Ordering::Acquire) {
+            0 => self.inner.initial_target_ns,
+            ns => ns,
+        }
+    }
+
+    /// Locks in the calibrated per-chunk duration if no loop has
+    /// calibrated yet (first-loop-wins, like the paper's
+    /// `persistent_auto_chunk_size`).
+    pub fn calibrate_once(&self, chunk_ns: u64) {
+        self.record_if_first(chunk_ns);
     }
 
     /// The calibrated per-chunk duration, if the first loop has run.
@@ -111,10 +288,12 @@ impl PersistentChunker {
         }
     }
 
-    /// Forgets the calibration; the next loop becomes the "first loop"
-    /// again. Useful when the workload changes phase.
+    /// Forgets the calibration *and* the measured cost table; the next
+    /// loop becomes the "first loop" again and later resolutions restart
+    /// from their probe defaults. Useful when the workload changes phase.
     pub fn reset(&self) {
         self.inner.target_ns.store(0, Ordering::Release);
+        self.inner.feedback.reset();
     }
 
     fn record_if_first(&self, chunk_ns: u64) {
@@ -187,10 +366,7 @@ impl ChunkPolicy {
             }
             ChunkPolicy::PersistentAuto(handle) => {
                 let (prefix, per_iter_ns) = run_probe(n, probe);
-                let target_ns = match handle.inner.target_ns.load(Ordering::Acquire) {
-                    0 => handle.inner.initial_target_ns,
-                    ns => ns,
-                };
+                let target_ns = handle.target_ns();
                 let size = size_for_target(target_ns, per_iter_ns, n, nthreads);
                 // First loop under this handle: lock in the duration the
                 // auto chunker *aimed for* — i.e. ignore the per-loop
@@ -371,6 +547,79 @@ mod tests {
         assert!(handle.calibrated_target().is_some());
         handle.reset();
         assert!(handle.calibrated_target().is_none());
+    }
+
+    #[test]
+    fn feedback_ewma_converges_on_uniform_cost() {
+        let fb = GranularityFeedback::new();
+        let k: Arc<str> = Arc::from("kern");
+        assert!(fb.cost("kern", 7).is_none());
+        for _ in 0..10 {
+            fb.record(&k, 7, 100, 100_000); // 1µs per element
+        }
+        let c = fb.cost("kern", 7).expect("measured");
+        assert_eq!(c.samples, 10);
+        assert!((c.ewma_ns_per_elem - 1000.0).abs() < 1e-9);
+        // Different set id is a different entry.
+        assert!(fb.cost("kern", 8).is_none());
+    }
+
+    #[test]
+    fn feedback_smooths_noise_but_snaps_on_phase_change() {
+        let fb = GranularityFeedback::new();
+        let k: Arc<str> = Arc::from("kern");
+        fb.record(&k, 1, 1000, 1_000_000); // 1µs
+        fb.record(&k, 1, 1000, 1_500_000); // +50% noise: smoothed
+        let c = fb.cost("kern", 1).unwrap();
+        assert!((c.ewma_ns_per_elem - 1125.0).abs() < 1e-9, "EWMA step");
+        // >2x jump: phase change, snap to the sample immediately.
+        fb.record(&k, 1, 1000, 8_000_000);
+        let c = fb.cost("kern", 1).unwrap();
+        assert_eq!(c.ewma_ns_per_elem, 8000.0, "snap on phase change");
+        fb.reset();
+        assert!(fb.cost("kern", 1).is_none());
+    }
+
+    #[test]
+    fn feedback_ignores_empty_samples_and_shares_clones() {
+        let fb = GranularityFeedback::with_clock(Clock::fake());
+        assert!(fb.clock().is_fake());
+        let k: Arc<str> = Arc::from("k");
+        fb.record(&k, 3, 0, 100);
+        fb.record(&k, 3, 100, 0);
+        assert!(fb.cost("k", 3).is_none());
+        let clone = fb.clone();
+        clone.record(&k, 3, 10, 10_000);
+        assert_eq!(fb.cost("k", 3).unwrap().samples, 1, "clones share state");
+        assert_eq!(fb.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn persistent_chunker_persists_feedback_and_target() {
+        let h = PersistentChunker::with_target(Duration::from_micros(100));
+        assert_eq!(h.target_ns(), 100_000, "initial target before calibration");
+        h.calibrate_once(250_000);
+        assert_eq!(h.target_ns(), 250_000);
+        h.calibrate_once(999); // first-loop-wins: ignored
+        assert_eq!(h.target_ns(), 250_000);
+        let k: Arc<str> = Arc::from("adt");
+        h.feedback().record(&k, 3, 10, 20_000);
+        // A clone (e.g. the same handle installed in another rank's config)
+        // sees the same cost table.
+        assert_eq!(
+            h.clone()
+                .feedback()
+                .cost("adt", 3)
+                .unwrap()
+                .ewma_ns_per_elem,
+            2000.0
+        );
+        h.reset();
+        assert_eq!(h.target_ns(), 100_000, "reset forgets the calibration");
+        assert!(
+            h.feedback().cost("adt", 3).is_none(),
+            "reset forgets the measured costs too"
+        );
     }
 
     #[test]

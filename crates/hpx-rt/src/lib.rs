@@ -65,7 +65,9 @@ pub use algo::{
     copy, count_if, fill, for_each, for_each_async, for_each_chunk, for_each_chunk_async,
     inclusive_scan, max_element, min_element, reduce, reduce_async, sort, sum, transform,
 };
-pub use chunk::{ChunkPolicy, PersistentChunker, DEFAULT_CHUNK_TARGET};
+pub use chunk::{
+    ChunkPolicy, GranularityFeedback, KernelCost, PersistentChunker, DEFAULT_CHUNK_TARGET,
+};
 pub use dataflow::{dataflow, dataflow_inline, DataflowArg, FutureTuple, Val};
 pub use dep::{schedule_after, when_any_shared, DepCounter};
 pub use future::{
@@ -78,6 +80,7 @@ pub use prefetch::{
 };
 pub use runtime::{on_worker_thread, spawn_on_current, Runtime};
 pub use stats::RuntimeStats;
+pub use timing::Clock;
 
 // Internal cross-module plumbing re-exported for sibling crates in this
 // workspace (not part of the stable public API).

@@ -5,9 +5,9 @@
 use op2_hpx::airfoil::shard::{run_sharded, ShardedProblem};
 use op2_hpx::airfoil::verify::{all_finite, max_rel_diff, max_scaled_diff};
 use op2_hpx::airfoil::{solver, Problem, SolverConfig};
-use op2_hpx::hpx::PersistentChunker;
+use op2_hpx::hpx::{ChunkPolicy, PersistentChunker};
 use op2_hpx::mesh::channel_with_bump;
-use op2_hpx::op2::{Op2, Op2Config};
+use op2_hpx::op2::{Backend, Op2, Op2Config};
 
 fn simulate(config: Op2Config) -> (Vec<f64>, Vec<f64>) {
     let op2 = Op2::new(config);
@@ -25,28 +25,60 @@ fn simulate(config: Op2Config) -> (Vec<f64>, Vec<f64>) {
     (r.rms_history, p.p_q.snapshot())
 }
 
+/// One representative of every chunk-policy family, freshly constructed
+/// per use (a `PersistentAuto` handle must not leak calibration between
+/// configs).
+fn policy_matrix() -> Vec<(&'static str, ChunkPolicy)> {
+    vec![
+        ("static64", ChunkPolicy::Static { size: 64 }),
+        ("numchunks4", ChunkPolicy::NumChunks { chunks: 4 }),
+        ("guided16", ChunkPolicy::Guided { min: 16 }),
+        ("auto", ChunkPolicy::default()),
+        (
+            "persistent_auto",
+            ChunkPolicy::PersistentAuto(PersistentChunker::new()),
+        ),
+    ]
+}
+
+fn backend_config(backend: Backend) -> Op2Config {
+    match backend {
+        Backend::Seq => Op2Config::seq(),
+        Backend::ForkJoin => Op2Config::fork_join(2),
+        Backend::Dataflow => Op2Config::dataflow(2),
+    }
+}
+
 #[test]
 fn all_backends_and_optimizations_agree() {
     let (rms_ref, q_ref) = simulate(Op2Config::seq());
     assert!(all_finite(&rms_ref) && all_finite(&q_ref));
 
-    let candidates: Vec<(&str, Op2Config)> = vec![
-        ("fork_join(2)", Op2Config::fork_join(2)),
-        ("fork_join(4)", Op2Config::fork_join(4)),
-        ("dataflow(2)", Op2Config::dataflow(2)),
+    let mut candidates: Vec<(String, Op2Config)> = vec![
+        ("fork_join(4)".into(), Op2Config::fork_join(4)),
         (
-            "dataflow+persistent",
-            Op2Config::dataflow_persistent(2, PersistentChunker::new()),
+            "dataflow+persistent_auto()".into(),
+            Op2Config::persistent_auto(2),
         ),
         (
-            "dataflow+prefetch",
+            "dataflow+prefetch".into(),
             Op2Config::dataflow(2).with_prefetch(15),
         ),
         (
-            "dataflow+block128",
+            "dataflow+block128".into(),
             Op2Config::dataflow(2).with_block_size(128),
         ),
     ];
+    // The full Backend x ChunkPolicy matrix: adaptive (feedback-resolved)
+    // granularity must never change the physics on any backend.
+    for backend in [Backend::Seq, Backend::ForkJoin, Backend::Dataflow] {
+        for (pname, policy) in policy_matrix() {
+            candidates.push((
+                format!("{backend}+{pname}"),
+                backend_config(backend).with_chunk(policy),
+            ));
+        }
+    }
     for (name, config) in candidates {
         let (rms, q) = simulate(config);
         let d_rms = max_rel_diff(&rms_ref, &rms);
@@ -82,6 +114,30 @@ fn sharded_ranks_agree_with_single_locality_across_backends() {
             Op2Config::dataflow(2).with_block_size(128),
             4,
         ),
+        // Adaptive granularity across an implicit-halo exchange boundary:
+        // ranks share one persistent chunker (the config clone carries
+        // it), so feedback from every rank feeds one cost table — and the
+        // physics still matches the single-locality reference.
+        (
+            "dataflow(2) x4 persistent_auto",
+            Op2Config::persistent_auto(2),
+            4,
+        ),
+        (
+            "dataflow(2) x1 persistent_auto",
+            Op2Config::persistent_auto(2),
+            1,
+        ),
+        (
+            "dataflow(2) x4 guided16",
+            Op2Config::dataflow(2).with_chunk(ChunkPolicy::Guided { min: 16 }),
+            4,
+        ),
+        (
+            "fork_join(2) x4 static64",
+            Op2Config::fork_join(2).with_chunk(ChunkPolicy::Static { size: 64 }),
+            4,
+        ),
     ];
     for (name, config, nranks) in candidates {
         let shp = ShardedProblem::declare(config, &mesh, nranks);
@@ -114,16 +170,34 @@ fn repeated_runs_on_one_context_continue_the_flow() {
     // The flow keeps evolving — histories are different but all finite.
     assert!(all_finite(&r1.rms_history) && all_finite(&r2.rms_history));
     assert_ne!(r1.rms_history, r2.rms_history);
-    // Plans are cached across calls: exactly 2 colored shapes (res, bres).
+    // Plans are cached across calls: 2 colored shapes (res, bres), each at
+    // the probe-default granularity plus the granularities the measured
+    // feedback later resolved (adaptive chunking builds a plan per
+    // distinct coloring granularity; a converged chunker stops adding).
     let (built, _) = op2.plan_cache_stats();
-    assert_eq!(built, 2);
+    assert!(
+        (2..=8).contains(&built),
+        "colored plans per (shape x granularity), got {built}"
+    );
     // Reuse now happens one level up: the loop-spec cache returns the
     // whole schedule (blocks + color rounds) for repeated submissions, so
-    // the plan cache is only consulted on spec misses. 5 loop shapes, 8
-    // submissions each per run.
+    // the plan cache is only consulted on spec misses and re-plans. 5 loop
+    // shapes, two runs of 4 iterations: (1 save + 2*(adt+res+bres+update))
+    // * 4 = 36 submissions each. Every submission is a miss (first of
+    // shape), a re-plan (the measured feedback moved that shape's resolved
+    // granularity — at least one shape must move off the probe default
+    // under the default Auto policy) or a hit.
     let (spec_built, spec_hits) = op2.spec_cache_stats();
-    assert_eq!(spec_built, 5, "one schedule per Airfoil loop shape");
-    // Two runs of 4 iterations: (1 save + 2*(adt+res+bres+update)) * 4
-    // = 36 submissions each; all but the 5 first-of-shape hit.
-    assert_eq!(spec_hits, 2 * 36 - 5, "repeated submissions must hit");
+    let replans = op2.spec_cache_replans();
+    assert_eq!(spec_built, 5, "one live schedule per Airfoil loop shape");
+    assert_eq!(
+        spec_hits + replans,
+        2 * 36 - 5,
+        "submissions = misses + re-plans + hits"
+    );
+    assert!(replans >= 1, "feedback must move off the probe default");
+    assert!(
+        replans <= 15,
+        "a converged chunker must stop re-planning, got {replans}"
+    );
 }

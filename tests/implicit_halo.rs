@@ -426,9 +426,20 @@ fn named_counters_expose_spec_cache_and_halo_activity() {
     assert!(names.contains(&"op2.spec_cache.hits"));
     assert!(names.contains(&"op2.spec_cache.misses"));
     assert!(names.contains(&"op2.halo.pairs_fired"));
-    assert!(op2_hpx::hpx::stats::counter_value("op2.spec_cache.hits") >= 2);
+    assert!(
+        op2_hpx::hpx::stats::counter_value("op2.spec_cache.hits")
+            + op2_hpx::hpx::stats::counter_value("op2.spec_cache.replans")
+            >= 2
+    );
     assert!(op2_hpx::hpx::stats::counter_value("op2.halo.pairs_fired") >= 1);
     let (built, hits) = group.rank(0).spec_cache_stats();
     assert_eq!(built, 1, "one shape");
-    assert_eq!(hits, 2, "two re-submissions");
+    // The default (Auto) policy measures: a re-submission is a hit unless
+    // real-clock feedback moved the resolved granularity in between, which
+    // re-plans instead.
+    assert_eq!(
+        hits + group.rank(0).spec_cache_replans(),
+        2,
+        "two re-submissions"
+    );
 }

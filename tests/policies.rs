@@ -6,8 +6,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use std::time::Duration;
+
+use op2_hpx::hpx::timing::Clock;
 use op2_hpx::hpx::{
-    for_each, for_each_async, par, par_task, par_vec, reduce, seq, seq_task, ChunkPolicy, Runtime,
+    for_each, for_each_async, par, par_task, par_vec, reduce, seq, seq_task, ChunkPolicy,
+    PersistentChunker, Runtime,
 };
 use op2_hpx::op2::args::{read, write};
 use op2_hpx::op2::{Op2, Op2Config};
@@ -95,43 +99,122 @@ fn chunk_policies_compose_with_any_policy() {
     }
 }
 
-/// The chunk policy governs *direct* Dataflow node granularity for the
-/// probe-free uniform policies; measuring and non-uniform policies fall
-/// back to the mini-partition block size.
+/// The chunk policy governs Dataflow node granularity across the whole
+/// policy spectrum: the probe-free uniform policies set it directly, and
+/// the measuring policies (`Auto`, `PersistentAuto`) plus `Guided`
+/// resolve it from *measured feedback* — the conservative block-size
+/// default before the first measurement, duration-targeted sizes after.
 #[test]
 fn chunk_policy_sets_dataflow_direct_node_granularity() {
     use op2_hpx::op2::__dataflow_direct_blocks as blocks_of;
 
     let static_cfg = Op2::new(Op2Config::dataflow(2).with_chunk(ChunkPolicy::Static { size: 100 }));
-    let b = blocks_of(&static_cfg, 1000);
+    let cells = static_cfg.decl_set(1000, "cells");
+    let b = blocks_of(&static_cfg, "k", &cells);
     assert_eq!(b.len(), 10);
     assert!(b.iter().all(|r| r.len() == 100), "Static{{100}} nodes");
 
     let numchunks_cfg =
         Op2::new(Op2Config::dataflow(2).with_chunk(ChunkPolicy::NumChunks { chunks: 4 }));
-    let b = blocks_of(&numchunks_cfg, 1000);
+    let cells = numchunks_cfg.decl_set(1000, "cells");
+    let b = blocks_of(&numchunks_cfg, "k", &cells);
     assert_eq!(b.len(), 4, "NumChunks{{4}} yields 4 nodes");
     assert_eq!(b[0].len(), 250);
 
-    // Auto (the default) and Guided keep the configured block size.
+    // Auto (the default) and Guided use the configured block size only
+    // until feedback exists — it is the probe default, not a fallback.
     let auto_cfg = Op2::new(Op2Config::dataflow(2).with_block_size(128));
-    let b = blocks_of(&auto_cfg, 1000);
+    let cells = auto_cfg.decl_set(1000, "cells");
+    let b = blocks_of(&auto_cfg, "k", &cells);
     assert!(b.iter().take(b.len() - 1).all(|r| r.len() == 128));
     let guided_cfg = Op2::new(
         Op2Config::dataflow(2)
             .with_block_size(64)
             .with_chunk(ChunkPolicy::Guided { min: 8 }),
     );
-    assert_eq!(blocks_of(&guided_cfg, 640).len(), 10);
+    let cells = guided_cfg.decl_set(640, "cells");
+    assert_eq!(blocks_of(&guided_cfg, "k", &cells).len(), 10);
+}
+
+/// `Auto` no longer falls back to `block_size` on Dataflow: once a loop
+/// has executed, its measured per-element cost resolves the node
+/// granularity to hit the configured target duration. Proven with a fake
+/// clock so the "cost" is exact.
+#[test]
+fn auto_granularity_is_feedback_resolved_on_dataflow() {
+    use op2_hpx::op2::__dataflow_resolved_block_size as resolved;
+
+    let clock = Clock::fake();
+    let op2 = Op2::new(Op2Config::dataflow(1).with_clock(clock.clone()).with_chunk(
+        ChunkPolicy::Auto {
+            target: Duration::from_micros(128),
+        },
+    ));
+    let cells = op2.decl_set(4096, "cells");
+    let x = op2.decl_dat(&cells, 1, "x", vec![0.0f64; 4096]);
+    // Probe default before any feedback: the mini-partition block size.
+    assert_eq!(resolved(&op2, "work", &cells), 256);
+
+    let c = clock.clone();
+    op2.loop_("work", &cells)
+        .arg(write(&x))
+        .run(move |_: &mut [f64]| c.advance(Duration::from_micros(1)))
+        .wait();
+    // 1µs/element measured, 128µs target -> 128-element nodes.
+    assert_eq!(resolved(&op2, "work", &cells), 128);
+    // Other kernels and sets are unaffected (feedback is per kernel+set).
+    assert_eq!(resolved(&op2, "other", &cells), 256);
+}
+
+/// `PersistentAuto` on Dataflow implements the paper's Fig 12b semantics
+/// through feedback: the first measured kernel calibrates the shared
+/// per-node duration; a later, heavier kernel gets proportionally smaller
+/// nodes so every node takes the *same time*.
+#[test]
+fn persistent_auto_equalizes_node_durations_across_kernels() {
+    use op2_hpx::op2::__dataflow_resolved_block_size as resolved;
+
+    let clock = Clock::fake();
+    let chunker =
+        PersistentChunker::with_target_and_clock(Duration::from_micros(100), clock.clone());
+    let op2 = Op2::new(Op2Config::dataflow_persistent(1, chunker.clone()));
+    let cells = op2.decl_set(8192, "cells");
+    let a = op2.decl_dat(&cells, 1, "a", vec![0.0f64; 8192]);
+
+    let c = clock.clone();
+    op2.loop_("light", &cells)
+        .arg(write(&a))
+        .run(move |_: &mut [f64]| c.advance(Duration::from_micros(1)))
+        .wait();
+    let light = resolved(&op2, "light", &cells);
+    assert_eq!(light, 128, "100µs / 1µs, power-of-two quantized");
+
+    let c = clock.clone();
+    op2.loop_("heavy", &cells)
+        .arg(write(&a))
+        .run(move |_: &mut [f64]| c.advance(Duration::from_micros(4)))
+        .wait();
+    let heavy = resolved(&op2, "heavy", &cells);
+    assert_eq!(heavy, 32, "4x the cost -> 1/4 the elements per node");
+    // Same node *time* (size x per-element cost), different sizes — the
+    // Fig 12b property.
+    assert_eq!(light * 1_000, heavy * 4_000);
+    assert!(
+        chunker.calibrated_target().is_some(),
+        "first loop calibrated"
+    );
 }
 
 /// Dataflow results are identical regardless of the chunk-driven node
-/// granularity, including dependent-loop chains.
+/// granularity, including dependent-loop chains — now across the *entire*
+/// policy set, measuring policies included.
 #[test]
 fn dataflow_chunked_granularity_preserves_results() {
     for chunk in [
         ChunkPolicy::Static { size: 37 },
         ChunkPolicy::NumChunks { chunks: 3 },
+        ChunkPolicy::Guided { min: 16 },
+        ChunkPolicy::PersistentAuto(PersistentChunker::new()),
         ChunkPolicy::default(),
     ] {
         let op2 = Op2::new(Op2Config::dataflow(2).with_chunk(chunk));

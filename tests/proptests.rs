@@ -8,12 +8,15 @@
 //! offline): every case is reproducible from the printed seed.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
-use op2_hpx::hpx::{dataflow, ready, ChunkPolicy, Future, Runtime};
+use op2_hpx::hpx::timing::Clock;
+use op2_hpx::hpx::{dataflow, ready, ChunkPolicy, Future, PersistentChunker, Runtime};
 use op2_hpx::mesh::{
     build_halo, channel_with_bump, neighbors_from_pairs, partition_greedy_bfs, quad_stats,
     validate_quad,
 };
+use op2_hpx::op2::args::{inc_via, read, rw, write};
 use op2_hpx::op2::{arg_inc_via, plan_for, validate_coloring, ArgSpec, Op2, Op2Config};
 
 /// Cases per property; each case spins up pools, keep CI-speed sane.
@@ -190,6 +193,136 @@ fn dataflow_trees_match_sequential() {
             }
         }
         assert_eq!(fut.get(), expect, "case {case}");
+    }
+}
+
+/// Random loop-chain programs under random feedback sequences never
+/// violate per-block WAR/RAW ordering when node granularity changes
+/// between loops.
+///
+/// This is the adaptive-chunking extension of the PR 2 seeded
+/// scheduler-permutation stress harness (same xorshift seeding, driven
+/// through the public API): each case builds a random chain of dependent
+/// direct loops plus an indirect increment over a ring map, runs it on the
+/// Dataflow backend under a randomly drawn *measuring* chunk policy with a
+/// fake clock whose per-loop cost is drawn at random — so the feedback,
+/// and with it the resolved node granularity, shifts between dependent
+/// loops (and, on multi-worker cases, nodes race on the shared clock,
+/// which is precisely a random feedback sequence). All arithmetic is exact
+/// in f64, so any RAW violation (a successor block reading rows its
+/// predecessor has not written), WAR violation (a writer clobbering rows a
+/// pending reader still needs) or lost/duplicated increment changes the
+/// result bitwise.
+#[test]
+fn loop_chains_stay_exact_under_random_granularity_feedback() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xADA9_71C4 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = rng.in_range(64, 2500);
+        let threads = rng.in_range(1, 4);
+        let clock = Clock::fake();
+        let policy = match rng.in_range(0, 3) {
+            0 => ChunkPolicy::Auto {
+                target: Duration::from_micros(rng.in_range(10, 400) as u64),
+            },
+            1 => ChunkPolicy::PersistentAuto(PersistentChunker::with_target_and_clock(
+                Duration::from_micros(rng.in_range(10, 400) as u64),
+                clock.clone(),
+            )),
+            _ => ChunkPolicy::Guided {
+                min: rng.in_range(1, 96),
+            },
+        };
+        let op2 = Op2::new(
+            Op2Config::dataflow(threads)
+                .with_clock(clock.clone())
+                .with_block_size(rng.in_range(16, 512))
+                .with_chunk(policy),
+        );
+
+        let cells = op2.decl_set(n, "cells");
+        let a = op2.decl_dat(&cells, 1, "a", (0..n).map(|i| (i % 17) as f64).collect());
+        let b = op2.decl_dat(&cells, 1, "b", vec![0.0f64; n]);
+        let mut idx = Vec::with_capacity(2 * n);
+        for e in 0..n {
+            idx.push(e as u32);
+            idx.push(((e + 1) % n) as u32);
+        }
+        let ring = op2.decl_map(&cells, &cells, 2, idx, "ring");
+        let acc = op2.decl_dat(&cells, 1, "acc", vec![0.0f64; n]);
+
+        // Sequential model of the same chain.
+        let mut ma: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let mut mb = vec![0.0f64; n];
+        let mut macc = vec![0.0f64; n];
+
+        let nloops = rng.in_range(4, 14);
+        for _ in 0..nloops {
+            // The random feedback sequence: each loop body advances the
+            // fake clock by a random per-element cost, so each loop's
+            // execution moves the EWMA and the next submission may resolve
+            // a different node granularity.
+            let cost = Duration::from_nanos(rng.in_range(20, 30_000) as u64);
+            let c = clock.clone();
+            match rng.in_range(0, 4) {
+                0 => {
+                    // RAW: b = 2a + 1.
+                    op2.loop_("fwd", &cells).arg(read(&a)).arg(write(&b)).run(
+                        move |a: &[f64], b: &mut [f64]| {
+                            c.advance(cost);
+                            b[0] = 2.0 * a[0] + 1.0;
+                        },
+                    );
+                    for i in 0..n {
+                        mb[i] = 2.0 * ma[i] + 1.0;
+                    }
+                }
+                1 => {
+                    // RAW + WAR back-edge: a = b + 3.
+                    op2.loop_("bwd", &cells).arg(read(&b)).arg(write(&a)).run(
+                        move |b: &[f64], a: &mut [f64]| {
+                            c.advance(cost);
+                            a[0] = b[0] + 3.0;
+                        },
+                    );
+                    for i in 0..n {
+                        ma[i] = mb[i] + 3.0;
+                    }
+                }
+                2 => {
+                    // In-place RW: a = a + 2.
+                    op2.loop_("bump", &cells)
+                        .arg(rw(&a))
+                        .run(move |a: &mut [f64]| {
+                            c.advance(cost);
+                            a[0] += 2.0;
+                        });
+                    for v in ma.iter_mut() {
+                        *v += 2.0;
+                    }
+                }
+                _ => {
+                    // Colored indirect increments gated on the reader of
+                    // `a`: acc[ring] += 1 (re-plans when granularity
+                    // moves — the coloring must stay valid).
+                    op2.loop_("scatter", &cells)
+                        .arg(read(&a))
+                        .arg(inc_via(&acc, &ring, 0))
+                        .arg(inc_via(&acc, &ring, 1))
+                        .run(move |_a: &[f64], t0: &mut [f64], t1: &mut [f64]| {
+                            c.advance(cost);
+                            t0[0] += 1.0;
+                            t1[0] += 1.0;
+                        });
+                    for v in macc.iter_mut() {
+                        *v += 2.0;
+                    }
+                }
+            }
+        }
+        op2.fence();
+        assert_eq!(a.snapshot(), ma, "case {case}: dat a diverged");
+        assert_eq!(b.snapshot(), mb, "case {case}: dat b diverged");
+        assert_eq!(acc.snapshot(), macc, "case {case}: indirect acc diverged");
     }
 }
 
