@@ -39,19 +39,32 @@
 //! blocks — which reach no halo block — start immediately while the
 //! exchange is in flight. Only the boundary blocks gate on the receives;
 //! `bres_calc` reads through `pbecell`, which targets owned cells only,
-//! so it triggers nothing. A rank's `rms` contribution is a per-rank
-//! [`Global`] summed after the run, which keeps the pipeline free of
-//! cross-rank reduction barriers.
+//! so it triggers nothing.
+//!
+//! # Asynchronous reductions
+//!
+//! A rank's `rms` contribution is a per-rank [`Global`]; the cross-rank
+//! total is produced by [`LocalityGroup::allreduce`], a reduction-tree LCO
+//! whose per-rank contribution nodes gate on exactly that rank's update
+//! finalize and whose combined result is a future. The time loop therefore
+//! contains **zero blocking reduction reads**: residual printing chains
+//! off the reduce future (ordered behind the previous line's print node),
+//! and `rms_history` is collected from the futures after the final fence.
+//! The reduce of iteration *i* overlaps iteration *i+1*'s interior
+//! compute instead of draining every rank's pipeline the way a host-side
+//! `get_scalar` sum per print used to.
 //!
 //! The `res` shards are deliberately *not* linked: increments into `res`
 //! halo mirrors are dead values (partition-boundary edges are executed
 //! redundantly by both ranks), so exchanging them would be pure waste.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
+use op2_core::hpx_rt::SharedFuture;
 use op2_core::locality::{HaloSpec, LocalityGroup};
-use op2_core::{Dat, Global, LoopHandle, Map, Op2Config, Set};
+use op2_core::{Dat, Global, LoopHandle, Map, Op2Config, ReducedFuture, Set};
 use op2_mesh::{build_halo, neighbors_from_pairs, partition_greedy_bfs, QuadMesh};
 
 use crate::constants::qinf;
@@ -337,8 +350,13 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
     let ncell = shp.ncell_global;
     let t0 = Instant::now();
 
-    let mut rms_globals: Vec<Vec<Global<f64>>> = Vec::with_capacity(cfg.niter);
-    let mut window_handles: Vec<Vec<LoopHandle>> = Vec::with_capacity(cfg.niter);
+    let mut rms_futs: Vec<ReducedFuture<f64>> = Vec::with_capacity(cfg.niter);
+    // Backpressure window: the waited prefix is drained, so handle memory
+    // is O(window * nranks), not O(niter * nranks).
+    let mut window_handles: VecDeque<Vec<LoopHandle>> = VecDeque::with_capacity(cfg.window + 1);
+    // Print nodes chain linearly so residual lines stay ordered without a
+    // blocking read in the loop.
+    let mut last_print: Option<SharedFuture<()>> = None;
 
     for iter in 1..=cfg.niter {
         for (r, p) in shp.parts.iter().enumerate() {
@@ -452,31 +470,36 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
         }
 
         let (rms, handles) = last_update.expect("two inner steps ran");
-        rms_globals.push(rms);
-        window_handles.push(handles);
+        // Asynchronous cross-rank allreduce: each rank's contribution node
+        // gates on its own update finalize, the tree combines in fixed
+        // rank order, and the total is a future — no rank's pipeline
+        // drains here, even when printing every iteration.
+        let red = shp.group.allreduce(&rms);
+        if cfg.print_every > 0 && iter % cfg.print_every == 0 {
+            let after: Vec<SharedFuture<()>> = last_print.iter().cloned().collect();
+            let ncell_f = ncell as f64;
+            last_print = Some(red.then_after(&after, move |v| {
+                println!(" {iter:6} {:10.5e}", (v[0] / ncell_f).sqrt());
+            }));
+        }
+        rms_futs.push(red);
+        window_handles.push_back(handles);
 
-        // Backpressure: bound in-flight iterations across all ranks.
-        if cfg.window > 0 && iter > cfg.window {
-            for h in &window_handles[iter - 1 - cfg.window] {
+        // Backpressure: bound in-flight iterations across all ranks,
+        // draining the waited handles out of the window.
+        if cfg.window > 0 && window_handles.len() > cfg.window {
+            for h in window_handles.pop_front().expect("window is non-empty") {
                 h.wait();
             }
-        }
-
-        if cfg.print_every > 0 && iter % cfg.print_every == 0 {
-            let total: f64 = rms_globals[iter - 1].iter().map(Global::get_scalar).sum();
-            println!(" {iter:6} {:10.5e}", (total / ncell as f64).sqrt());
         }
     }
 
     shp.group.fence();
     let elapsed = t0.elapsed();
 
-    let rms_history = rms_globals
+    let rms_history = rms_futs
         .iter()
-        .map(|per_rank| {
-            let total: f64 = per_rank.iter().map(Global::get_scalar).sum();
-            (total / ncell as f64).sqrt()
-        })
+        .map(|r| (r.get_scalar() / ncell as f64).sqrt())
         .collect();
 
     RunResult {

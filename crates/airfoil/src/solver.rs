@@ -5,13 +5,17 @@
 //! `par_loop` returns a future-backed handle and the per-dat dependency
 //! chains order the work, so `save_soln` of iteration *i+1* can overlap
 //! the tail of iteration *i* — the paper's loop interleaving. The `rms`
-//! reduction uses a fresh [`Global`] per step so collecting the residual
-//! history never inserts a barrier into the pipeline.
+//! reduction uses a fresh [`Global`] per step, read through
+//! [`Global::reduce_async`] futures: residual printing chains off a
+//! continuation and the history is collected after the final fence, so
+//! the time loop contains **zero blocking reduction reads**.
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
-use op2_core::{Global, LoopHandle, Op2};
+use op2_core::hpx_rt::SharedFuture;
+use op2_core::{Global, LoopHandle, Op2, ReducedFuture};
 
 use crate::kernels;
 use crate::setup::Problem;
@@ -66,8 +70,14 @@ pub fn run(op2: &Op2, p: &Problem, cfg: &SolverConfig) -> RunResult {
     let qinf = p.qinf;
     let t0 = Instant::now();
 
-    let mut rms_globals: Vec<Global<f64>> = Vec::with_capacity(cfg.niter);
-    let mut window_handles: Vec<LoopHandle> = Vec::with_capacity(cfg.niter);
+    let mut rms_futs: Vec<ReducedFuture<f64>> = Vec::with_capacity(cfg.niter);
+    // Backpressure window: only the youngest `window` iterations' handles
+    // are retained — the waited prefix is drained as it leaves the window,
+    // so handle memory is O(window), not O(niter).
+    let mut window_handles: VecDeque<LoopHandle> = VecDeque::with_capacity(cfg.window + 1);
+    // Residual printing chains each line behind the previous one, so
+    // output stays ordered without a blocking read in the loop.
+    let mut last_print: Option<SharedFuture<()>> = None;
 
     for iter in 1..=cfg.niter {
         // Save the old solution.
@@ -153,27 +163,37 @@ pub fn run(op2: &Op2, p: &Problem, cfg: &SolverConfig) -> RunResult {
         }
 
         let (rms, handle) = last_update.expect("two inner steps ran");
-        rms_globals.push(rms);
-        window_handles.push(handle);
-
-        // Backpressure: bound the number of in-flight iterations.
-        if cfg.window > 0 && iter > cfg.window {
-            window_handles[iter - 1 - cfg.window].wait();
-        }
-
+        // Asynchronous reduction read (paper Fig 9): the value becomes a
+        // future gated on the update loop's finalize; nothing blocks here.
+        let red = rms.reduce_async(op2);
         if cfg.print_every > 0 && iter % cfg.print_every == 0 {
-            let r = (rms_globals[iter - 1].get_scalar() / ncell as f64).sqrt();
-            println!(" {iter:6} {r:10.5e}");
+            let after: Vec<SharedFuture<()>> = last_print.iter().cloned().collect();
+            let ncell_f = ncell as f64;
+            last_print = Some(red.then_after(&after, move |v| {
+                println!(" {iter:6} {:10.5e}", (v[0] / ncell_f).sqrt());
+            }));
+        }
+        rms_futs.push(red);
+        window_handles.push_back(handle);
+
+        // Backpressure: bound the number of in-flight iterations, draining
+        // the waited handle out of the window.
+        if cfg.window > 0 && window_handles.len() > cfg.window {
+            window_handles
+                .pop_front()
+                .expect("window is non-empty")
+                .wait();
         }
     }
 
-    // One fence at the end — the only global synchronization of the run.
+    // One fence at the end — the only global synchronization of the run
+    // (it also covers the tracked reduce and print nodes).
     op2.fence();
     let elapsed = t0.elapsed();
 
-    let rms_history = rms_globals
+    let rms_history = rms_futs
         .iter()
-        .map(|g| (g.get_scalar() / ncell as f64).sqrt())
+        .map(|r| (r.get_scalar() / ncell as f64).sqrt())
         .collect();
 
     RunResult {

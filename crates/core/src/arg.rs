@@ -551,10 +551,9 @@ unsafe impl<T: Reducible> ArgSpec for GblIncArg<T> {
     }
     fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>) {
         // Serialize loops incrementing the same global: their partial
-        // buffers and finalize steps must not interleave.
-        if let Some(p) = self.gbl_pending() {
-            out.push(p);
-        }
+        // buffers and finalize steps must not interleave. Every
+        // outstanding incrementing loop counts, not just the latest.
+        self.gbl.collect_pending(out);
     }
     fn record_completion(&self, _gen: u64, done: &SharedFuture<()>) {
         self.gbl.record_completion(done);
@@ -566,11 +565,14 @@ unsafe impl<T: Reducible> ArgSpec for GblIncArg<T> {
         // pipelines even when consecutive loops share a global.
     }
     fn collect_loop_deps(&self, out: &mut Vec<SharedFuture<()>>) {
-        // The finalize-to-finalize edge: merging into the value must wait
-        // for the previous incrementing loop's finalize.
-        if let Some(p) = self.gbl_pending() {
-            out.push(p);
-        }
+        // The finalize-to-finalize edge: merging into the value waits for
+        // every *registered* incrementing loop's finalize. A loop whose
+        // submission races this one on another thread may register after
+        // this collection — the two finalizes are then unordered, which is
+        // safe (each merges its own generation atomically under the value
+        // lock) but leaves the merge *order* unspecified; see the
+        // concurrent-submitter note on [`Global`].
+        self.gbl.collect_pending(out);
     }
     fn record_block_completion(&self, _ctx: &BlockCtx, _done: &SharedFuture<()>) {}
     fn record_loop_completion(&self, done: &SharedFuture<()>) {
@@ -580,13 +582,6 @@ unsafe impl<T: Reducible> ArgSpec for GblIncArg<T> {
     fn add_prefetch(&self, _set: &mut PrefetchSet) {}
     fn mut_target(&self, _elem: usize) -> Option<(u64, usize)> {
         None
-    }
-}
-
-impl<T: Reducible> GblIncArg<T> {
-    fn gbl_pending(&self) -> Option<SharedFuture<()>> {
-        // Re-use Global::get ordering state without waiting.
-        self.gbl.pending_future()
     }
 }
 
@@ -627,17 +622,13 @@ unsafe impl<T: Reducible> ArgSpec for GblReadArg<T> {
         }
     }
     fn collect_deps(&self, out: &mut Vec<SharedFuture<()>>) {
-        if let Some(p) = self.gbl.pending_future() {
-            out.push(p);
-        }
+        self.gbl.collect_pending(out);
     }
     fn record_completion(&self, _gen: u64, _done: &SharedFuture<()>) {}
     fn collect_block_deps(&self, _ctx: &BlockCtx, out: &mut Vec<SharedFuture<()>>) {
         // A broadcast read samples the value inside the kernel, so every
-        // block node must wait for the pending reduction's finalize.
-        if let Some(p) = self.gbl.pending_future() {
-            out.push(p);
-        }
+        // block node must wait for every pending reduction's finalize.
+        self.gbl.collect_pending(out);
     }
     fn collect_loop_deps(&self, _out: &mut Vec<SharedFuture<()>>) {}
     fn record_block_completion(&self, _ctx: &BlockCtx, _done: &SharedFuture<()>) {}

@@ -2,11 +2,13 @@
 //! (`op_arg_gbl` — e.g. the Airfoil residual `rms`).
 
 use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use hpx_rt::SharedFuture;
+use hpx_rt::{schedule_after, Runtime, SharedFuture};
 
 use crate::types::OpType;
+use crate::world::{CommHooks, Op2};
 
 /// The supported reduction operators for `OP_INC`-style global arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,17 +84,49 @@ pub(crate) struct GlobalInner<T> {
     /// predecessor's finalize (block-granular pipelining): finalize only
     /// drains its own generation's entries.
     partials: Mutex<Vec<(u64, usize, Vec<T>)>>,
-    /// Completion of the most recent loop that increments this global.
-    pending: Mutex<Option<SharedFuture<()>>>,
+    /// Completion futures of **every** outstanding loop that increments
+    /// this global — a drained wait-set, not a single slot. Two loops
+    /// submitted concurrently (e.g. on sibling ranks of a
+    /// [`crate::locality::LocalityGroup`] sharing one `Global`) both
+    /// register here; readers wait the whole set, so no finalize can be
+    /// missed. Asynchronous snapshot nodes ([`Global::reduce_async`] /
+    /// the allreduce contributions) register too, so `reset`/`set` and
+    /// later incrementing loops order after in-flight reads. Completed
+    /// entries are pruned on registration and on every wait, keeping the
+    /// set O(in-flight).
+    pending: Mutex<Vec<SharedFuture<()>>>,
 }
 
 /// A global value of `dim` scalars participating in reductions. Cheap to
 /// clone; clones alias the same state.
 ///
-/// Protocol per loop iterationstep (matching OP2's `op_arg_gbl`): call
+/// Protocol per loop iteration step (matching OP2's `op_arg_gbl`): call
 /// [`Global::reset`], run the loop with [`crate::arg_gbl_inc`], then
-/// [`Global::get`] — which, under the dataflow backend, waits for the
-/// loop's completion future.
+/// [`Global::get`] — which, under the dataflow backend, waits for **every
+/// outstanding incrementing loop's** completion future (the drained
+/// wait-set above), not merely the most recently submitted one. A global
+/// may therefore be incremented by any number of concurrently-submitted
+/// loops — including loops on different ranks of a locality group — and
+/// `get`/`reset`/`set` still observe a fully-finalized value.
+///
+/// **Ordering among concurrent submitters.** Registration happens before
+/// a submission returns, so a reader that joins its submitter threads
+/// first always waits every loop — values are never partially finalized.
+/// What stays unspecified is the *relative merge order* of loops whose
+/// submissions raced each other (each finalize merges its own
+/// generation's partials atomically under the value lock): integer and
+/// min/max reductions are exact regardless, but a shared `f64` sum is
+/// reproducible only up to that merge order. Submit sequentially — or
+/// keep per-rank globals and combine with [`LocalityGroup::allreduce`]'s
+/// fixed-shape tree — where bitwise reproducibility matters.
+///
+/// For reading the value *without* blocking the submitting thread, use
+/// [`Global::reduce_async`] (or, across a locality group,
+/// `Global::reduce_across` / `LocalityGroup::allreduce` in
+/// [`crate::locality`]): the reduced value becomes a [`ReducedFuture`]
+/// that dependent work chains off.
+///
+/// [`LocalityGroup::allreduce`]: crate::locality::LocalityGroup::allreduce
 pub struct Global<T: Reducible> {
     inner: Arc<GlobalInner<T>>,
 }
@@ -117,7 +151,7 @@ impl<T: Reducible> Global<T> {
                 name: name.to_owned(),
                 value: Mutex::new([T::identity(op)].repeat(dim)),
                 partials: Mutex::new(Vec::new()),
-                pending: Mutex::new(None),
+                pending: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -137,8 +171,14 @@ impl<T: Reducible> Global<T> {
         &self.inner.name
     }
 
-    /// Resets the value to the reduction identity (waits for a pending
-    /// loop first so an in-flight reduction is not clobbered).
+    /// Declared reduction operator.
+    pub fn op(&self) -> ReduceOp {
+        self.inner.op
+    }
+
+    /// Resets the value to the reduction identity (waits for every
+    /// outstanding incrementing loop first so no in-flight reduction is
+    /// clobbered).
     pub fn reset(&self) {
         self.wait_pending();
         let mut v = self.inner.value.lock();
@@ -146,7 +186,8 @@ impl<T: Reducible> Global<T> {
         self.inner.partials.lock().clear();
     }
 
-    /// Overwrites the value (waits for a pending loop first).
+    /// Overwrites the value (waits for every outstanding incrementing
+    /// loop first).
     pub fn set(&self, values: &[T]) {
         assert_eq!(
             values.len(),
@@ -158,8 +199,8 @@ impl<T: Reducible> Global<T> {
         self.inner.value.lock().copy_from_slice(values);
     }
 
-    /// Waits for the latest incrementing loop (if any), then returns the
-    /// reduced value.
+    /// Waits for **every** outstanding incrementing loop (the drained
+    /// wait-set — see the type docs), then returns the reduced value.
     pub fn get(&self) -> Vec<T> {
         self.wait_pending();
         self.inner.value.lock().clone()
@@ -170,10 +211,17 @@ impl<T: Reducible> Global<T> {
         self.get()[0]
     }
 
+    /// Waits every completion future registered before this call, then
+    /// drains the completed entries. Loops registered concurrently with
+    /// the wait are not covered — as with any `Global` read, the caller
+    /// orders its own submissions against its reads.
     fn wait_pending(&self) {
-        let p = self.inner.pending.lock().clone();
-        if let Some(p) = p {
-            p.wait();
+        let snapshot: Vec<SharedFuture<()>> = self.inner.pending.lock().clone();
+        for f in &snapshot {
+            f.wait();
+        }
+        if !snapshot.is_empty() {
+            self.inner.pending.lock().retain(|f| !f.is_ready());
         }
     }
 
@@ -216,20 +264,82 @@ impl<T: Reducible> Global<T> {
         }
     }
 
-    /// Records the owning loop's completion future.
+    /// Adds the owning loop's completion future to the wait-set. Completed
+    /// entries are pruned first, so the set stays O(in-flight loops) over
+    /// arbitrarily long runs.
     pub(crate) fn record_completion(&self, done: &SharedFuture<()>) {
-        *self.inner.pending.lock() = Some(done.clone());
+        let mut p = self.inner.pending.lock();
+        p.retain(|f| !f.is_ready());
+        p.push(done.clone());
     }
 
-    /// The completion future of the latest incrementing loop, if any.
-    pub(crate) fn pending_future(&self) -> Option<SharedFuture<()>> {
-        self.inner.pending.lock().clone()
+    /// Appends every outstanding incrementing loop's completion future to
+    /// `out` (pruning completed entries on the way) — the dependency set a
+    /// consumer must order itself after.
+    pub(crate) fn collect_pending(&self, out: &mut Vec<SharedFuture<()>>) {
+        let mut p = self.inner.pending.lock();
+        p.retain(|f| !f.is_ready());
+        out.extend(p.iter().cloned());
     }
 
-    /// Current value snapshot without waiting (internal; used by read args
+    /// Snapshot of the outstanding completion futures.
+    pub(crate) fn pending_snapshot(&self) -> Vec<SharedFuture<()>> {
+        let mut out = Vec::new();
+        self.collect_pending(&mut out);
+        out
+    }
+
+    /// Number of outstanding (unpruned) wait-set entries — test hook for
+    /// the O(in-flight) bound.
+    #[cfg(test)]
+    fn pending_len(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
+    /// Current value snapshot without waiting (internal; used by reduce
+    /// nodes and read args whose ordering is enforced through `pending`).
+    pub(crate) fn value_snapshot(&self) -> Vec<T> {
+        self.inner.value.lock().clone()
+    }
+
+    /// Current value pointer without waiting (internal; used by read args
     /// whose ordering is enforced through `pending`).
     pub(crate) fn raw_value_ptr(&self) -> *const T {
         self.inner.value.lock().as_ptr()
+    }
+
+    // ---- asynchronous reads ---------------------------------------------
+
+    /// Schedules an **asynchronous read** of this global: a dataflow node
+    /// gated on every outstanding incrementing loop snapshots the fully
+    /// finalized value into a [`ReducedFuture`], and the submitting thread
+    /// returns immediately. This is the paper's Fig 9 discipline for
+    /// reductions — the result is a future that dependent work (residual
+    /// printing, convergence checks) chains off via [`ReducedFuture::then`]
+    /// instead of a blocking [`Global::get`] in the hot loop.
+    ///
+    /// The node is tracked by `op2`'s [`Op2::fence`], so a fence makes the
+    /// future ready.
+    pub fn reduce_async(&self, op2: &Op2) -> ReducedFuture<T> {
+        self.reduce_on(op2.runtime_arc(), op2.comm_hooks())
+    }
+
+    /// [`Global::reduce_async`] on an explicit runtime + tracking hook —
+    /// the shared engine behind `reduce_async` and the locality layer's
+    /// `Global::reduce_across`.
+    pub(crate) fn reduce_on(&self, rt: Arc<Runtime>, hooks: CommHooks) -> ReducedFuture<T> {
+        hpx_rt::static_counter!("op2.reduce.async_reads").fetch_add(1, Ordering::Relaxed);
+        let deps = self.pending_snapshot();
+        let (mut contribs, value) = hpx_rt::lco::collect(1, |a: Vec<T>, _b: Vec<T>| a);
+        let c = contribs.pop().expect("one contributor");
+        let gbl = self.clone();
+        let done = schedule_after(&rt, &deps, move || c.set(gbl.value_snapshot()));
+        // The snapshot node joins the wait-set: a subsequent
+        // `reset`/`set`/incrementing loop orders *after* this read and
+        // cannot clobber (or leak into) the value it will observe.
+        self.record_completion(&done);
+        hooks.track(done.clone());
+        ReducedFuture::from_parts(value, done, rt, hooks)
     }
 }
 
@@ -239,6 +349,122 @@ impl<T: Reducible> std::fmt::Debug for Global<T> {
             .field("name", &self.inner.name)
             .field("dim", &self.inner.dim)
             .field("op", &self.inner.op)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReducedFuture
+// ---------------------------------------------------------------------------
+
+/// The future-valued result of an asynchronous reduction read
+/// ([`Global::reduce_async`], `Global::reduce_across`,
+/// `LocalityGroup::allreduce`): the reduced vector becomes available once
+/// every contributing loop has finalized, and consumers either block
+/// *outside* the hot loop ([`ReducedFuture::get`]) or chain continuations
+/// ([`ReducedFuture::then`] / [`ReducedFuture::then_after`]) so the solve
+/// pipeline never meets a host-side barrier.
+///
+/// Cheap to clone; clones alias the same result.
+pub struct ReducedFuture<T: Reducible> {
+    value: SharedFuture<Vec<T>>,
+    /// Completion of the producing node graph. Invariant: by the time
+    /// `done` is ready, `value` is fulfilled (the final contribution runs
+    /// inside a node `done` joins).
+    done: SharedFuture<()>,
+    rt: Arc<Runtime>,
+    hooks: CommHooks,
+}
+
+impl<T: Reducible> Clone for ReducedFuture<T> {
+    fn clone(&self) -> Self {
+        ReducedFuture {
+            value: self.value.clone(),
+            done: self.done.clone(),
+            rt: Arc::clone(&self.rt),
+            hooks: self.hooks.clone(),
+        }
+    }
+}
+
+impl<T: Reducible> ReducedFuture<T> {
+    pub(crate) fn from_parts(
+        value: SharedFuture<Vec<T>>,
+        done: SharedFuture<()>,
+        rt: Arc<Runtime>,
+        hooks: CommHooks,
+    ) -> Self {
+        ReducedFuture {
+            value,
+            done,
+            rt,
+            hooks,
+        }
+    }
+
+    /// True once the reduced value is available.
+    pub fn is_ready(&self) -> bool {
+        self.value.is_ready()
+    }
+
+    /// Blocks until the reduction (and its producing nodes) completed.
+    /// Workers help-execute while waiting.
+    pub fn wait(&self) {
+        self.done.wait();
+    }
+
+    /// Blocks until available, then returns the reduced vector
+    /// (re-panicking if a contributing loop panicked). Call this *after*
+    /// the solve loop — inside it, chain [`ReducedFuture::then`] instead.
+    pub fn get(&self) -> Vec<T> {
+        self.value.get()
+    }
+
+    /// Scalar convenience for `dim == 1` reductions.
+    pub fn get_scalar(&self) -> T {
+        self.get()[0]
+    }
+
+    /// The completion future of the reduction — usable as an explicit
+    /// dependency for hand-built dataflow nodes.
+    pub fn done(&self) -> SharedFuture<()> {
+        self.done.clone()
+    }
+
+    /// Schedules `f(value)` on the runtime once the reduction completes —
+    /// the non-blocking substitute for a `get` in the hot loop. The
+    /// continuation node is tracked for the owning context's fence;
+    /// returns its completion future.
+    pub fn then<F>(&self, f: F) -> SharedFuture<()>
+    where
+        F: FnOnce(Vec<T>) + Send + 'static,
+    {
+        self.then_after(&[], f)
+    }
+
+    /// [`ReducedFuture::then`] gated on additional dependencies — e.g. the
+    /// previous iteration's print node, so residual lines appear in order
+    /// without ever blocking the submitting thread.
+    pub fn then_after<F>(&self, after: &[SharedFuture<()>], f: F) -> SharedFuture<()>
+    where
+        F: FnOnce(Vec<T>) + Send + 'static,
+    {
+        let mut deps: Vec<SharedFuture<()>> = Vec::with_capacity(after.len() + 1);
+        deps.push(self.done.clone());
+        deps.extend(after.iter().cloned());
+        let value = self.value.clone();
+        // `value` is fulfilled before `done` (struct invariant), so the
+        // `get` inside the node never blocks.
+        let node = schedule_after(&self.rt, &deps, move || f(value.get()));
+        self.hooks.track(node.clone());
+        node
+    }
+}
+
+impl<T: Reducible> std::fmt::Debug for ReducedFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReducedFuture")
+            .field("ready", &self.is_ready())
             .finish()
     }
 }
@@ -294,5 +520,100 @@ mod tests {
         let g = Global::<i64>::new(3, ReduceOp::Sum, "v");
         g.set(&[1, 2, 3]);
         assert_eq!(g.get(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn finalize_with_zero_partials_keeps_the_value() {
+        // An empty-set loop commits no partials; its finalize must be a
+        // well-defined no-op, not a surprise.
+        let g = Global::<f64>::sum(2, "r");
+        g.commit(1, 0, vec![1.0, 2.0]);
+        g.finalize(1);
+        g.finalize(2); // zero partials for gen 2
+        assert_eq!(g.get(), vec![1.0, 2.0]);
+    }
+
+    /// The wait-set regression (ISSUE 5 tentpole): with the old
+    /// single-slot `pending`, registering a second (already complete)
+    /// incrementing loop *overwrote* the first loop's still-running
+    /// completion future, so `get()` returned a partially-finalized value.
+    /// Deterministic exposure: loop 1 is held hostage on an event, loop 2
+    /// completes immediately — `get()` must still see both.
+    #[test]
+    fn get_waits_every_outstanding_loop_not_just_the_latest() {
+        use hpx_rt::lco::Event;
+
+        let rt = Runtime::new(2);
+        let g = Global::<f64>::sum(1, "rms");
+        let gate = Arc::new(Event::new());
+
+        // Loop 1: partial committed, finalize hostage on the gate.
+        g.commit(1, 0, vec![1.0]);
+        let g1 = g.clone();
+        let gate1 = Arc::clone(&gate);
+        let f1 = rt
+            .spawn_future(move || {
+                gate1.wait();
+                g1.finalize(1);
+            })
+            .share();
+        g.record_completion(&f1);
+
+        // Loop 2: complete before registration — the single-slot bug
+        // dropped f1 here and `get()` observed only this loop's merge.
+        g.commit(2, 0, vec![10.0]);
+        g.finalize(2);
+        g.record_completion(&SharedFuture::ready(()));
+
+        let g2 = g.clone();
+        let reader = std::thread::spawn(move || g2.get_scalar());
+        // Loop 1 is provably still hostage while the reader runs.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!f1.is_ready(), "hostage loop completed early");
+        gate.set();
+        assert_eq!(
+            reader.join().expect("reader thread"),
+            11.0,
+            "get() missed a still-running incrementing loop's finalize"
+        );
+    }
+
+    #[test]
+    fn wait_set_stays_bounded_by_in_flight_loops() {
+        // Completed futures are pruned on registration, so a long solver
+        // run never accumulates one entry per past loop.
+        let g = Global::<i64>::sum(1, "r");
+        for _ in 0..1000 {
+            g.record_completion(&SharedFuture::ready(()));
+        }
+        assert!(
+            g.pending_len() <= 1,
+            "wait-set grew to {} entries despite pruning",
+            g.pending_len()
+        );
+        g.get(); // drains the remainder
+        assert_eq!(g.pending_len(), 0);
+    }
+
+    #[test]
+    fn collect_pending_reports_all_outstanding() {
+        let rt = Runtime::new(1);
+        let g = Global::<i64>::sum(1, "r");
+        let gate = Arc::new(hpx_rt::lco::Event::new());
+        let futs: Vec<SharedFuture<()>> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                rt.spawn_future(move || gate.wait()).share()
+            })
+            .collect();
+        for f in &futs {
+            g.record_completion(f);
+        }
+        let mut out = Vec::new();
+        g.collect_pending(&mut out);
+        assert_eq!(out.len(), 3, "every outstanding loop must be reported");
+        gate.set();
+        g.get();
+        assert_eq!(g.pending_len(), 0);
     }
 }

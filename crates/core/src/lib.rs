@@ -66,7 +66,7 @@ pub use arg::{
 pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
 pub use dat::{Dat, DatReadGuard, DatWriteGuard};
 pub use driver::{__dataflow_direct_blocks, __dataflow_resolved_block_size, plan_for, LoopHandle};
-pub use gbl::{Global, ReduceOp, Reducible};
+pub use gbl::{Global, ReduceOp, ReducedFuture, Reducible};
 pub use map::Map;
 pub use par_loop::ParLoop;
 #[allow(deprecated)]

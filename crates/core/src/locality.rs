@@ -99,6 +99,7 @@ use hpx_rt::{schedule_after, Runtime, SharedFuture};
 
 use crate::config::Op2Config;
 use crate::dat::Dat;
+use crate::gbl::{Global, ReducedFuture, Reducible};
 use crate::map::Map;
 use crate::types::{next_loop_gen, OpType};
 use crate::world::{CommHooks, Op2};
@@ -145,6 +146,101 @@ impl LocalityGroup {
     /// exchange for the per-rank shards of one logical dat.
     pub fn link_halo<T: OpType>(&self, dats: &[Dat<T>], spec: &HaloSpec) {
         link_halo(self, dats, spec);
+    }
+
+    /// [`LocalityGroup::allreduce_with`] under default options.
+    pub fn allreduce<T: Reducible>(&self, globals: &[Global<T>]) -> ReducedFuture<T> {
+        self.allreduce_with(globals, &ExchangeOpts::default())
+    }
+
+    /// Schedules an **asynchronous cross-rank allreduce** of the per-rank
+    /// globals (`globals[r]` is rank `r`'s shard of one logical reduction,
+    /// e.g. the per-rank Airfoil `rms`): each rank contributes its fully
+    /// finalized value into a reduction-tree LCO
+    /// ([`hpx_rt::lco::collect`]), and the combined result becomes a
+    /// [`ReducedFuture`] — nothing blocks the submitting thread.
+    ///
+    /// Per rank one **contribution node** is scheduled, gated on exactly
+    /// that rank's outstanding incrementing loops (its `Global` wait-set),
+    /// so a rank whose update finished early contributes immediately while
+    /// slower ranks are still computing — and the whole reduce overlaps
+    /// the next iteration's interior compute instead of draining every
+    /// rank's pipeline the way a host-side `get_scalar` sum does. Values
+    /// are combined pairwise up a tree whose shape is fixed by rank index,
+    /// so the floating-point result is deterministic for a given rank
+    /// count. `opts.link_delay` (shared with [`exchange_with`]) injects a
+    /// per-contribution delay modelling the interconnect.
+    ///
+    /// The nodes are tracked per rank, so [`LocalityGroup::fence`] makes
+    /// the future ready.
+    ///
+    /// # Panics
+    ///
+    /// If `globals.len() != nranks`, or the globals disagree on `dim` or
+    /// reduction operator.
+    pub fn allreduce_with<T: Reducible>(
+        &self,
+        globals: &[Global<T>],
+        opts: &ExchangeOpts,
+    ) -> ReducedFuture<T> {
+        let n = self.nranks();
+        assert_eq!(globals.len(), n, "one global shard per rank");
+        let dim = globals[0].dim();
+        let op = globals[0].op();
+        for (r, g) in globals.iter().enumerate() {
+            assert_eq!(g.dim(), dim, "rank {r}: allreduce dim mismatch");
+            assert_eq!(g.op(), op, "rank {r}: allreduce operator mismatch");
+        }
+        hpx_rt::static_counter!("op2.reduce.allreduces").fetch_add(1, Ordering::Relaxed);
+        hpx_rt::static_counter!("op2.reduce.contributions").fetch_add(n as u64, Ordering::Relaxed);
+
+        let (contribs, value) = hpx_rt::lco::collect(n, move |a: Vec<T>, b: Vec<T>| {
+            hpx_rt::static_counter!("op2.reduce.combines").fetch_add(1, Ordering::Relaxed);
+            a.iter()
+                .zip(b)
+                .map(|(&x, y)| T::combine(op, x, y))
+                .collect()
+        });
+        let delay = opts.link_delay;
+        let rt = self.rank(0).runtime_arc();
+        let mut nodes: Vec<SharedFuture<()>> = Vec::with_capacity(n);
+        for (r, c) in contribs.into_iter().enumerate() {
+            let hooks = self.rank(r).comm_hooks();
+            let deps = globals[r].pending_snapshot();
+            let gbl = globals[r].clone();
+            let node = schedule_after(hooks.runtime(), &deps, move || {
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                c.set(gbl.value_snapshot());
+            });
+            // The contribution node joins the rank-global's wait-set so a
+            // subsequent reset/set/incrementing loop on it orders after
+            // this read (same discipline as `Global::reduce_on`).
+            globals[r].record_completion(&node);
+            hooks.track(node.clone());
+            nodes.push(node);
+        }
+        // Join node: ready only after every contribution node ran — and the
+        // final contribution fulfills `value` inside its node, so the
+        // ReducedFuture invariant (done ⊇ value ready) holds.
+        let done = schedule_after(&rt, &nodes, || ());
+        let hooks0 = self.rank(0).comm_hooks();
+        hooks0.track(done.clone());
+        ReducedFuture::from_parts(value, done, rt, hooks0)
+    }
+}
+
+impl<T: Reducible> Global<T> {
+    /// Asynchronous read of a **group-shared** global: one `Global` cloned
+    /// into incrementing loops on several ranks of `group` (legal now that
+    /// the wait-set tracks every outstanding loop) is snapshotted by a
+    /// single node gated on the *whole* wait-set — the cross-rank sum
+    /// already lives in the shared accumulator, so no tree is needed; the
+    /// surface just turns the read into a [`ReducedFuture`] like
+    /// [`LocalityGroup::allreduce`] does for per-rank shards.
+    pub fn reduce_across(&self, group: &LocalityGroup) -> ReducedFuture<T> {
+        self.reduce_on(group.rank(0).runtime_arc(), group.rank(0).comm_hooks())
     }
 }
 

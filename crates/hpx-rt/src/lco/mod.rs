@@ -10,10 +10,13 @@
 //! [`crate::dataflow`]; this module provides the synchronization-flavoured
 //! ones. [`Latch`] is the workhorse: it is how the parallel algorithms join
 //! their chunk tasks, and its `wait` help-executes pool tasks instead of
-//! sleeping.
+//! sleeping. [`collect`] is the collective: a reduction tree over N
+//! contributors whose combined result is a future — the building block of
+//! `op2-core`'s asynchronous cross-rank allreduce.
 
 mod barrier;
 mod channel;
+mod collect;
 mod event;
 mod latch;
 mod semaphore;
@@ -21,6 +24,7 @@ mod spinlock;
 
 pub use barrier::{Barrier, BarrierWaitResult};
 pub use channel::{oneshot, OneshotReceiver, OneshotSender, RecvError, SendError};
+pub use collect::{collect, Contribution};
 pub use event::Event;
 pub use latch::Latch;
 pub(crate) use latch::LatchGuard;

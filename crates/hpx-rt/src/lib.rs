@@ -17,7 +17,7 @@
 //!   batched, allocation-lean node scheduling behind `op2-core`'s
 //!   block-granular dataflow backend;
 //! * the LCO catalogue ([`lco`]): latch, event, barrier, semaphore,
-//!   spinlock, one-shot channel;
+//!   spinlock, one-shot channel, reduction-tree collective;
 //! * **execution policies** of Table I ([`seq`], [`par`], [`par_vec`],
 //!   [`seq_task`], [`par_task`]) and **chunk-size control** (§IV-B)
 //!   including the paper's new [`PersistentChunker`]

@@ -400,3 +400,75 @@ fn quad_meshes_always_validate() {
         assert_eq!(v - e + f, 2, "case {case} ({imax}x{jmax})");
     }
 }
+
+/// Random loop chains over **one shared `Global`** across 2–4 ranks,
+/// submitted concurrently (one submitter thread per rank), must match the
+/// sequential model exactly — the wait-set regression surface: with a
+/// single-slot `pending`, a concurrently-registered loop's completion
+/// future could be overwritten and `get()`/`reset()` would observe a
+/// partially-finalized value. Integer sums keep the check exact under
+/// every interleaving.
+#[test]
+fn shared_global_loop_chains_match_sequential_model() {
+    use op2_hpx::op2::args::gbl_inc;
+    use op2_hpx::op2::locality::LocalityGroup;
+    use op2_hpx::op2::Global;
+    use std::sync::{Arc, Barrier};
+
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5AD0_61B1 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let nranks = rng.in_range(2, 5);
+        let group = Arc::new(LocalityGroup::new(Op2Config::dataflow(2), nranks));
+        // Per rank: a set (possibly empty — the zero-partials finalize
+        // path) and a random chain of incrementing loops.
+        let plan: Vec<(usize, Vec<i64>)> = (0..nranks)
+            .map(|_| {
+                let size = rng.in_range(0, 120);
+                let coeffs: Vec<i64> = (0..rng.in_range(1, 4))
+                    .map(|_| rng.in_range(1, 9) as i64)
+                    .collect();
+                (size, coeffs)
+            })
+            .collect();
+
+        let g = Global::<i64>::sum(1, "shared");
+        for round in 0..2 {
+            let start = Arc::new(Barrier::new(nranks));
+            let threads: Vec<_> = (0..nranks)
+                .map(|r| {
+                    let group = Arc::clone(&group);
+                    let g = g.clone();
+                    let start = Arc::clone(&start);
+                    let (size, coeffs) = plan[r].clone();
+                    std::thread::spawn(move || {
+                        let cells = group.rank(r).decl_set(size, "cells");
+                        start.wait();
+                        for k in coeffs {
+                            group
+                                .rank(r)
+                                .loop_("inc", &cells)
+                                .arg(gbl_inc(&g))
+                                .run(move |acc: &mut [i64]| acc[0] += k);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("submitter thread");
+            }
+            let model: i64 = plan
+                .iter()
+                .map(|(size, coeffs)| *size as i64 * coeffs.iter().sum::<i64>())
+                .sum();
+            assert_eq!(
+                g.get_scalar(),
+                model,
+                "case {case} round {round}: shared-global sum diverged from the model"
+            );
+            // reset() must likewise wait the whole wait-set before
+            // clobbering state for the next round.
+            g.reset();
+            assert_eq!(g.get_scalar(), 0, "case {case} round {round}: reset");
+        }
+    }
+}
