@@ -29,6 +29,7 @@ pub mod constants;
 pub mod kernels;
 pub mod setup;
 pub mod shard;
+pub mod simd;
 pub mod solver;
 pub mod verify;
 

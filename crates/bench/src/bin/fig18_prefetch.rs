@@ -16,6 +16,7 @@ fn main() {
         "prefetch_ms",
         "improvement_%",
     ]);
+    let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new();
     for &t in &args.threads {
         let base = run_airfoil(
             Variant::DataflowPersistent,
@@ -32,6 +33,12 @@ fn main() {
             args.reps,
         );
         let improvement = (base.time.as_secs_f64() / pf.time.as_secs_f64() - 1.0) * 100.0;
+        rows.push((
+            t,
+            base.time.as_secs_f64(),
+            pf.time.as_secs_f64(),
+            improvement,
+        ));
         table.row(vec![
             t.to_string(),
             ms(base.time),
@@ -42,6 +49,25 @@ fn main() {
     print!("{}", table.render());
     if let Some(path) = &args.csv {
         table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.json {
+        // Hand-rolled JSON (offline build: no serde).
+        let mut json = String::from("{\n  \"bench\": \"fig18_prefetch\",\n");
+        json.push_str(&format!(
+            "  \"cells\": {}, \"iters\": {}, \"reps\": {}, \"distance\": 15,\n",
+            args.cells, args.iters, args.reps
+        ));
+        json.push_str("  \"points\": [\n");
+        for (i, (t, base, pf, imp)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"threads\": {t}, \"dataflow_seconds\": {base:.6}, \
+                 \"prefetch_seconds\": {pf:.6}, \"improvement_pct\": {imp:.2}}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, json).expect("write JSON");
         eprintln!("wrote {}", path.display());
     }
 }

@@ -18,21 +18,49 @@ fn main() {
     let mut header = vec!["threads".to_string(), "no_prefetch".to_string()];
     header.extend(DISTANCES.iter().map(|d| format!("d={d}")));
     let mut table = Table::new(header);
+    let mut rows: Vec<(usize, f64, Vec<f64>)> = Vec::new();
     for &t in &args.threads {
         let mut row = vec![t.to_string()];
-        row.push(format!("{:.2}", bandwidth_run(t, elements, passes, None)));
+        let base = bandwidth_run(t, elements, passes, None);
+        row.push(format!("{base:.2}"));
+        let mut rates = Vec::with_capacity(DISTANCES.len());
         for &d in &DISTANCES {
-            row.push(format!(
-                "{:.2}",
-                bandwidth_run(t, elements, passes, Some(d))
-            ));
+            let rate = bandwidth_run(t, elements, passes, Some(d));
+            rates.push(rate);
+            row.push(format!("{rate:.2}"));
         }
+        rows.push((t, base, rates));
         table.row(row);
     }
     print!("{}", table.render());
     println!("\n(all values GiB/s; paper optimum: d=15)");
     if let Some(path) = &args.csv {
         table.write_csv(path).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.json {
+        // Hand-rolled JSON (offline build: no serde).
+        let mut json = String::from("{\n  \"bench\": \"fig20_prefetch_distance\",\n");
+        json.push_str(&format!(
+            "  \"elements\": {elements}, \"passes\": {passes},\n  \"points\": [\n"
+        ));
+        for (i, (t, base, rates)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"threads\": {t}, \"no_prefetch_gibs\": {base:.4}, \"by_distance\": ["
+            ));
+            for (j, (d, rate)) in DISTANCES.iter().zip(rates).enumerate() {
+                json.push_str(&format!(
+                    "{{\"distance\": {d}, \"gibs\": {rate:.4}}}{}",
+                    if j + 1 < DISTANCES.len() { ", " } else { "" }
+                ));
+            }
+            json.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(path, json).expect("write JSON");
         eprintln!("wrote {}", path.display());
     }
 }

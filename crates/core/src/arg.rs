@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use hpx_rt::{PrefetchSet, SharedFuture};
 
-use crate::dat::Dat;
+use crate::dat::{Dat, Layout};
 use crate::gbl::{Global, Reducible};
 use crate::map::Map;
 use crate::set::Set;
@@ -91,6 +91,21 @@ pub unsafe trait ArgSpec: Clone + Send + Sync + 'static {
     /// Caller must be a loop executor upholding the plan/coloring
     /// discipline (see [`crate::dat`] safety model).
     unsafe fn view<'e>(&'e self, elem: usize, tl: &'e mut Self::TaskLocal) -> Self::View<'e>;
+    /// Writes staged per-element state back after the kernel ran — the
+    /// dual of [`ArgSpec::view`] for arguments whose mutable view is a
+    /// task-local staging buffer rather than a slice of the underlying
+    /// storage (an SoA dat's rows are strided across component planes, so
+    /// the contiguous kernel view is staged). No-op for AoS and read-only
+    /// arguments.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`ArgSpec::view`]: the caller must be a loop
+    /// executor upholding the plan/coloring discipline, invoking this with
+    /// the same `elem` whose view the kernel just mutated.
+    unsafe fn writeback(&self, elem: usize, tl: &mut Self::TaskLocal) {
+        let _ = (elem, tl);
+    }
     /// Commits per-chunk scratch (keyed by the owning loop's generation
     /// and the chunk's start element, so pipelined loops' partials never
     /// mix).
@@ -371,15 +386,35 @@ impl<T: OpType, A: AccessTag> DatArg<T, A> {
         // Vec outlives the loop because the argument (cloned into the
         // block body) keeps the Map alive.
         if let Some((m, idx)) = &self.map {
-            set.add_gather_raw(
-                m.indices(),
-                m.dim(),
-                *idx,
-                // SAFETY(clippy): address computation only.
-                unsafe { self.dat.ptr() }.cast_const().cast(),
-                self.dat.dim() * std::mem::size_of::<T>(),
-                self.dat.set().size(),
-            );
+            // SAFETY(clippy): address computation only.
+            let base = unsafe { self.dat.ptr() }.cast_const().cast::<u8>();
+            match self.dat.layout() {
+                Layout::AoS => set.add_gather_raw(
+                    m.indices(),
+                    m.dim(),
+                    *idx,
+                    base,
+                    self.dat.dim() * std::mem::size_of::<T>(),
+                    self.dat.set().size(),
+                ),
+                // A gathered SoA row spans `dim` planes a full stride
+                // apart: one entry per plane, each with a scalar-sized
+                // "row", so every touched cache line is covered.
+                Layout::SoA => {
+                    let plane_bytes = self.dat.component_stride() * std::mem::size_of::<T>();
+                    for c in 0..self.dat.dim() {
+                        set.add_gather_raw(
+                            m.indices(),
+                            m.dim(),
+                            *idx,
+                            // SAFETY(clippy): address computation only.
+                            unsafe { base.add(c * plane_bytes) },
+                            std::mem::size_of::<T>(),
+                            self.dat.set().size(),
+                        );
+                    }
+                }
+            }
         }
     }
 }
@@ -388,23 +423,48 @@ macro_rules! impl_dat_arg {
     // $tag: the access tag; $view: view type; $mut_target: expression
     (read) => {
         // SAFETY: Read views are shared references; aliasing is harmless.
+        // An SoA view points into the per-chunk staging buffer instead.
         unsafe impl<T: OpType> ArgSpec for DatArg<T, ReadTag> {
             type View<'e> = &'e [T];
-            type TaskLocal = ();
+            type TaskLocal = Vec<T>;
 
             fn check_against(&self, iter_set: &Set, loop_name: &str) {
                 self.check_impl(iter_set, loop_name);
             }
-            fn task_local(&self) {}
+            fn task_local(&self) -> Vec<T> {
+                match self.dat.layout() {
+                    Layout::AoS => Vec::new(),
+                    Layout::SoA => Vec::with_capacity(self.dat.dim()),
+                }
+            }
             #[inline(always)]
-            unsafe fn view<'e>(&'e self, elem: usize, _tl: &'e mut ()) -> &'e [T] {
+            unsafe fn view<'e>(&'e self, elem: usize, tl: &'e mut Vec<T>) -> &'e [T] {
                 let t = self.target(elem);
                 let dim = self.dat.dim();
-                // SAFETY: executor discipline (module docs); row in bounds
-                // by map/dat construction.
-                unsafe { std::slice::from_raw_parts(self.dat.ptr().add(t * dim), dim) }
+                match self.dat.layout() {
+                    // SAFETY: executor discipline (module docs); row in
+                    // bounds by map/dat construction.
+                    Layout::AoS => unsafe {
+                        std::slice::from_raw_parts(self.dat.ptr().add(t * dim), dim)
+                    },
+                    // The row is strided one plane apart: stage it so the
+                    // kernel keeps its contiguous `&[T]` signature.
+                    Layout::SoA => {
+                        let stride = self.dat.component_stride();
+                        // SAFETY: as above; pushes stay within the
+                        // capacity reserved in `task_local`.
+                        unsafe {
+                            let base = self.dat.ptr();
+                            tl.clear();
+                            for c in 0..dim {
+                                tl.push(*base.add(c * stride + t));
+                            }
+                            std::slice::from_raw_parts(tl.as_ptr(), dim)
+                        }
+                    }
+                }
             }
-            fn commit(&self, _gen: u64, _chunk_start: usize, _tl: ()) {}
+            fn commit(&self, _gen: u64, _chunk_start: usize, _tl: Vec<T>) {}
             fn finalize(&self, _gen: u64) {}
             fn info(&self) -> ArgInfo {
                 self.info_impl()
@@ -441,23 +501,65 @@ macro_rules! impl_dat_arg {
         // SAFETY: mutable views are made exclusive by the executor: direct
         // args are partitioned by element, indirect ones serialized by
         // plan coloring; the debug aliasing check guards within-element
-        // overlap.
+        // overlap. An SoA view is a staged copy of the strided row,
+        // scattered back by `writeback` under the same exclusivity.
         unsafe impl<T: OpType> ArgSpec for DatArg<T, $tag> {
             type View<'e> = &'e mut [T];
-            type TaskLocal = ();
+            type TaskLocal = Vec<T>;
 
             fn check_against(&self, iter_set: &Set, loop_name: &str) {
                 self.check_impl(iter_set, loop_name);
             }
-            fn task_local(&self) {}
+            fn task_local(&self) -> Vec<T> {
+                match self.dat.layout() {
+                    Layout::AoS => Vec::new(),
+                    Layout::SoA => Vec::with_capacity(self.dat.dim()),
+                }
+            }
             #[inline(always)]
-            unsafe fn view<'e>(&'e self, elem: usize, _tl: &'e mut ()) -> &'e mut [T] {
+            unsafe fn view<'e>(&'e self, elem: usize, tl: &'e mut Vec<T>) -> &'e mut [T] {
                 let t = self.target(elem);
                 let dim = self.dat.dim();
-                // SAFETY: exclusivity per the impl-level comment.
-                unsafe { std::slice::from_raw_parts_mut(self.dat.ptr().add(t * dim), dim) }
+                match self.dat.layout() {
+                    // SAFETY: exclusivity per the impl-level comment.
+                    Layout::AoS => unsafe {
+                        std::slice::from_raw_parts_mut(self.dat.ptr().add(t * dim), dim)
+                    },
+                    // Stage the strided row (OP_RW/OP_INC read their
+                    // current target; OP_WRITE harmlessly sees stale
+                    // values it must overwrite anyway); `writeback`
+                    // scatters the kernel's result to the planes.
+                    Layout::SoA => {
+                        let stride = self.dat.component_stride();
+                        // SAFETY: as above; pushes stay within the
+                        // capacity reserved in `task_local`.
+                        unsafe {
+                            let base = self.dat.ptr();
+                            tl.clear();
+                            for c in 0..dim {
+                                tl.push(*base.add(c * stride + t));
+                            }
+                            std::slice::from_raw_parts_mut(tl.as_mut_ptr(), dim)
+                        }
+                    }
+                }
             }
-            fn commit(&self, _gen: u64, _chunk_start: usize, _tl: ()) {}
+            #[inline(always)]
+            unsafe fn writeback(&self, elem: usize, tl: &mut Vec<T>) {
+                if self.dat.layout() == Layout::SoA {
+                    let t = self.target(elem);
+                    let stride = self.dat.component_stride();
+                    // SAFETY: exclusivity per the impl-level comment; the
+                    // executor passes the elem whose view was just staged.
+                    unsafe {
+                        let base = self.dat.ptr();
+                        for (c, &v) in tl.iter().enumerate() {
+                            *base.add(c * stride + t) = v;
+                        }
+                    }
+                }
+            }
+            fn commit(&self, _gen: u64, _chunk_start: usize, _tl: Vec<T>) {}
             fn finalize(&self, _gen: u64) {}
             fn info(&self) -> ArgInfo {
                 self.info_impl()

@@ -4,6 +4,8 @@
 use hpx_rt::timing::Clock;
 use hpx_rt::{ChunkPolicy, PersistentChunker};
 
+use crate::dat::Layout;
+
 /// The three execution strategies compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -58,6 +60,11 @@ pub struct Op2Config {
     /// Prefetch distance factor (cache lines of look-ahead, paper §V);
     /// `None` disables the prefetching iterator.
     pub prefetch_distance: Option<usize>,
+    /// Default physical layout of dats declared through
+    /// [`Op2::decl_dat`](crate::Op2::decl_dat) /
+    /// [`Op2::decl_dat_halo`](crate::Op2::decl_dat_halo). Per-dat
+    /// overrides: `decl_dat_layout` / `decl_dat_halo_layout`.
+    pub layout: Layout,
     /// Clock the granularity feedback measures through. [`Clock::real`] in
     /// production; tests inject [`Clock::fake`] to drive adaptive-chunking
     /// convergence deterministically. A
@@ -75,6 +82,7 @@ impl Op2Config {
             block_size: DEFAULT_BLOCK_SIZE,
             chunk: ChunkPolicy::NumChunks { chunks: 1 },
             prefetch_distance: None,
+            layout: Layout::AoS,
             clock: Clock::real(),
         }
     }
@@ -90,6 +98,7 @@ impl Op2Config {
                 chunks: threads.max(1),
             },
             prefetch_distance: None,
+            layout: Layout::AoS,
             clock: Clock::real(),
         }
     }
@@ -104,6 +113,7 @@ impl Op2Config {
             block_size: DEFAULT_BLOCK_SIZE,
             chunk: ChunkPolicy::default(),
             prefetch_distance: None,
+            layout: Layout::AoS,
             clock: Clock::real(),
         }
     }
@@ -127,6 +137,7 @@ impl Op2Config {
             block_size: DEFAULT_BLOCK_SIZE,
             chunk: ChunkPolicy::PersistentAuto(chunker),
             prefetch_distance: None,
+            layout: Layout::AoS,
             clock,
         }
     }
@@ -167,6 +178,14 @@ impl Op2Config {
     #[must_use]
     pub fn without_prefetch(mut self) -> Self {
         self.prefetch_distance = None;
+        self
+    }
+
+    /// Sets the default physical layout of declared dats (the AoS/SoA
+    /// policy; see [`Layout`]).
+    #[must_use]
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -225,6 +244,13 @@ mod tests {
         let h = PersistentChunker::with_target_and_clock(Duration::from_micros(50), Clock::fake());
         let c = Op2Config::dataflow_persistent(2, h);
         assert!(c.clock.is_fake(), "config clock follows the chunker");
+    }
+
+    #[test]
+    fn layout_defaults_to_aos_and_composes() {
+        assert_eq!(Op2Config::dataflow(2).layout, Layout::AoS);
+        let c = Op2Config::seq().with_layout(Layout::SoA);
+        assert_eq!(c.layout, Layout::SoA);
     }
 
     #[test]

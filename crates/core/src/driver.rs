@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 
 use hpx_rt::{
     schedule_after, when_all_shared, ChunkPolicy, ExecutionPolicy, GranularityFeedback,
-    SharedFuture,
+    PrefetchSet, SharedFuture,
 };
 
 use crate::arg::{ArgInfo, ArgKind, BlockCtx};
@@ -61,6 +61,13 @@ pub(crate) struct LoopSpec {
     /// Executes the kernel over a contiguous element range and commits
     /// per-chunk state (reduction partials).
     pub block_body: Arc<dyn Fn(Range<usize>) + Send + Sync>,
+    /// The loop's gathered (indirect) containers, registered through the
+    /// maps' index tables — `None` for direct loops. The dataflow driver
+    /// uses it for **cross-node prefetching**: while node *b* executes,
+    /// it warms the cache with the first elements node *b+1* will gather,
+    /// at a look-ahead resolved from the granularity feedback's measured
+    /// per-element cost (see [`gather_lookahead`]).
+    pub gather: Option<Arc<PrefetchSet>>,
     /// Runs once after all chunks: merges reductions.
     pub finalize: Arc<dyn Fn() + Send + Sync>,
     /// Per-block dependency collection over all arguments.
@@ -441,6 +448,29 @@ struct MeasureCtx {
     set: u64,
 }
 
+/// Approximate main-memory latency the cross-node look-ahead is sized
+/// against: prefetching `latency / per_elem_cost` elements ahead means the
+/// line arrives roughly when the kernel reaches it.
+const MEM_LATENCY_NS: f64 = 100.0;
+
+/// Cross-node look-ahead bounds, and the static fallback used before any
+/// feedback exists for the (kernel, set) — the paper's empirically optimal
+/// distance factor for Airfoil (§V, Fig 20).
+const GATHER_LOOKAHEAD_DEFAULT: usize = 15;
+const GATHER_LOOKAHEAD_MAX: usize = 128;
+
+/// Elements of the *next* node to prefetch while the current node runs:
+/// resolved from the granularity feedback's measured per-element cost when
+/// available (cheap kernels look further ahead, expensive ones barely need
+/// to), the static paper default otherwise.
+fn gather_lookahead(world: &Op2, kernel: &str, set_id: u64) -> usize {
+    match world.granularity_feedback().cost(kernel, set_id) {
+        Some(c) => ((MEM_LATENCY_NS / c.ewma_ns_per_elem.max(1e-3)) as usize)
+            .clamp(1, GATHER_LOOKAHEAD_MAX),
+        None => GATHER_LOOKAHEAD_DEFAULT,
+    }
+}
+
 fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     let rt = world.runtime_arc();
     let stats = world.stats_handle();
@@ -469,6 +499,18 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     let bs = schedule.block_size();
     let (blocks, rounds) = (schedule.blocks(), schedule.rounds());
 
+    // Cross-node gather prefetch: each node, before running its body,
+    // warms the cache with the first `lookahead` gathered rows of the
+    // block scheduled after it (next in its round, else the next round's
+    // first block). The look-ahead comes from the measured per-element
+    // cost when the feedback table has one.
+    let gather = spec.gather.clone();
+    let lookahead = if gather.is_some() {
+        gather_lookahead(world, &spec.name, spec.set.id())
+    } else {
+        0
+    };
+
     // Build one dataflow node per block, round by round. Collection reads
     // only *predecessor* loops' state (recording happens below, after all
     // nodes exist), so intra-loop ordering is carried solely by the round
@@ -479,8 +521,15 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     let mut deps_buf: Vec<SharedFuture<()>> = Vec::new();
     for (r, round) in rounds.iter().enumerate() {
         let mut round_futs: Vec<SharedFuture<()>> = Vec::with_capacity(round.len());
-        for &b in round {
+        for (i, &b) in round.iter().enumerate() {
             let range = blocks[b].clone();
+            let next_gather = gather.as_ref().and_then(|ps| {
+                let nb = round
+                    .get(i + 1)
+                    .copied()
+                    .or_else(|| rounds.get(r + 1).and_then(|nr| nr.first().copied()))?;
+                Some((Arc::clone(ps), blocks[nb].clone()))
+            });
             deps_buf.clear();
             if let Some(g) = &gate {
                 deps_buf.push(g.clone());
@@ -497,6 +546,12 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
             let mctx = measure.clone();
             let fut = schedule_after(&rt, &deps_buf, move || {
                 t0c.get_or_init(Instant::now);
+                if let Some((ps, nr)) = &next_gather {
+                    let end = (nr.start + lookahead).min(nr.end);
+                    for e in nr.start..end {
+                        ps.prefetch(e);
+                    }
+                }
                 match &mctx {
                     None => body(range),
                     Some(m) => {

@@ -64,7 +64,7 @@ pub use arg::{
     GblReadArg, IncTag, ReadTag, RwTag, WriteTag,
 };
 pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
-pub use dat::{Dat, DatReadGuard, DatWriteGuard};
+pub use dat::{Dat, DatReadGuard, DatWriteGuard, Layout};
 pub use driver::{__dataflow_direct_blocks, __dataflow_resolved_block_size, plan_for, LoopHandle};
 pub use gbl::{Global, ReduceOp, ReducedFuture, Reducible};
 pub use map::Map;

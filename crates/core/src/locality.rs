@@ -446,10 +446,11 @@ fn schedule_pair<T: OpType>(
         for &row in gather_rows.iter() {
             // SAFETY: this node was scheduled after every pending
             // writer of the gathered blocks and is registered as a
-            // reader, so the rows are stable while it runs.
+            // reader, so the rows are stable while it runs. The
+            // layout-aware gather keeps the wire format canonical
+            // (row-major) whatever the dat's physical layout.
             unsafe {
-                let p = gather_dat.ptr().add(row as usize * dim);
-                buf.extend_from_slice(std::slice::from_raw_parts(p, dim));
+                gather_dat.append_row_to(row as usize, &mut buf);
             }
         }
         if let Some(d) = delay {
@@ -481,10 +482,11 @@ fn schedule_pair<T: OpType>(
         assert_eq!(buf.len(), scatter_range.len() * dim, "halo payload size");
         // SAFETY: scheduled after every pending reader and writer
         // of the halo blocks, and registered as their writer, so
-        // this node has exclusive access to the rows.
+        // this node has exclusive access to the rows. The payload is
+        // canonical row-major; the scatter re-strides it into the
+        // dat's physical layout.
         unsafe {
-            let p = scatter_dat.ptr().add(scatter_range.start * dim);
-            std::ptr::copy_nonoverlapping(buf.as_ptr(), p, buf.len());
+            scatter_dat.scatter_rows_from(scatter_range.start, &buf);
         }
     });
     dat_dst

@@ -213,6 +213,21 @@ macro_rules! gen_par_loop {
                         }
                     });
 
+                // Cross-node gather prefetch (dataflow backend): the driver
+                // issues prefetches for the *next* node's gathered rows
+                // while the current node executes, at a look-ahead distance
+                // resolved from the granularity feedback's measured
+                // per-element cost (see `driver::drive_dataflow`). Only
+                // loops with indirect arguments register anything.
+                let gather_prefetch: Option<Arc<PrefetchSet>> = is_dataflow
+                    .then(|| {
+                        let mut ps = PrefetchSet::new();
+                        $( $a.add_prefetch(&mut ps); )+
+                        ps
+                    })
+                    .filter(|ps| !ps.is_empty())
+                    .map(Arc::new);
+
                 let finalize_args = ($( $a.clone(), )+);
                 // Only the backend that will call a hook pays for its
                 // argument clones and closure allocation.
@@ -239,6 +254,7 @@ macro_rules! gen_par_loop {
                                     // executor discipline in `crate::dat`.
                                     unsafe {
                                         kernel($( $a.view(e, &mut tls.$idx) ),+);
+                                        $( $a.writeback(e, &mut tls.$idx); )+
                                     }
                                 }
                             }
@@ -253,6 +269,7 @@ macro_rules! gen_par_loop {
                                     // SAFETY: as above.
                                     unsafe {
                                         kernel($( $a.view(e, &mut tls.$idx) ),+);
+                                        $( $a.writeback(e, &mut tls.$idx); )+
                                     }
                                 }
                             }
@@ -308,6 +325,7 @@ macro_rules! gen_par_loop {
                     deps,
                     gen,
                     block_body,
+                    gather: gather_prefetch,
                     finalize,
                     collect_block,
                     collect_loop,

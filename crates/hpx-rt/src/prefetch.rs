@@ -14,9 +14,9 @@
 //!
 //! The prefetch distance is `prefetch_distance_factor` *cache lines*
 //! converted to elements of the widest container, mirroring the paper's
-//! "determined based on the length of the cache line". On non-x86_64
-//! targets the prefetch is a no-op and the loop degrades to a plain
-//! `for_each`.
+//! "determined based on the length of the cache line". The hint lowers to
+//! `prefetcht0` on x86_64 and `prfm pldl1keep` on aarch64; on other
+//! targets it is a no-op and the loop degrades to a plain `for_each`.
 
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -228,7 +228,17 @@ fn prefetch_read(ptr: *const u8) {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
         _mm_prefetch::<_MM_HINT_T0>(ptr.cast());
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM is a non-faulting hint on any address; it never
+    // dereferences, only requests a cache fill.
+    unsafe {
+        std::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) ptr,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     let _ = ptr;
 }
 

@@ -40,20 +40,41 @@ pub mod sema;
 pub mod token;
 
 pub use ast::Program;
-pub use codegen::CodegenBackend;
+pub use codegen::{CodegenBackend, CodegenLayout};
 pub use token::TranslateError;
 
 /// One-shot translation: source text → generated Rust, or every diagnostic
-/// found on the way.
+/// found on the way. AoS layout (see [`translate_layout`]).
 pub fn translate(src: &str, backend: CodegenBackend) -> Result<String, Vec<TranslateError>> {
+    translate_layout(src, backend, CodegenLayout::AoS)
+}
+
+/// [`translate`] with an explicit target dat layout (`op2c --layout`).
+/// AoS output is byte-identical to [`translate`]; SoA output documents
+/// the plane layout on every wrapper.
+pub fn translate_layout(
+    src: &str,
+    backend: CodegenBackend,
+    layout: CodegenLayout,
+) -> Result<String, Vec<TranslateError>> {
     let program = parser::parse(src).map_err(|e| vec![e])?;
-    codegen::generate(&program, backend)
+    codegen::generate_layout(&program, backend, layout)
 }
 
 /// Generates kernel-skeleton stubs (the `op2c --emit-kernels` mode).
+/// AoS layout (see [`emit_kernel_skeletons_layout`]).
 pub fn emit_kernel_skeletons(src: &str) -> Result<String, Vec<TranslateError>> {
+    emit_kernel_skeletons_layout(src, CodegenLayout::AoS)
+}
+
+/// [`emit_kernel_skeletons`] with an explicit target layout: SoA emits
+/// block-level stride-aware stubs over component planes.
+pub fn emit_kernel_skeletons_layout(
+    src: &str,
+    layout: CodegenLayout,
+) -> Result<String, Vec<TranslateError>> {
     let program = parser::parse(src).map_err(|e| vec![e])?;
-    codegen::generate_kernel_skeletons(&program)
+    codegen::generate_kernel_skeletons_layout(&program, layout)
 }
 
 /// Parses and checks without generating (the `op2c --check` mode).
