@@ -2,16 +2,27 @@
 //!
 //! ```text
 //! airfoil [--cells N] [--iters N] [--threads N] [--ranks N]
-//!         [--backend seq|forkjoin|dataflow]
+//!         [--backend seq|forkjoin|dataflow] [--transport inproc|process]
 //!         [--prefetch FACTOR] [--persistent] [--print-every N]
+//!         [--rms-out PATH]
 //! ```
 //!
 //! `--ranks N` (N > 1) runs the multi-locality sharded path: the mesh is
-//! partitioned into N shards, each driven by its own simulated rank, with
-//! asynchronous halo exchange between them.
+//! partitioned into N shards, each driven by its own rank, with
+//! asynchronous halo exchange between them. `--transport inproc` (the
+//! default) hosts all ranks in this process on one worker pool;
+//! `--transport process` relaunches the binary as **N real OS processes**
+//! — one rank each, rendezvousing over Unix-domain sockets in a temporary
+//! directory, exchanging halos and reduction partials as real wire bytes.
+//! (`--rank-id R --rendezvous DIR` is the internal child invocation.)
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use airfoil_cfd::{shard, solver, Problem, SolverConfig};
 use op2_core::locality::implicit_halo_stats;
+use op2_core::transport::{ProcessTransport, Transport};
 use op2_core::{Op2, Op2Config};
 use op2_mesh::{quad_stats, QuadMesh};
 
@@ -21,6 +32,10 @@ struct Args {
     threads: usize,
     ranks: usize,
     backend: String,
+    transport: String,
+    rank_id: Option<usize>,
+    rendezvous: Option<PathBuf>,
+    rms_out: Option<PathBuf>,
     prefetch: Option<usize>,
     persistent: bool,
     print_every: usize,
@@ -33,6 +48,10 @@ fn parse_args() -> Args {
         threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
         ranks: 1,
         backend: "dataflow".to_owned(),
+        transport: "inproc".to_owned(),
+        rank_id: None,
+        rendezvous: None,
+        rms_out: None,
         prefetch: None,
         persistent: false,
         print_every: 100,
@@ -49,6 +68,10 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value("--threads").parse().expect("--threads"),
             "--ranks" => args.ranks = value("--ranks").parse().expect("--ranks"),
             "--backend" => args.backend = value("--backend"),
+            "--transport" => args.transport = value("--transport"),
+            "--rank-id" => args.rank_id = Some(value("--rank-id").parse().expect("--rank-id")),
+            "--rendezvous" => args.rendezvous = Some(PathBuf::from(value("--rendezvous"))),
+            "--rms-out" => args.rms_out = Some(PathBuf::from(value("--rms-out"))),
             "--prefetch" => args.prefetch = Some(value("--prefetch").parse().expect("--prefetch")),
             "--persistent" => args.persistent = true,
             "--print-every" => {
@@ -62,8 +85,11 @@ fn parse_args() -> Args {
                      --paper-scale      ~720K cells (the paper's mesh size)\n\
                      --iters N          outer iterations (default 100)\n\
                      --threads N        worker threads\n\
-                     --ranks N          simulated localities (sharded mesh + halo exchange)\n\
+                     --ranks N          localities (sharded mesh + halo exchange)\n\
                      --backend B        seq | forkjoin | dataflow\n\
+                     --transport T      inproc (all ranks in-process, default) |\n    \
+                                    process (one OS process per rank, Unix sockets)\n\
+                     --rms-out PATH     write the residual history to PATH (rank 0)\n\
                      --prefetch F       enable prefetching, distance factor F\n\
                      --persistent       persistent_auto_chunk_size: measured,\n    \
                                     feedback-resolved dataflow node granularity\n\
@@ -75,6 +101,63 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Parent-mode `--transport process`: relaunch this binary as one child
+/// process per rank, rendezvousing in a fresh temporary directory, and
+/// propagate any child failure as a nonzero exit. Stdout is inherited, so
+/// rank 0's residual lines stream through as usual.
+fn launch_processes(args: &Args) -> i32 {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = std::env::temp_dir().join(format!("airfoil-rdv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create rendezvous dir");
+    println!(
+        "spawning {} rank processes (rendezvous {})",
+        args.ranks,
+        dir.display()
+    );
+    let mut children = Vec::with_capacity(args.ranks);
+    for r in 0..args.ranks {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--cells")
+            .arg(args.cells.to_string())
+            .arg("--iters")
+            .arg(args.iters.to_string())
+            .arg("--threads")
+            .arg(args.threads.to_string())
+            .arg("--ranks")
+            .arg(args.ranks.to_string())
+            .arg("--backend")
+            .arg(&args.backend)
+            .arg("--print-every")
+            .arg(args.print_every.to_string())
+            .arg("--transport")
+            .arg("process")
+            .arg("--rank-id")
+            .arg(r.to_string())
+            .arg("--rendezvous")
+            .arg(&dir);
+        if let Some(f) = args.prefetch {
+            cmd.arg("--prefetch").arg(f.to_string());
+        }
+        if args.persistent {
+            cmd.arg("--persistent");
+        }
+        if let Some(p) = &args.rms_out {
+            cmd.arg("--rms-out").arg(p);
+        }
+        children.push((r, cmd.spawn().expect("spawn rank process")));
+    }
+    let mut code = 0;
+    for (r, mut child) in children {
+        let status = child.wait().expect("wait for rank process");
+        if !status.success() {
+            eprintln!("rank {r} process failed: {status}");
+            code = 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    code
 }
 
 fn main() {
@@ -90,15 +173,47 @@ fn main() {
         config = config.with_prefetch(f);
     }
 
+    match args.transport.as_str() {
+        "inproc" | "process" => {}
+        other => panic!("unknown transport {other} (inproc | process)"),
+    }
+    if args.transport == "process" && args.rank_id.is_none() {
+        assert!(args.ranks > 1, "--transport process needs --ranks N > 1");
+        std::process::exit(launch_processes(&args));
+    }
+
+    let is_rank0 = args.rank_id.is_none_or(|r| r == 0);
     let mesh = QuadMesh::with_cells(args.cells);
-    println!("mesh: {}", quad_stats(&mesh));
-    println!(
-        "backend: {} threads={} ranks={} prefetch={:?} persistent={}",
-        config.backend, config.threads, args.ranks, config.prefetch_distance, args.persistent
-    );
+    if is_rank0 {
+        println!("mesh: {}", quad_stats(&mesh));
+        println!(
+            "backend: {} threads={} ranks={} transport={} prefetch={:?} persistent={}",
+            config.backend,
+            config.threads,
+            args.ranks,
+            args.transport,
+            config.prefetch_distance,
+            args.persistent
+        );
+    }
 
     if args.ranks > 1 {
-        let shp = shard::ShardedProblem::declare(config, &mesh, args.ranks);
+        let shp = match args.rank_id {
+            // Child of the process launcher: this process hosts exactly
+            // one rank and exchanges real bytes with its peers.
+            Some(rank) => {
+                let dir = args
+                    .rendezvous
+                    .as_ref()
+                    .expect("--rank-id needs --rendezvous");
+                let t: Arc<dyn Transport> = Arc::new(
+                    ProcessTransport::connect_unix(dir, rank, args.ranks)
+                        .expect("rendezvous with peer rank processes"),
+                );
+                shard::ShardedProblem::declare_with_transport(config, &mesh, t)
+            }
+            None => shard::ShardedProblem::declare(config, &mesh, args.ranks),
+        };
         let result = shard::run_sharded(
             &shp,
             &SolverConfig {
@@ -107,31 +222,46 @@ fn main() {
                 print_every: args.print_every,
             },
         );
-        println!(
-            "completed {} iters on {} ranks in {:.3}s  ({:.2} ms/iter), final rms = {:.6e}",
-            args.iters,
-            args.ranks,
-            result.elapsed.as_secs_f64(),
-            result.elapsed.as_secs_f64() * 1e3 / args.iters as f64,
-            result.final_rms()
-        );
-        for (r, part) in shp.parts.iter().enumerate() {
+        if is_rank0 {
             println!(
-                "  rank {r}: {} owned cells, {} halo rows, {} edges ({} interior)",
+                "completed {} iters on {} ranks in {:.3}s  ({:.2} ms/iter), final rms = {:.6e}",
+                args.iters,
+                args.ranks,
+                result.elapsed.as_secs_f64(),
+                result.elapsed.as_secs_f64() * 1e3 / args.iters as f64,
+                result.final_rms()
+            );
+            if let Some(path) = &args.rms_out {
+                let mut f = std::fs::File::create(path).expect("create --rms-out file");
+                for v in &result.rms_history {
+                    writeln!(f, "{v:.17e}").expect("write --rms-out file");
+                }
+            }
+        }
+        let first = shp.group.local_ranks().start;
+        for (i, part) in shp.parts.iter().enumerate() {
+            println!(
+                "  rank {}: {} owned cells, {} halo rows, {} edges ({} interior)",
+                first + i,
                 part.cells.size(),
                 part.n_halo_cells,
                 part.edges.size(),
                 part.n_interior_edges
             );
         }
-        for (name, dat) in [("q", &shp.parts[0].p_q), ("adt", &shp.parts[0].p_adt)] {
-            if let Some(st) = implicit_halo_stats(dat) {
-                println!(
-                    "  implicit halo [{name}]: {} pair exchanges, {} refresh checks, {} skipped clean",
-                    st.pair_exchanges, st.refresh_calls, st.skipped_clean
-                );
+        if is_rank0 {
+            for (name, dat) in [("q", &shp.parts[0].p_q), ("adt", &shp.parts[0].p_adt)] {
+                if let Some(st) = implicit_halo_stats(dat) {
+                    println!(
+                        "  implicit halo [{name}]: {} pair exchanges, {} refresh checks, {} skipped clean",
+                        st.pair_exchanges, st.refresh_calls, st.skipped_clean
+                    );
+                }
             }
         }
+        // Whole-job rendezvous before teardown so no process unlinks its
+        // socket while a peer is still draining.
+        shp.group.barrier();
         return;
     }
 

@@ -59,11 +59,13 @@
 //! redundantly by both ranks), so exchanging them would be pure waste.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
 use op2_core::hpx_rt::SharedFuture;
 use op2_core::locality::{HaloSpec, LocalityGroup};
+use op2_core::transport::{InProcessTransport, Transport};
 use op2_core::{Dat, Global, LoopHandle, Map, Op2Config, ReducedFuture, Set};
 use op2_mesh::{build_halo, neighbors_from_pairs, partition_greedy_bfs, QuadMesh};
 
@@ -115,9 +117,11 @@ pub struct RankProblem {
 /// The sharded Airfoil problem: the rank contexts, their local problems,
 /// and the cell halo spec shared by `q`/`adt`/`res`.
 pub struct ShardedProblem {
-    /// The simulated ranks (shared worker pool).
+    /// The rank contexts hosted by this process (shared worker pool).
     pub group: LocalityGroup,
-    /// Per-rank local problems.
+    /// Local problems of the *locally hosted* ranks: `parts[i]` belongs to
+    /// global rank `group.local_ranks().start + i` (all ranks under the
+    /// default in-process transport).
     pub parts: Vec<RankProblem>,
     /// Cell halo exchange spec in local row numbering.
     pub cell_spec: HaloSpec,
@@ -132,9 +136,25 @@ pub struct ShardedProblem {
 
 impl ShardedProblem {
     /// Partitions `mesh` into `nranks` shards and declares every rank's
-    /// local problem (see module docs). Deterministic: the same mesh and
-    /// rank count always produce the same shards.
+    /// local problem, all in this process (see module docs).
+    /// Deterministic: the same mesh and rank count always produce the
+    /// same shards.
     pub fn declare(config: Op2Config, mesh: &QuadMesh, nranks: usize) -> ShardedProblem {
+        Self::declare_with_transport(config, mesh, Arc::new(InProcessTransport::new(nranks)))
+    }
+
+    /// [`ShardedProblem::declare`] over an explicit [`Transport`] — the
+    /// distributed (SPMD) entry point: every participating process calls
+    /// this with the same mesh, partitions it identically (the partition
+    /// and halo derivation are deterministic), but declares sets, maps and
+    /// dats only for its *locally hosted* ranks. The [`HaloSpec`] stays
+    /// global so peers agree on traffic without negotiation.
+    pub fn declare_with_transport(
+        config: Op2Config,
+        mesh: &QuadMesh,
+        transport: Arc<dyn Transport>,
+    ) -> ShardedProblem {
+        let nranks = transport.nranks();
         assert!(
             nranks >= 1 && nranks <= mesh.ncell,
             "rank count must be in 1..=ncell"
@@ -142,15 +162,15 @@ impl ShardedProblem {
         let adj = neighbors_from_pairs(&mesh.edge_cells, mesh.ncell);
         let part = partition_greedy_bfs(&adj, nranks);
         let halo = build_halo(&part, &mesh.edge_cells, 2);
-        let group = LocalityGroup::new(config, nranks);
+        let group = LocalityGroup::with_transport(config, transport);
+        let local = group.local_ranks();
         let qinf = qinf();
 
-        let mut parts = Vec::with_capacity(nranks);
+        let mut parts = Vec::with_capacity(local.len());
         let mut owned_cells = Vec::with_capacity(nranks);
         let mut spec = HaloSpec::empty(nranks);
 
         for r in 0..nranks {
-            let op2 = group.rank(r);
             let owned = part.owned(r);
             let n_owned = owned.len();
 
@@ -179,6 +199,13 @@ impl ShardedProblem {
                     .map(|&c| g2l_cell[c as usize])
                     .collect();
             }
+
+            // The spec is global; the entities below are per-process.
+            if !local.contains(&r) {
+                owned_cells.push(owned);
+                continue;
+            }
+            let op2 = group.rank(r);
 
             // Local edges: interior (both cells owned) first, boundary
             // after, each ascending in global order.
@@ -326,8 +353,13 @@ impl ShardedProblem {
     }
 
     /// Assembles the global solution vector from the ranks' owned rows
-    /// (waits for pending writers).
+    /// (waits for pending writers). All-local groups only: a distributed
+    /// process holds just its own shard of the solution.
     pub fn gather_q(&self) -> Vec<f64> {
+        assert!(
+            self.group.transport().all_local(),
+            "gather_q needs every rank's rows in this process"
+        );
         let mut q = vec![0.0f64; self.ncell_global * 4];
         for (r, part) in self.parts.iter().enumerate() {
             let local = part.p_q.read();
@@ -347,6 +379,10 @@ impl ShardedProblem {
 /// compute under the Dataflow backend; see module docs).
 pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
     let nranks = shp.parts.len();
+    let first = shp.group.local_ranks().start;
+    // Under a distributed transport every process computes the reduced
+    // residual, but only the process hosting rank 0 prints it.
+    let prints_here = shp.group.local_ranks().contains(&0);
     let ncell = shp.ncell_global;
     let t0 = Instant::now();
 
@@ -360,7 +396,7 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
 
     for iter in 1..=cfg.niter {
         for (r, p) in shp.parts.iter().enumerate() {
-            let op2 = shp.group.rank(r);
+            let op2 = shp.group.rank(first + r);
             op2.loop_("save_soln", &p.cells)
                 .arg(read(&p.p_q))
                 .arg(write(&p.p_qold))
@@ -370,7 +406,7 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
         let mut last_update: Option<(Vec<Global<f64>>, Vec<LoopHandle>)> = None;
         for _k in 0..2 {
             for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(r);
+                let op2 = shp.group.rank(first + r);
                 op2.loop_("adt_calc", &p.cells)
                     .arg(read_via(&p.p_x, &p.pcell, 0))
                     .arg(read_via(&p.p_x, &p.pcell, 1))
@@ -396,7 +432,7 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
             // rows' writers — `update` for q, `adt_calc` for adt — and
             // receives gate only res_calc's boundary blocks).
             for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(r);
+                let op2 = shp.group.rank(first + r);
                 op2.loop_("res_calc", &p.edges)
                     .arg(read_via(&p.p_x, &p.pedge, 0))
                     .arg(read_via(&p.p_x, &p.pedge, 1))
@@ -421,7 +457,7 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
             }
 
             for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(r);
+                let op2 = shp.group.rank(first + r);
                 let qinf = p.qinf;
                 op2.loop_("bres_calc", &p.bedges)
                     .arg(read_via(&p.p_x, &p.pbedge, 0))
@@ -445,7 +481,7 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
             let mut step_rms = Vec::with_capacity(nranks);
             let mut step_handles = Vec::with_capacity(nranks);
             for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(r);
+                let op2 = shp.group.rank(first + r);
                 let rms = Global::<f64>::sum(1, "rms");
                 let h = op2
                     .loop_("update", &p.cells)
@@ -475,7 +511,7 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
         // rank order, and the total is a future — no rank's pipeline
         // drains here, even when printing every iteration.
         let red = shp.group.allreduce(&rms);
-        if cfg.print_every > 0 && iter % cfg.print_every == 0 {
+        if prints_here && cfg.print_every > 0 && iter % cfg.print_every == 0 {
             let after: Vec<SharedFuture<()>> = last_print.iter().cloned().collect();
             let ncell_f = ncell as f64;
             last_print = Some(red.then_after(&after, move |v| {

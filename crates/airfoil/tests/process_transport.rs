@@ -1,0 +1,73 @@
+//! End-to-end multi-process acceptance: `airfoil --transport process`
+//! must spawn one real OS process per rank, rendezvous over Unix-domain
+//! sockets, and reproduce the in-process sharded run's residual history.
+//!
+//! The binary under test is the crate's own `airfoil` CLI (resolved via
+//! `CARGO_BIN_EXE_airfoil`); `--rms-out` gives us rank 0's full residual
+//! history to diff against the in-process reference.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const RANKS: usize = 4;
+
+fn run_airfoil(transport: &str, rms_out: &PathBuf) {
+    let status = Command::new(env!("CARGO_BIN_EXE_airfoil"))
+        .args([
+            "--cells",
+            "800",
+            "--iters",
+            "8",
+            "--threads",
+            "2",
+            "--ranks",
+            &RANKS.to_string(),
+            "--print-every",
+            "0",
+            "--transport",
+            transport,
+            "--rms-out",
+        ])
+        .arg(rms_out)
+        .status()
+        .expect("launch airfoil binary");
+    assert!(
+        status.success(),
+        "airfoil --transport {transport}: {status}"
+    );
+}
+
+fn read_history(path: &PathBuf) -> Vec<f64> {
+    let text = std::fs::read_to_string(path).expect("read rms history");
+    text.lines()
+        .map(|l| l.trim().parse().expect("rms line"))
+        .collect()
+}
+
+/// Spawns the 4-process run and the in-process run and compares their
+/// residual histories iteration by iteration. The tolerance matches the
+/// sharded-vs-serial equivalence tests: both runs shard identically, so
+/// only the allreduce combine shape (tree vs star-with-tree-combine, built
+/// to be bitwise identical) and scatter timing can differ.
+#[test]
+fn four_process_run_matches_in_process() {
+    let dir = std::env::temp_dir().join(format!("airfoil-proc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let proc_out = dir.join("rms-process.txt");
+    let inproc_out = dir.join("rms-inproc.txt");
+
+    run_airfoil("process", &proc_out);
+    run_airfoil("inproc", &inproc_out);
+
+    let got = read_history(&proc_out);
+    let expected = read_history(&inproc_out);
+    assert_eq!(got.len(), expected.len(), "iteration counts differ");
+    assert!(!got.is_empty(), "empty residual history");
+    for (i, (a, b)) in got.iter().zip(&expected).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "iteration {i}: process rms {a} vs in-process {b}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

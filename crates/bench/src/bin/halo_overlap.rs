@@ -117,7 +117,7 @@ fn run_ring(
                     q[0] = v;
                 });
         }
-        let recvs = exchange_with(group.ranks(), &qs, &spec, &opts);
+        let recvs = exchange_with(&group, &qs, &spec, &opts);
         if schedule == Schedule::BulkSync {
             for row in &recvs {
                 for f in row {

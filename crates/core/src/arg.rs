@@ -354,10 +354,15 @@ impl<T: OpType, A: AccessTag> DatArg<T, A> {
     /// Shared implicit-communication trigger: only an *indirect* argument
     /// through a halo-capable map can observe halo mirror rows (loops
     /// iterate the owned prefix, so direct arguments never reach them).
+    /// Under a distributed transport the halo-capability cut is dropped:
+    /// whether *this* rank's map reaches its halo says nothing about the
+    /// peer's, and both sides must fire at the same program points (SPMD
+    /// symmetry — see [`crate::locality`]); the ring resolves stale
+    /// exports there.
     fn halo_refresh_impl(&self) {
         if let Some((m, slot)) = &self.map {
-            if m.halo_targets() > 0 {
-                if let Some((rank, ring)) = self.dat.halo_ring() {
+            if let Some((rank, ring)) = self.dat.halo_ring() {
+                if m.halo_targets() > 0 || ring.spmd_mode() {
                     ring.refresh_for_read(*rank, m, *slot);
                 }
             }

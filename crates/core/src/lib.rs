@@ -55,6 +55,7 @@ mod map;
 mod par_loop;
 pub mod plan;
 mod set;
+pub mod transport;
 mod types;
 mod world;
 

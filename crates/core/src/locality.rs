@@ -1,22 +1,26 @@
-//! Multi-locality sharding: simulated ranks and asynchronous halo
-//! exchange over channel LCOs.
+//! Multi-locality sharding: rank contexts and asynchronous halo exchange
+//! over a pluggable [`Transport`].
 //!
 //! The paper's endgame (§VI: "HPX can run distributed") is OP2 loops over
 //! a *partitioned* mesh where halo communication hides behind futures
 //! instead of bulk-synchronous MPI exchanges. This module provides the
-//! runtime side of that design, simulated inside one process:
+//! runtime side of that design:
 //!
-//! * a [`LocalityGroup`] holds one [`Op2`] context per **rank**. Every
-//!   rank declares its own shard of each set/map/dat (the partitioner in
-//!   `op2-mesh` computes who owns what); all ranks share a single worker
-//!   pool so their tasks interleave like HPX localities on one node.
+//! * a [`LocalityGroup`] holds one [`Op2`] context per **locally hosted
+//!   rank**. Under the default [`InProcessTransport`] all ranks live in
+//!   one process and share a single worker pool, so their tasks interleave
+//!   like HPX localities on one node; under a [`ProcessTransport`] each OS
+//!   process hosts its slice of the ranks and peers exchange real bytes
+//!   over Unix-domain sockets.
 //! * each sharded dat is declared with [`Op2::decl_dat_halo`]: its owned
 //!   rows first, then **halo mirror rows** for the remote-owned elements
 //!   its loops reach, grouped contiguously by owner rank.
 //! * [`exchange`] refreshes the halo: for every (sender, receiver) pair it
 //!   schedules a **send node** (gathers the exported rows once their
-//!   writers finish, pushes them through a one-shot channel LCO) and a
-//!   **receive node** (pops the channel and scatters into the halo rows).
+//!   writers finish, hands them to the transport) and a **receive node**
+//!   (gated on the transport's [`Delivery`], scatters into the halo rows).
+//!   Only the halves whose rank is locally hosted are scheduled; the
+//!   transport's sequence counters match them with the peer's halves.
 //!
 //! The crucial property is *what the receive node registers as*: a writer
 //! of the halo blocks in the dat's per-block epoch table — exactly like a
@@ -66,6 +70,45 @@
 //! chains behind it through the ordinary collect-then-record discipline,
 //! so no dependency is lost.
 //!
+//! ## SPMD symmetry under distributed transports
+//!
+//! When the transport is not [`Transport::all_local`], every process runs
+//! the same program over its own shard (SPMD) and the two endpoints of a
+//! pair must *independently* agree, per program point, on whether an
+//! exchange fires — that is what keeps the per-`(kind, src → dst)`
+//! sequence counters aligned without header negotiation. The protocol
+//! therefore tightens in two ways in distributed mode:
+//!
+//! * a mutation marks the **whole** dirty matrix (every rank executes the
+//!   same mutating loop on its shard, so all exports everywhere are stale
+//!   — the local process cannot observe remote mutations, it can only
+//!   mirror them);
+//! * the per-map **reachability cut is disabled** (it depends on the
+//!   reading rank's private map contents, which the exporting side cannot
+//!   see), and a stale-read refresh on rank `r` both *receives* `r`'s
+//!   stale imports and *sends* `r`'s stale exports — the matching halves
+//!   fire at the same program point on the peer.
+//!
+//! # Wire format
+//!
+//! Transports move rows in one canonical encoding whatever the physical
+//! layout (AoS/SoA) on either end:
+//!
+//! * a [`MsgKind::Halo`] payload is the exported rows in export-list
+//!   order, each row `dim` scalars **row-major**, every scalar
+//!   little-endian fixed-width (`usize`/`isize` widened to 64 bits,
+//!   `bool` one byte — see [`crate::transport::WireScalar`]); this is
+//!   exactly what the layout-aware gather produces and the scatter
+//!   re-strides.
+//! * a [`MsgKind::Reduce`] payload is a `Global`'s `dim` partial values,
+//!   same scalar encoding.
+//! * multi-process framing (Unix-domain sockets): a 32-byte header
+//!   `magic u32 | kind u8 | flags u8 | pad u16 | src u32 | dst u32 |
+//!   seq u64 | len u64` (little-endian), then `len` payload bytes; flag
+//!   bit 0 marks an **abandoned** exchange (no payload follows).
+//!   Messages are matched by `(kind, src, dst, seq)` where `seq` is the
+//!   per-`(kind, src → dst)` stream counter of [`Transport::next_seq`].
+//!
 //! ```
 //! use op2_core::locality::{exchange, HaloSpec, LocalityGroup};
 //! use op2_core::Op2Config;
@@ -82,7 +125,7 @@
 //! spec.import_range[0][1] = 4..6;
 //! spec.validate().unwrap();
 //!
-//! let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+//! let recvs = exchange(&group, &[q0.clone(), q1], &spec);
 //! recvs[0][1].wait();
 //! assert_eq!(&q0.snapshot()[4..6], &[7.0, 8.0]);
 //! ```
@@ -94,52 +137,110 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use hpx_rt::lco::oneshot;
 use hpx_rt::{schedule_after, Runtime, SharedFuture};
 
 use crate::config::Op2Config;
 use crate::dat::Dat;
 use crate::gbl::{Global, ReducedFuture, Reducible};
 use crate::map::Map;
+use crate::transport::{
+    decode_scalars, encode_scalars, Delivery, InProcessTransport, MsgKind, SendGuard, Transport,
+};
 use crate::types::{next_loop_gen, OpType};
 use crate::world::{CommHooks, Op2};
 
-/// A group of simulated ranks sharing one worker pool (see module docs).
+/// A group of ranks on one runtime, wired to their peers through a
+/// [`Transport`] (see module docs). Under the default in-process transport
+/// the group hosts *every* rank; under a multi-process transport it hosts
+/// the local slice and [`LocalityGroup::rank`] accepts only those ids.
 pub struct LocalityGroup {
+    /// Contexts of the locally hosted ranks; global id = `first + index`.
     ranks: Vec<Op2>,
+    first: usize,
+    transport: Arc<dyn Transport>,
 }
 
 impl LocalityGroup {
-    /// Creates `nranks` contexts with `config` on a shared runtime.
+    /// Creates `nranks` contexts with `config` on a shared runtime, all in
+    /// this process (an [`InProcessTransport`]).
     pub fn new(config: Op2Config, nranks: usize) -> Self {
         assert!(nranks >= 1, "a locality group needs at least one rank");
+        Self::with_transport(config, Arc::new(InProcessTransport::new(nranks)))
+    }
+
+    /// Creates one context per *locally hosted* rank of `transport`, all
+    /// sharing one runtime. This is the distributed entry point: every
+    /// participating process builds its own group over its
+    /// [`ProcessTransport`] and runs the same program (SPMD).
+    pub fn with_transport(config: Op2Config, transport: Arc<dyn Transport>) -> Self {
+        let local = transport.local_ranks();
+        assert!(
+            !local.is_empty(),
+            "a locality group needs at least one rank"
+        );
         let rt = Arc::new(Runtime::with_name(config.threads, "op2-locality"));
-        let ranks = (0..nranks)
+        let ranks = local
+            .clone()
             .map(|_| Op2::with_runtime(config.clone(), Arc::clone(&rt)))
             .collect();
-        LocalityGroup { ranks }
+        LocalityGroup {
+            ranks,
+            first: local.start,
+            transport,
+        }
     }
 
-    /// Number of ranks.
+    /// Total number of ranks in the job (across all processes).
     pub fn nranks(&self) -> usize {
-        self.ranks.len()
+        self.transport.nranks()
     }
 
-    /// The context of one rank.
+    /// The global ids of the ranks hosted by this group.
+    pub fn local_ranks(&self) -> Range<usize> {
+        self.first..self.first + self.ranks.len()
+    }
+
+    /// The transport moving bytes between ranks.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// The context of one locally hosted rank (global id).
+    ///
+    /// # Panics
+    ///
+    /// If rank `r` is not hosted by this process.
     pub fn rank(&self, r: usize) -> &Op2 {
-        &self.ranks[r]
+        assert!(
+            self.local_ranks().contains(&r),
+            "rank {r} is not hosted here (local ranks {:?})",
+            self.local_ranks()
+        );
+        &self.ranks[r - self.first]
     }
 
-    /// All rank contexts, indexable by rank id.
+    /// All locally hosted rank contexts; index `i` is global rank
+    /// `local_ranks().start + i`.
     pub fn ranks(&self) -> &[Op2] {
         &self.ranks
     }
 
-    /// Fences every rank — the whole-group global synchronization point.
+    fn first_local(&self) -> &Op2 {
+        &self.ranks[0]
+    }
+
+    /// Fences every locally hosted rank — the process-level global
+    /// synchronization point.
     pub fn fence(&self) {
         for r in &self.ranks {
             r.fence();
         }
+    }
+
+    /// A whole-job rendezvous over the transport: returns once every rank
+    /// of the job entered. Immediate for all-local groups.
+    pub fn barrier(&self) {
+        crate::transport::barrier(&self.transport);
     }
 
     /// [`link_halo`] as a method: enables implicit, dirty-bit-driven halo
@@ -154,46 +255,71 @@ impl LocalityGroup {
     }
 
     /// Schedules an **asynchronous cross-rank allreduce** of the per-rank
-    /// globals (`globals[r]` is rank `r`'s shard of one logical reduction,
-    /// e.g. the per-rank Airfoil `rms`): each rank contributes its fully
-    /// finalized value into a reduction-tree LCO
-    /// ([`hpx_rt::lco::collect`]), and the combined result becomes a
-    /// [`ReducedFuture`] — nothing blocks the submitting thread.
+    /// globals (`globals[i]` is local rank `local_ranks().start + i`'s
+    /// shard of one logical reduction, e.g. the per-rank Airfoil `rms`):
+    /// each rank contributes its fully finalized value, and the combined
+    /// result becomes a [`ReducedFuture`] — nothing blocks the submitting
+    /// thread.
     ///
     /// Per rank one **contribution node** is scheduled, gated on exactly
     /// that rank's outstanding incrementing loops (its `Global` wait-set),
     /// so a rank whose update finished early contributes immediately while
     /// slower ranks are still computing — and the whole reduce overlaps
     /// the next iteration's interior compute instead of draining every
-    /// rank's pipeline the way a host-side `get_scalar` sum does. Values
-    /// are combined pairwise up a tree whose shape is fixed by rank index,
-    /// so the floating-point result is deterministic for a given rank
-    /// count. `opts.link_delay` (shared with [`exchange_with`]) injects a
-    /// per-contribution delay modelling the interconnect.
+    /// rank's pipeline the way a host-side `get_scalar` sum does.
+    ///
+    /// All-local groups combine pairwise up a [`hpx_rt::lco::collect`]
+    /// tree whose shape is fixed by rank index; `opts.link_delay` defers
+    /// each contribution's *delivery* on the shared timer thread (no
+    /// runtime worker sleeps). Distributed groups run partial → rank 0 →
+    /// combine in the *same tree order* → broadcast over
+    /// [`MsgKind::Reduce`] messages, so the floating-point result is
+    /// deterministic and transport-independent for a given rank count.
     ///
     /// The nodes are tracked per rank, so [`LocalityGroup::fence`] makes
     /// the future ready.
     ///
     /// # Panics
     ///
-    /// If `globals.len() != nranks`, or the globals disagree on `dim` or
-    /// reduction operator.
+    /// If `globals.len()` differs from the number of locally hosted
+    /// ranks, or the globals disagree on `dim` or reduction operator.
     pub fn allreduce_with<T: Reducible>(
         &self,
         globals: &[Global<T>],
         opts: &ExchangeOpts,
     ) -> ReducedFuture<T> {
-        let n = self.nranks();
-        assert_eq!(globals.len(), n, "one global shard per rank");
+        assert_eq!(
+            globals.len(),
+            self.ranks.len(),
+            "one global shard per locally hosted rank"
+        );
         let dim = globals[0].dim();
         let op = globals[0].op();
-        for (r, g) in globals.iter().enumerate() {
+        for (i, g) in globals.iter().enumerate() {
+            let r = self.first + i;
             assert_eq!(g.dim(), dim, "rank {r}: allreduce dim mismatch");
             assert_eq!(g.op(), op, "rank {r}: allreduce operator mismatch");
         }
         hpx_rt::static_counter!("op2.reduce.allreduces").fetch_add(1, Ordering::Relaxed);
-        hpx_rt::static_counter!("op2.reduce.contributions").fetch_add(n as u64, Ordering::Relaxed);
+        hpx_rt::static_counter!("op2.reduce.contributions")
+            .fetch_add(globals.len() as u64, Ordering::Relaxed);
+        if self.transport.all_local() {
+            self.allreduce_local(globals, opts)
+        } else {
+            self.allreduce_distributed(globals, opts)
+        }
+    }
 
+    /// All ranks in-process: one collect-tree LCO, contributions fulfilled
+    /// directly (deferred on the timer thread under an injected delay —
+    /// the pre-PR 7 implementation slept on a runtime worker instead).
+    fn allreduce_local<T: Reducible>(
+        &self,
+        globals: &[Global<T>],
+        opts: &ExchangeOpts,
+    ) -> ReducedFuture<T> {
+        let n = self.ranks.len();
+        let op = globals[0].op();
         let (contribs, value) = hpx_rt::lco::collect(n, move |a: Vec<T>, b: Vec<T>| {
             hpx_rt::static_counter!("op2.reduce.combines").fetch_add(1, Ordering::Relaxed);
             a.iter()
@@ -202,33 +328,169 @@ impl LocalityGroup {
                 .collect()
         });
         let delay = opts.link_delay;
-        let rt = self.rank(0).runtime_arc();
-        let mut nodes: Vec<SharedFuture<()>> = Vec::with_capacity(n);
-        for (r, c) in contribs.into_iter().enumerate() {
-            let hooks = self.rank(r).comm_hooks();
-            let deps = globals[r].pending_snapshot();
-            let gbl = globals[r].clone();
+        let rt = self.first_local().runtime_arc();
+        let mut nodes: Vec<SharedFuture<()>> = Vec::with_capacity(n + 1);
+        for (i, c) in contribs.into_iter().enumerate() {
+            let hooks = self.ranks[i].comm_hooks();
+            let deps = globals[i].pending_snapshot();
+            let gbl = globals[i].clone();
             let node = schedule_after(hooks.runtime(), &deps, move || {
-                if let Some(d) = delay {
-                    std::thread::sleep(d);
+                let v = gbl.value_snapshot();
+                match delay {
+                    // Model link latency by *rescheduling* the delivery on
+                    // the shared timer thread; the worker that ran this
+                    // node is immediately free to execute overlap compute.
+                    Some(d) => hpx_rt::timing::defer(d, move || c.set(v)),
+                    None => c.set(v),
                 }
-                c.set(gbl.value_snapshot());
             });
             // The contribution node joins the rank-global's wait-set so a
             // subsequent reset/set/incrementing loop on it orders after
             // this read (same discipline as `Global::reduce_on`).
-            globals[r].record_completion(&node);
+            globals[i].record_completion(&node);
             hooks.track(node.clone());
             nodes.push(node);
         }
-        // Join node: ready only after every contribution node ran — and the
-        // final contribution fulfills `value` inside its node, so the
-        // ReducedFuture invariant (done ⊇ value ready) holds.
+        // Join node: with deferred contributions a node's completion no
+        // longer implies its value was set, so `done` additionally gates
+        // on the collect result itself — preserving the ReducedFuture
+        // invariant (done ⊇ value ready). A broken collective (skipped
+        // contribution) panics `value`, which propagates here instead of
+        // hanging.
+        nodes.push(value.then(&rt, |_| ()).share());
         let done = schedule_after(&rt, &nodes, || ());
-        let hooks0 = self.rank(0).comm_hooks();
+        let hooks0 = self.first_local().comm_hooks();
         hooks0.track(done.clone());
         ReducedFuture::from_parts(value, done, rt, hooks0)
     }
+
+    /// Distributed: every rank sends its partial to rank 0 over the
+    /// transport; rank 0 combines **in collect-tree order** (identical
+    /// floating-point result to the all-local tree) and broadcasts the
+    /// total back.
+    fn allreduce_distributed<T: Reducible>(
+        &self,
+        globals: &[Global<T>],
+        opts: &ExchangeOpts,
+    ) -> ReducedFuture<T> {
+        let n = self.nranks();
+        let op = globals[0].op();
+        let delay = opts.link_delay;
+        let transport = Arc::clone(&self.transport);
+        let rt = self.first_local().runtime_arc();
+        // `value` is fulfilled exactly once per process: by rank 0's
+        // combine node if hosted here, else by the first local rank's
+        // broadcast-receive node.
+        let (mut contrib, value) = hpx_rt::lco::collect(1, |a: Vec<T>, _| a);
+        let mut nodes: Vec<SharedFuture<()>> = Vec::new();
+
+        for (i, gbl) in globals.iter().enumerate() {
+            let r = self.first + i;
+            let hooks = self.ranks[i].comm_hooks();
+            if r == 0 {
+                // Star root: gate on rank 0's own wait-set plus every
+                // other rank's partial; combine; broadcast.
+                let ups: Vec<(usize, Delivery)> = (1..n)
+                    .map(|s| {
+                        let seq = transport.next_seq(MsgKind::Reduce, s, 0);
+                        (s, transport.recv(MsgKind::Reduce, s, 0, seq))
+                    })
+                    .collect();
+                let down_seqs: Vec<u64> = (1..n)
+                    .map(|s| transport.next_seq(MsgKind::Reduce, 0, s))
+                    .collect();
+                let mut deps = gbl.pending_snapshot();
+                for (_, d) in &ups {
+                    deps.push(d.ready().clone());
+                }
+                let g0 = gbl.clone();
+                let t2 = Arc::clone(&transport);
+                let c = contrib.pop().expect("collect(1) yields one contribution");
+                let node = schedule_after(hooks.runtime(), &deps, move || {
+                    let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
+                    parts.push(g0.value_snapshot());
+                    for (s, d) in &ups {
+                        let bytes = d.take().unwrap_or_else(|| {
+                            panic!("allreduce: contribution from rank {s} was abandoned")
+                        });
+                        parts.push(decode_scalars(&bytes));
+                    }
+                    let total = tree_combine(parts, op);
+                    let bytes = encode_scalars(&total);
+                    for (k, s) in (1..n).enumerate() {
+                        t2.send(MsgKind::Reduce, 0, s, down_seqs[k], delay, bytes.clone());
+                    }
+                    c.set(total);
+                });
+                gbl.record_completion(&node);
+                hooks.track(node.clone());
+                nodes.push(node);
+            } else {
+                // Leaf: send the partial up once the wait-set drains
+                // (under a SendGuard so a skipped node abandons instead of
+                // stranding rank 0), then receive the broadcast total.
+                let seq_up = transport.next_seq(MsgKind::Reduce, r, 0);
+                let guard = SendGuard::new(Arc::clone(&transport), MsgKind::Reduce, r, 0, seq_up);
+                let deps = gbl.pending_snapshot();
+                let g = gbl.clone();
+                let node = schedule_after(hooks.runtime(), &deps, move || {
+                    guard.send(delay, encode_scalars(&g.value_snapshot()));
+                });
+                gbl.record_completion(&node);
+                hooks.track(node.clone());
+                nodes.push(node);
+
+                let seq_down = transport.next_seq(MsgKind::Reduce, 0, r);
+                let d = transport.recv(MsgKind::Reduce, 0, r, seq_down);
+                let down_deps = [d.ready().clone()];
+                let c = contrib.pop();
+                let result = schedule_after(hooks.runtime(), &down_deps, move || {
+                    let bytes = d
+                        .take()
+                        .unwrap_or_else(|| panic!("allreduce: total from rank 0 was abandoned"));
+                    let total: Vec<T> = decode_scalars(&bytes);
+                    if let Some(c) = c {
+                        c.set(total);
+                    }
+                });
+                hooks.track(result.clone());
+                nodes.push(result);
+            }
+        }
+        // `value` is set inside one of the nodes above, so gating `done`
+        // on all of them preserves the ReducedFuture invariant.
+        let done = schedule_after(&rt, &nodes, || ());
+        let hooks0 = self.first_local().comm_hooks();
+        hooks0.track(done.clone());
+        ReducedFuture::from_parts(value, done, rt, hooks0)
+    }
+}
+
+/// Combines per-rank partials in the exact order of the
+/// [`hpx_rt::lco::collect`] pairwise tree (slot `i` joins `i ^ 1`, an
+/// unpaired trailing slot passes through), so the distributed star
+/// reproduces the all-local tree's floating-point result bit for bit.
+fn tree_combine<T: Reducible>(mut level: Vec<Vec<T>>, op: crate::gbl::ReduceOp) -> Vec<T> {
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => {
+                    hpx_rt::static_counter!("op2.reduce.combines").fetch_add(1, Ordering::Relaxed);
+                    next.push(
+                        a.iter()
+                            .zip(b)
+                            .map(|(&x, y)| T::combine(op, x, y))
+                            .collect(),
+                    );
+                }
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.pop().expect("tree_combine of at least one partial")
 }
 
 impl<T: Reducible> Global<T> {
@@ -238,16 +500,19 @@ impl<T: Reducible> Global<T> {
     /// single node gated on the *whole* wait-set — the cross-rank sum
     /// already lives in the shared accumulator, so no tree is needed; the
     /// surface just turns the read into a [`ReducedFuture`] like
-    /// [`LocalityGroup::allreduce`] does for per-rank shards.
+    /// [`LocalityGroup::allreduce`] does for per-rank shards. (Sharing an
+    /// accumulator requires shared memory: all-local groups only.)
     pub fn reduce_across(&self, group: &LocalityGroup) -> ReducedFuture<T> {
-        self.reduce_on(group.rank(0).runtime_arc(), group.rank(0).comm_hooks())
+        let r0 = group.first_local();
+        self.reduce_on(r0.runtime_arc(), r0.comm_hooks())
     }
 }
 
 impl std::fmt::Debug for LocalityGroup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LocalityGroup")
-            .field("nranks", &self.ranks.len())
+            .field("nranks", &self.nranks())
+            .field("local_ranks", &self.local_ranks())
             .finish()
     }
 }
@@ -260,7 +525,9 @@ impl std::fmt::Debug for LocalityGroup {
 /// sends to rank `s`; `import_range[s][r]` is the contiguous halo row
 /// range on rank `s` those values land in, in the same order. Halo rows
 /// are contiguous per peer because the shard builders group imports by
-/// owner rank.
+/// owner rank. The spec is *global*: every process carries all ranks'
+/// rows, which is what lets SPMD processes agree on traffic without
+/// negotiation.
 #[derive(Debug, Clone, Default)]
 pub struct HaloSpec {
     /// Number of ranks.
@@ -312,27 +579,30 @@ impl HaloSpec {
 /// Tuning knobs for [`exchange_with`].
 #[derive(Debug, Clone, Default)]
 pub struct ExchangeOpts {
-    /// Artificial per-message delay injected on the send side before the
-    /// value enters the channel — models interconnect latency so overlap
-    /// benchmarks and tests can measure how much of it interior compute
-    /// hides. `None` (the default) sends immediately.
+    /// Artificial per-message latency injected between gather and
+    /// delivery — models interconnect latency so overlap benchmarks and
+    /// tests can measure how much of it interior compute hides. The
+    /// in-process transport implements it by *deferred delivery* on the
+    /// shared timer thread (no runtime worker blocks); transports with
+    /// real wire latency ignore it. `None` (the default) delivers
+    /// immediately.
     pub link_delay: Option<Duration>,
 }
 
 /// [`exchange_with`] under default options.
 pub fn exchange<T: OpType>(
-    ranks: &[Op2],
+    group: &LocalityGroup,
     dats: &[Dat<T>],
     spec: &HaloSpec,
 ) -> Vec<Vec<SharedFuture<()>>> {
-    exchange_with(ranks, dats, spec, &ExchangeOpts::default())
+    exchange_with(group, dats, spec, &ExchangeOpts::default())
 }
 
-/// Schedules one asynchronous halo refresh of `dats` (one per rank, all
-/// shards of the same logical dat) according to `spec`, returning the
-/// receive-completion futures: `result[r][s]` completes when rank `r`'s
-/// halo rows from rank `s` are in place (already-ready for pairs with no
-/// traffic).
+/// Schedules one asynchronous halo refresh of `dats` (one per *locally
+/// hosted* rank, all shards of the same logical dat) according to `spec`,
+/// returning the receive-completion futures: `result[i][s]` completes when
+/// local rank `local_ranks().start + i`'s halo rows from global rank `s`
+/// are in place (already-ready for pairs with no traffic).
 ///
 /// Nothing blocks: per nonempty pair this schedules a gather/send node
 /// (after the exported rows' pending writers; registered as a *reader* of
@@ -340,24 +610,32 @@ pub fn exchange<T: OpType>(
 /// node (after the halo rows' pending readers and writers; registered as
 /// a *writer* of the halo blocks, which is what gates exactly the
 /// boundary blocks of subsequent consumer loops). Values travel through
-/// one-shot channel LCOs.
+/// the group's [`Transport`]; under a distributed transport only the
+/// locally hosted halves are scheduled here, matched with the peer's
+/// halves by sequence number (every process must call `exchange_with` at
+/// the same program point — SPMD).
 ///
-/// The receive node additionally lists the send node's completion among
-/// its dependencies and pops the channel with a non-blocking `try_recv`.
-/// This keeps every node *reactive*: a task that blocked mid-body on
-/// `recv()` would pin its stack frame while help-first execution nests
-/// other tasks above it, and a nested task whose sender transitively
-/// waits on the pinned node completing deadlocks the pool (observed with
-/// ≥ 3 ranks exchanging through one worker group).
+/// The receive node is gated on the transport [`Delivery`] and *takes* the
+/// payload non-blockingly. This keeps every node *reactive*: a task that
+/// blocked mid-body on a receive would pin its stack frame while
+/// help-first execution nests other tasks above it, and a nested task
+/// whose sender transitively waits on the pinned node completing
+/// deadlocks the pool (observed with ≥ 3 ranks exchanging through one
+/// worker group). An abandoned exchange (sender panicked upstream)
+/// completes the delivery with no payload and the receive degrades to a
+/// diagnostic no-op — the original panic is what reaches the fence.
 pub fn exchange_with<T: OpType>(
-    ranks: &[Op2],
+    group: &LocalityGroup,
     dats: &[Dat<T>],
     spec: &HaloSpec,
     opts: &ExchangeOpts,
 ) -> Vec<Vec<SharedFuture<()>>> {
     let n = spec.nranks;
-    assert_eq!(ranks.len(), n, "one Op2 context per rank");
-    assert_eq!(dats.len(), n, "one dat shard per rank");
+    assert_eq!(group.nranks(), n, "spec rank count matches the group");
+    let local = group.local_ranks();
+    let first = local.start;
+    assert_eq!(dats.len(), local.len(), "one dat shard per local rank");
+    let transport = group.transport();
     // All receive nodes of this exchange form one writer generation, like
     // the many nodes of one scattering loop: two peers' halo ranges may
     // share a dependency block, and distinct generations would supersede
@@ -365,84 +643,109 @@ pub fn exchange_with<T: OpType>(
     // generation (readers ignore it).
     let send_gen = next_loop_gen();
     let recv_gen = next_loop_gen();
-    let hooks: Vec<CommHooks> = ranks.iter().map(|r| r.comm_hooks()).collect();
-    let mut recvs: Vec<Vec<SharedFuture<()>>> =
-        (0..n).map(|_| vec![SharedFuture::ready(()); n]).collect();
+    let mut recvs: Vec<Vec<SharedFuture<()>>> = (0..local.len())
+        .map(|_| vec![SharedFuture::ready(()); n])
+        .collect();
 
+    // Every send half is scheduled before ANY receive half. A receive
+    // registers as a *writer* of the halo blocks; when a dat's halo rows
+    // share a dependency block with its exported owned rows (small shards),
+    // a send gather scheduled after a receive would wait on it — and with
+    // two SPMD schedulers doing this symmetrically, each rank's send waits
+    // its own receive while each receive waits the peer's send: deadlock.
+    // Sends-first gives exchange nodes a rank-agnostic topological level
+    // (sends below receives within one event), keeping the cross-rank wait
+    // graph acyclic.
+    let mut pending_recvs: Vec<(usize, usize, Range<usize>, u64)> = Vec::new();
     for src in 0..n {
         for dst in 0..n {
             let rows = &spec.export_rows[src][dst];
             if src == dst || rows.is_empty() {
                 continue;
             }
-            recvs[dst][src] = schedule_pair(
-                src,
-                dst,
-                &hooks[src],
-                &hooks[dst],
-                &dats[src],
-                &dats[dst],
-                rows,
-                spec.import_range[dst][src].clone(),
-                send_gen,
-                recv_gen,
-                opts,
+            let src_local = local.contains(&src);
+            let dst_local = local.contains(&dst);
+            if !src_local && !dst_local {
+                continue;
+            }
+            let range = spec.import_range[dst][src].clone();
+            assert_eq!(
+                rows.len(),
+                range.len(),
+                "halo spec {src}->{dst}: export/import length mismatch"
             );
+            let seq = transport.next_seq(MsgKind::Halo, src, dst);
+            if src_local {
+                let _send = schedule_send_half(
+                    src,
+                    dst,
+                    &group.ranks[src - first].comm_hooks(),
+                    &dats[src - first],
+                    rows,
+                    send_gen,
+                    seq,
+                    transport,
+                    opts,
+                );
+            }
+            if dst_local {
+                pending_recvs.push((src, dst, range, seq));
+            }
         }
+    }
+    for (src, dst, range, seq) in pending_recvs {
+        recvs[dst - first][src] = schedule_recv_half(
+            src,
+            dst,
+            &group.ranks[dst - first].comm_hooks(),
+            &dats[dst - first],
+            range,
+            recv_gen,
+            seq,
+            transport,
+        );
     }
     recvs
 }
 
-/// Schedules one (src → dst) gather/send + receive/scatter pair — the
-/// communication primitive shared by the manual [`exchange_with`] and the
-/// implicit [`HaloRing`] refresh. Returns the receive-completion future.
+/// Schedules the send half of one (src → dst) exchange on the locally
+/// hosted `src`: a gather node after the exported rows' pending writers,
+/// handing the canonical row-major payload to the transport under a
+/// [`SendGuard`] (a skipped or panicking node abandons the exchange so the
+/// receiver never hangs).
 #[allow(clippy::too_many_arguments)]
-fn schedule_pair<T: OpType>(
+fn schedule_send_half<T: OpType>(
     src: usize,
     dst: usize,
     src_hooks: &CommHooks,
-    dst_hooks: &CommHooks,
     dat_src: &Dat<T>,
-    dat_dst: &Dat<T>,
     rows: &[u32],
-    range: Range<usize>,
     send_gen: u64,
-    recv_gen: u64,
+    seq: u64,
+    transport: &Arc<dyn Transport>,
     opts: &ExchangeOpts,
 ) -> SharedFuture<()> {
-    assert_eq!(
-        rows.len(),
-        range.len(),
-        "halo spec {src}->{dst}: export/import length mismatch"
-    );
     assert!(
         rows.iter().all(|&r| (r as usize) < dat_src.set().size()),
         "halo spec {src}->{dst}: export rows must be owned rows of dat '{}' \
          (halo mirror rows hold possibly-stale copies and are never authoritative)",
         dat_src.name()
     );
-    assert!(
-        range.end <= dat_dst.total_rows() && range.start >= dat_dst.set().size(),
-        "halo spec {src}->{dst}: import range {range:?} outside the halo region of dat '{}'",
-        dat_dst.name()
-    );
-    let (tx, rx) = oneshot::<Vec<T>>();
-    let mut deps: Vec<SharedFuture<()>> = Vec::new();
-
-    // --- Send node on `src`: gather + push.
     let bsz = dat_src.dep_block_size().max(1);
     let mut blocks: Vec<usize> = rows.iter().map(|&r| r as usize / bsz).collect();
     blocks.sort_unstable();
     blocks.dedup();
+    let mut deps: Vec<SharedFuture<()>> = Vec::new();
     for &b in &blocks {
         dat_src.deps().collect_block(b, false, &mut deps);
     }
     let gather_rows: Arc<[u32]> = Arc::from(rows);
     let gather_dat = dat_src.clone();
     let delay = opts.link_delay;
+    let guard = SendGuard::new(Arc::clone(transport), MsgKind::Halo, src, dst, seq);
     let send_done = schedule_after(src_hooks.runtime(), &deps, move || {
         let dim = gather_dat.dim();
-        let mut buf = Vec::with_capacity(gather_rows.len() * dim);
+        let mut vals = Vec::with_capacity(gather_rows.len() * dim);
         for &row in gather_rows.iter() {
             // SAFETY: this node was scheduled after every pending
             // writer of the gathered blocks and is registered as a
@@ -450,43 +753,73 @@ fn schedule_pair<T: OpType>(
             // layout-aware gather keeps the wire format canonical
             // (row-major) whatever the dat's physical layout.
             unsafe {
-                gather_dat.append_row_to(row as usize, &mut buf);
+                gather_dat.append_row_to(row as usize, &mut vals);
             }
         }
-        if let Some(d) = delay {
-            std::thread::sleep(d);
-        }
-        // A dropped receiver means the exchange was abandoned
-        // (e.g. a panicking run); nothing to do.
-        let _ = tx.send(buf);
+        guard.send(delay, encode_scalars(&vals));
     });
     for &b in &blocks {
         dat_src.deps().record_block(b, false, send_gen, &send_done);
     }
     src_hooks.track(send_done.clone());
+    send_done
+}
 
-    // --- Receive node on `dst`: pop + scatter into the halo.
-    // Gated on the send's completion (the value is in the channel
-    // by then), never blocked mid-body — see above.
-    deps.clear();
+/// Schedules the receive half of one (src → dst) exchange on the locally
+/// hosted `dst`: a scatter node gated on the transport [`Delivery`] (plus
+/// the halo rows' pending readers/writers), registered as the halo
+/// blocks' writer. An abandoned exchange degrades to a diagnostic no-op.
+#[allow(clippy::too_many_arguments)]
+fn schedule_recv_half<T: OpType>(
+    src: usize,
+    dst: usize,
+    dst_hooks: &CommHooks,
+    dat_dst: &Dat<T>,
+    range: Range<usize>,
+    recv_gen: u64,
+    seq: u64,
+    transport: &Arc<dyn Transport>,
+) -> SharedFuture<()> {
+    assert!(
+        range.end <= dat_dst.total_rows() && range.start >= dat_dst.set().size(),
+        "halo spec {src}->{dst}: import range {range:?} outside the halo region of dat '{}'",
+        dat_dst.name()
+    );
+    let delivery = transport.recv(MsgKind::Halo, src, dst, seq);
+    let mut deps: Vec<SharedFuture<()>> = Vec::new();
     dat_dst.deps().collect_rows(&range, true, &mut deps);
-    deps.push(send_done);
+    deps.push(delivery.ready().clone());
     let scatter_dat = dat_dst.clone();
     let scatter_range = range.clone();
     let recv_done = schedule_after(dst_hooks.runtime(), &deps, move || {
         let dim = scatter_dat.dim();
-        let buf = rx
-            .try_recv()
-            .expect("send node completed without filling the channel")
-            .expect("halo sender dropped before sending");
-        assert_eq!(buf.len(), scatter_range.len() * dim, "halo payload size");
-        // SAFETY: scheduled after every pending reader and writer
-        // of the halo blocks, and registered as their writer, so
-        // this node has exclusive access to the rows. The payload is
-        // canonical row-major; the scatter re-strides it into the
-        // dat's physical layout.
-        unsafe {
-            scatter_dat.scatter_rows_from(scatter_range.start, &buf);
+        match delivery.take() {
+            Some(bytes) => {
+                let vals: Vec<T> = decode_scalars(&bytes);
+                assert_eq!(vals.len(), scatter_range.len() * dim, "halo payload size");
+                // SAFETY: scheduled after every pending reader and writer
+                // of the halo blocks, and registered as their writer, so
+                // this node has exclusive access to the rows. The payload
+                // is canonical row-major; the scatter re-strides it into
+                // the dat's physical layout.
+                unsafe {
+                    scatter_dat.scatter_rows_from(scatter_range.start, &vals);
+                }
+            }
+            None => {
+                // The sender abandoned the exchange (its gather was
+                // skipped by an upstream panic, or the peer died). Leave
+                // the mirror rows stale and let the *original* failure
+                // propagate through the sender's fence — panicking here
+                // would bury it under a secondary error.
+                hpx_rt::static_counter!("op2.transport.recvs_abandoned")
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "op2-halo: exchange {src}->{dst} abandoned by the sender; \
+                     halo rows {scatter_range:?} of '{}' left stale",
+                    scatter_dat.name()
+                );
+            }
         }
     });
     dat_dst
@@ -504,7 +837,8 @@ fn schedule_pair<T: OpType>(
 /// [`implicit_halo_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HaloStats {
-    /// (src → dst) pair exchanges actually scheduled.
+    /// (src → dst) pair exchanges actually scheduled (a distributed
+    /// process counts the pairs it scheduled at least one half of).
     pub pair_exchanges: u64,
     /// Loop submissions that checked this ring for stale imports.
     pub refresh_calls: u64,
@@ -514,18 +848,22 @@ pub struct HaloStats {
 }
 
 /// The shared state tying the per-rank shards of one logical dat together
-/// for implicit communication: halo spec, per-peer dirty bits, and the
-/// scheduling hooks of every rank (see the module-level dirty-bit
-/// protocol). Created by [`link_halo`]; not user-visible beyond
-/// [`HaloStats`].
+/// for implicit communication: halo spec, per-peer dirty bits, the
+/// scheduling hooks of every locally hosted rank, and the transport (see
+/// the module-level dirty-bit protocol). Created by [`link_halo`]; not
+/// user-visible beyond [`HaloStats`].
 pub(crate) struct HaloRing<T> {
     spec: HaloSpec,
     opts: ExchangeOpts,
     /// Weak so ring ↔ dat references cannot leak the payloads; a shard
     /// must outlive the ring's use, which the owning program guarantees by
-    /// holding the `Dat` handles it loops over.
+    /// holding the `Dat` handles it loops over. Indexed by local rank.
     shards: Vec<std::sync::Weak<crate::dat::DatInner<T>>>,
+    /// Indexed by local rank.
     hooks: Vec<CommHooks>,
+    /// Global id of local rank 0.
+    first: usize,
+    transport: Arc<dyn Transport>,
     /// `dirty[dst * nranks + src]`: rank `dst`'s import from `src` is
     /// stale.
     dirty: Mutex<Vec<bool>>,
@@ -536,7 +874,7 @@ pub(crate) struct HaloRing<T> {
 
 impl<T: OpType> HaloRing<T> {
     fn shard(&self, rank: usize) -> Dat<T> {
-        self.shards[rank]
+        self.shards[rank - self.first]
             .upgrade()
             .map(Dat::from_inner)
             .unwrap_or_else(|| {
@@ -544,14 +882,36 @@ impl<T: OpType> HaloRing<T> {
             })
     }
 
+    fn local_ranks(&self) -> Range<usize> {
+        self.first..self.first + self.shards.len()
+    }
+
+    /// True when scheduling decisions must be made SPMD-symmetrically
+    /// (distributed transport; see module docs).
+    pub(crate) fn spmd_mode(&self) -> bool {
+        !self.transport.all_local()
+    }
+
     /// A mutating loop argument on rank `src`'s shard: every peer
-    /// importing from `src` now holds a stale mirror.
+    /// importing from `src` now holds a stale mirror. In SPMD mode the
+    /// *whole* matrix is marked — every rank runs this same mutating loop
+    /// on its own shard, and remote mutations are mirrored, not observed.
     pub(crate) fn mark_exports_dirty(&self, src: usize) {
         let n = self.spec.nranks;
         let mut dirty = self.dirty.lock();
-        for dst in 0..n {
-            if dst != src && !self.spec.export_rows[src][dst].is_empty() {
-                dirty[dst * n + src] = true;
+        if self.spmd_mode() {
+            for s in 0..n {
+                for dst in 0..n {
+                    if dst != s && !self.spec.export_rows[s][dst].is_empty() {
+                        dirty[dst * n + s] = true;
+                    }
+                }
+            }
+        } else {
+            for dst in 0..n {
+                if dst != src && !self.spec.export_rows[src][dst].is_empty() {
+                    dirty[dst * n + src] = true;
+                }
             }
         }
     }
@@ -561,13 +921,28 @@ impl<T: OpType> HaloRing<T> {
     /// map can actually observe, then clear those bits. All receives of
     /// one refresh share a writer generation, exactly like one
     /// [`exchange_with`] call.
+    ///
+    /// In SPMD mode the reachability cut is disabled (the peer cannot see
+    /// this rank's map) and the refresh additionally *sends* rank `dst`'s
+    /// stale exports to remote importers — the peer's matching refresh,
+    /// at the same program point, posts the receive.
     pub(crate) fn refresh_for_read(&self, dst: usize, map: &Map, slot: usize) {
         self.refresh_calls.fetch_add(1, Ordering::Relaxed);
         let n = self.spec.nranks;
+        let spmd = self.spmd_mode();
+        let local = self.local_ranks();
         let dat_dst = self.shard(dst);
         let to_bs = dat_dst.dep_block_size().max(1);
         let mut gens: Option<(u64, u64)> = None;
+        // Receive halves are deferred below every send half of this
+        // refresh: a receive registers as a halo-block *writer*, and a
+        // send gather scheduled after it on a shared block would wait on
+        // it — symmetric SPMD schedulers then deadlock pairwise (see
+        // [`exchange_with`]). `(src, range, seq, recv_gen)`.
+        let mut pending_recvs: Vec<(usize, Range<usize>, u64, u64)> = Vec::new();
         let mut dirty = self.dirty.lock();
+        // --- Rank `dst`'s stale imports: receive (and send, if the
+        // exporter is hosted here too).
         for src in 0..n {
             if src == dst {
                 continue;
@@ -583,32 +958,81 @@ impl<T: OpType> HaloRing<T> {
             }
             // Leave the bit set when this map cannot observe the import at
             // all — a later loop through a reaching map still needs it.
-            let block_range = range.start / to_bs..(range.end - 1) / to_bs + 1;
-            if !map.reaches_target_blocks(slot, to_bs, block_range) {
-                continue;
+            // (All-local only: the cut depends on this rank's private map,
+            // which the SPMD peer cannot replicate.)
+            if !spmd {
+                let block_range = range.start / to_bs..(range.end - 1) / to_bs + 1;
+                if !map.reaches_target_blocks(slot, to_bs, block_range) {
+                    continue;
+                }
             }
             let (send_gen, recv_gen) =
                 *gens.get_or_insert_with(|| (next_loop_gen(), next_loop_gen()));
-            let dat_src = self.shard(src);
-            // The receive is not waited on here: it is registered as a
-            // writer of the halo blocks, so the submitting loop's boundary
-            // blocks (and any rank fence) chain behind it.
-            let _ = schedule_pair(
-                src,
-                dst,
-                &self.hooks[src],
-                &self.hooks[dst],
-                &dat_src,
-                &dat_dst,
-                &self.spec.export_rows[src][dst],
-                range,
-                send_gen,
-                recv_gen,
-                &self.opts,
-            );
+            let seq = self.transport.next_seq(MsgKind::Halo, src, dst);
+            if local.contains(&src) {
+                let dat_src = self.shard(src);
+                let _send = schedule_send_half(
+                    src,
+                    dst,
+                    &self.hooks[src - self.first],
+                    &dat_src,
+                    &self.spec.export_rows[src][dst],
+                    send_gen,
+                    seq,
+                    &self.transport,
+                    &self.opts,
+                );
+            }
+            pending_recvs.push((src, range, seq, recv_gen));
             dirty[dst * n + src] = false;
             self.pair_exchanges.fetch_add(1, Ordering::Relaxed);
             hpx_rt::static_counter!("op2.halo.pairs_fired").fetch_add(1, Ordering::Relaxed);
+        }
+        // --- SPMD only: rank `dst`'s stale exports to *remote* importers.
+        // The importer's own refresh, running at this same program point in
+        // its process, posts the matching receive and clears the same bit.
+        if spmd {
+            for imp in 0..n {
+                if imp == dst
+                    || local.contains(&imp)
+                    || self.spec.export_rows[dst][imp].is_empty()
+                    || !dirty[imp * n + dst]
+                {
+                    continue;
+                }
+                let (send_gen, _) = *gens.get_or_insert_with(|| (next_loop_gen(), next_loop_gen()));
+                let seq = self.transport.next_seq(MsgKind::Halo, dst, imp);
+                let _send = schedule_send_half(
+                    dst,
+                    imp,
+                    &self.hooks[dst - self.first],
+                    &dat_dst,
+                    &self.spec.export_rows[dst][imp],
+                    send_gen,
+                    seq,
+                    &self.transport,
+                    &self.opts,
+                );
+                dirty[imp * n + dst] = false;
+                self.pair_exchanges.fetch_add(1, Ordering::Relaxed);
+                hpx_rt::static_counter!("op2.halo.pairs_fired").fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // --- The deferred receives, after every send half. They are not
+        // waited on here: each is registered as a writer of its halo
+        // blocks, so the submitting loop's boundary blocks (and any rank
+        // fence) chain behind it.
+        for (src, range, seq, recv_gen) in pending_recvs {
+            let _recv = schedule_recv_half(
+                src,
+                dst,
+                &self.hooks[dst - self.first],
+                &dat_dst,
+                range,
+                recv_gen,
+                seq,
+                &self.transport,
+            );
         }
     }
 
@@ -633,9 +1057,11 @@ pub fn link_halo<T: OpType>(group: &LocalityGroup, dats: &[Dat<T>], spec: &HaloS
 /// protocol). Every import starts stale, so the first reader is fed
 /// unconditionally.
 ///
-/// `dats[r]` must be rank `r`'s shard (declared with
-/// [`crate::Op2::decl_dat_halo`] on `group.rank(r)`), and each shard can
-/// belong to at most one ring.
+/// `dats[i]` must be local rank `local_ranks().start + i`'s shard
+/// (declared with [`crate::Op2::decl_dat_halo`] on the matching
+/// [`LocalityGroup::rank`]), and each shard can belong to at most one
+/// ring. The spec is global; under a distributed transport every process
+/// links with the same spec.
 pub fn link_halo_with<T: OpType>(
     group: &LocalityGroup,
     dats: &[Dat<T>],
@@ -643,10 +1069,12 @@ pub fn link_halo_with<T: OpType>(
     opts: &ExchangeOpts,
 ) {
     let n = spec.nranks;
-    assert_eq!(group.nranks(), n, "one rank context per spec rank");
-    assert_eq!(dats.len(), n, "one dat shard per rank");
+    assert_eq!(group.nranks(), n, "spec rank count matches the group");
+    let local = group.local_ranks();
+    assert_eq!(dats.len(), local.len(), "one dat shard per local rank");
     spec.validate().expect("halo spec invalid");
-    for (r, d) in dats.iter().enumerate() {
+    for (i, d) in dats.iter().enumerate() {
+        let r = local.start + i;
         for s in 0..n {
             let range = &spec.import_range[r][s];
             assert!(
@@ -667,13 +1095,15 @@ pub fn link_halo_with<T: OpType>(
         opts: opts.clone(),
         shards: dats.iter().map(Dat::inner_weak).collect(),
         hooks: group.ranks().iter().map(Op2::comm_hooks).collect(),
+        first: local.start,
+        transport: Arc::clone(group.transport()),
         dirty: Mutex::new(dirty),
         pair_exchanges: AtomicU64::new(0),
         refresh_calls: AtomicU64::new(0),
         skipped_clean: AtomicU64::new(0),
     });
-    for (r, d) in dats.iter().enumerate() {
-        d.attach_halo_ring(r, Arc::clone(&ring));
+    for (i, d) in dats.iter().enumerate() {
+        d.attach_halo_ring(local.start + i, Arc::clone(&ring));
     }
 }
 
@@ -688,6 +1118,7 @@ pub fn implicit_halo_stats<T: OpType>(dat: &Dat<T>) -> Option<HaloStats> {
 mod tests {
     use super::*;
     use crate::arg::{arg_read_via, arg_write};
+    use crate::transport::ProcessTransport;
 
     fn two_rank_spec(halo: usize, owned: usize) -> HaloSpec {
         let mut spec = HaloSpec::empty(2);
@@ -709,7 +1140,7 @@ mod tests {
             .decl_dat(&c1, 2, "q", (0..8).map(|i| i as f64).collect());
         let spec = two_rank_spec(4, 8);
         spec.validate().unwrap();
-        let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+        let recvs = exchange(&group, &[q0.clone(), q1], &spec);
         recvs[0][1].wait();
         assert!(recvs[0][0].is_ready(), "no-traffic pairs are ready");
         let snap = q0.snapshot();
@@ -736,7 +1167,7 @@ mod tests {
                 q[0] = 9.0;
             });
         let spec = two_rank_spec(4, 4);
-        let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+        let recvs = exchange(&group, &[q0.clone(), q1], &spec);
         recvs[0][1].wait();
         assert_eq!(&q0.snapshot()[4..8], &[9.0; 4]);
     }
@@ -749,7 +1180,7 @@ mod tests {
         let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![1.0f64; 6], 2);
         let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![5.0f64, 6.0]);
         let spec = two_rank_spec(2, 4);
-        exchange(group.ranks(), &[q0.clone(), q1], &spec);
+        exchange(&group, &[q0.clone(), q1], &spec);
         // Gather through a map that reaches the halo rows.
         let edges = group.rank(0).decl_set(6, "edges");
         let m = group
@@ -787,6 +1218,61 @@ mod tests {
         let mut spec = HaloSpec::empty(2);
         spec.export_rows[1][0] = vec![0];
         spec.import_range[0][1] = 1..2; // owned region, not halo
-        let _ = exchange(group.ranks(), &[q0, q1], &spec);
+        let _ = exchange(&group, &[q0, q1], &spec);
+    }
+
+    #[test]
+    fn exchange_over_sockets_matches_in_process() {
+        // The same two-rank exchange as `values_cross_ranks`, but each
+        // rank in its own LocalityGroup over a ProcessTransport — real
+        // wire bytes, same result.
+        let dir = std::env::temp_dir().join(format!("op2-loc-sock-{}", std::process::id()));
+        let spec = two_rank_spec(4, 8);
+        std::thread::scope(|s| {
+            let h0 = s.spawn({
+                let dir = dir.clone();
+                let spec = spec.clone();
+                move || {
+                    let t: Arc<dyn Transport> =
+                        Arc::new(ProcessTransport::connect_unix(&dir, 0, 2).unwrap());
+                    let group = LocalityGroup::with_transport(Op2Config::dataflow(2), t);
+                    let c0 = group.rank(0).decl_set(8, "cells");
+                    let q0 = group
+                        .rank(0)
+                        .decl_dat_halo(&c0, 2, "q", vec![0.0f64; 24], 4);
+                    let recvs = exchange(&group, std::slice::from_ref(&q0), &spec);
+                    recvs[0][1].wait();
+                    group.fence();
+                    q0.snapshot()
+                }
+            });
+            s.spawn({
+                let dir = dir.clone();
+                let spec = spec.clone();
+                move || {
+                    let t: Arc<dyn Transport> =
+                        Arc::new(ProcessTransport::connect_unix(&dir, 1, 2).unwrap());
+                    let group = LocalityGroup::with_transport(Op2Config::dataflow(2), t);
+                    let c1 = group.rank(1).decl_set(4, "cells");
+                    let q1 =
+                        group
+                            .rank(1)
+                            .decl_dat(&c1, 2, "q", (0..8).map(|i| i as f64).collect());
+                    let recvs = exchange(&group, &[q1], &spec);
+                    assert!(
+                        recvs[0].iter().all(|f| f.is_ready()),
+                        "rank 1 imports nothing"
+                    );
+                    group.fence();
+                    group.barrier();
+                }
+            });
+            let snap = h0.join().unwrap();
+            assert_eq!(
+                &snap[16..24],
+                &(0..8).map(|i| i as f64).collect::<Vec<_>>()[..]
+            );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,8 +3,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Scalar types storable in a [`Dat`](crate::Dat): plain-old-data, so rows
-/// can be viewed as slices and copied freely between tasks.
-pub trait OpType: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {}
+/// can be viewed as slices and copied freely between tasks. The
+/// [`WireScalar`](crate::transport::WireScalar) supertrait gives every dat
+/// scalar a fixed-width little-endian wire encoding, so halo rows and
+/// reduction partials can cross process boundaries.
+pub trait OpType:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + crate::transport::WireScalar + 'static
+{
+}
 
 macro_rules! impl_op_type {
     ($($t:ty),+) => { $(impl OpType for $t {})+ };

@@ -136,6 +136,63 @@ pub fn counters() -> Vec<(&'static str, u64)> {
         .collect()
 }
 
+/// A point-in-time capture of the named-counter registry, for **delta**
+/// assertions.
+///
+/// The named counters are process-wide, so under parallel `cargo test`
+/// their absolute values depend on which other tests ran first — an
+/// assertion like `counter_value("op2.halo.pairs_fired") == 3` is
+/// order-dependent and flaky. Take a snapshot before the work under test
+/// and assert on [`CounterSnapshot::delta`] instead: the *increase* caused
+/// by this test is isolated from everything that ran before it. (Counters
+/// bumped concurrently by tests running *at the same time* still bleed in;
+/// keep delta assertions on counters only the test's own workload touches,
+/// or use `>=` bounds.)
+///
+/// ```
+/// use std::sync::atomic::Ordering;
+///
+/// let before = hpx_rt::stats::snapshot();
+/// hpx_rt::static_counter!("doc.snapshot_example").fetch_add(3, Ordering::Relaxed);
+/// assert_eq!(before.delta("doc.snapshot_example"), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CounterSnapshot {
+    at: BTreeMap<&'static str, u64>,
+}
+
+/// Captures the current value of every named counter (counters created
+/// later count from 0).
+pub fn snapshot() -> CounterSnapshot {
+    CounterSnapshot {
+        at: registry()
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, v.load(Ordering::Relaxed)))
+            .collect(),
+    }
+}
+
+impl CounterSnapshot {
+    /// How much the named counter grew since this snapshot was taken
+    /// (saturating at 0; a counter unknown at snapshot time counts from 0).
+    pub fn delta(&self, name: &str) -> u64 {
+        counter_value(name).saturating_sub(self.at.get(name).copied().unwrap_or(0))
+    }
+
+    /// The deltas of every counter that grew since the snapshot, sorted by
+    /// name — the per-scope view benches print.
+    pub fn deltas(&self) -> Vec<(&'static str, u64)> {
+        counters()
+            .into_iter()
+            .filter_map(|(k, v)| {
+                let d = v.saturating_sub(self.at.get(k).copied().unwrap_or(0));
+                (d > 0).then_some((k, d))
+            })
+            .collect()
+    }
+}
+
 impl std::fmt::Display for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

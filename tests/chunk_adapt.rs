@@ -17,7 +17,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use op2_hpx::hpx::stats::counter_value;
 use op2_hpx::hpx::timing::Clock;
 use op2_hpx::hpx::{ChunkPolicy, PersistentChunker};
 use op2_hpx::op2::args::{inc_via, write};
@@ -149,7 +148,7 @@ fn granularity_change_mid_solve_replans_exactly_once() {
     }
     assert_eq!(resolved(&op2, "phased", &cells), 128);
     let replans_before = op2.spec_cache_replans();
-    let global_before = counter_value("op2.spec_cache.replans");
+    let global_before = op2_hpx::hpx::stats::snapshot();
     assert_eq!(
         replans_before, 1,
         "initial convergence off the probe default"
@@ -173,7 +172,7 @@ fn granularity_change_mid_solve_replans_exactly_once() {
         "one granularity change = exactly one re-plan"
     );
     assert_eq!(
-        counter_value("op2.spec_cache.replans") - global_before,
+        global_before.delta("op2.spec_cache.replans"),
         op2.spec_cache_replans() - replans_before,
         "process-wide op2.spec_cache.replans mirrors the context counter"
     );

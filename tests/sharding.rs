@@ -49,7 +49,7 @@ fn interior_blocks_execute_before_halo_receives_complete() {
     spec.export_rows[1][0] = (0..64).collect();
     spec.import_range[0][1] = 256..320;
     spec.validate().unwrap();
-    let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+    let recvs = exchange(&group, &[q0.clone(), q1], &spec);
 
     // Consumer on rank 0: reads q through an identity map whose last block
     // reaches the halo rows. Blocks 0..4 are interior (owned reach only),
@@ -129,7 +129,7 @@ fn halo_refresh_waits_for_pending_halo_readers() {
     let mut spec = HaloSpec::empty(2);
     spec.export_rows[1][0] = (0..32).collect();
     spec.import_range[0][1] = 32..64;
-    let recvs = exchange(group.ranks(), &[q0.clone(), q1], &spec);
+    let recvs = exchange(&group, &[q0.clone(), q1], &spec);
     assert!(!recvs[0][1].is_ready(), "refresh must wait for the reader");
 
     gate.set();

@@ -1,0 +1,307 @@
+//! The out-of-process transport through the public API: socket-backed
+//! locality groups must reproduce the in-process results (halo exchange,
+//! implicit rings, full sharded Airfoil, allreduce), and a sender that
+//! dies mid-exchange must surface its *original* panic — the receive half
+//! degrades to a diagnostic no-op instead of double-panicking.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use op2_hpx::airfoil::shard::{run_sharded, ShardedProblem};
+use op2_hpx::airfoil::SolverConfig;
+use op2_hpx::mesh::channel_with_bump;
+use op2_hpx::op2::args::{gbl_inc, write};
+use op2_hpx::op2::locality::{exchange, HaloSpec, LocalityGroup};
+use op2_hpx::op2::transport::{ProcessTransport, Transport};
+use op2_hpx::op2::{Global, Op2Config};
+
+/// A fresh rendezvous directory under the system temp dir, unique per
+/// test (sockets are created inside and removed with it).
+fn rendezvous_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("op2-transport-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `f(rank)` on one thread per rank, each over its own socket-backed
+/// transport — the threads stand in for the rank processes (the real
+/// multi-process path is exercised by the airfoil binary's integration
+/// test); the wire protocol is identical. Returns rank 0's result.
+fn spmd<T: Send>(tag: &str, nranks: usize, f: impl Fn(usize, Arc<dyn Transport>) -> T + Sync) -> T {
+    let dir = rendezvous_dir(tag);
+    let out = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nranks)
+            .map(|r| {
+                let dir = dir.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let t: Arc<dyn Transport> = Arc::new(
+                        ProcessTransport::connect_unix(&dir, r, nranks).expect("socket rendezvous"),
+                    );
+                    f(r, t)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread"))
+            .next()
+            .expect("at least one rank")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// An explicit `exchange` between socket-backed single-rank groups moves
+/// exactly the bytes the in-process transport moves, and the futures
+/// behave identically (ready for no-traffic pairs, owned rows untouched).
+#[test]
+fn explicit_exchange_over_sockets_matches_in_process() {
+    let mut spec = HaloSpec::empty(2);
+    spec.export_rows[1][0] = vec![0, 2];
+    spec.import_range[0][1] = 6..8;
+    spec.validate().expect("spec");
+
+    // In-process reference.
+    let expected = {
+        let group = LocalityGroup::new(Op2Config::dataflow(2), 2);
+        let c0 = group.rank(0).decl_set(6, "cells");
+        let c1 = group.rank(1).decl_set(4, "cells");
+        let q0 = group
+            .rank(0)
+            .decl_dat_halo(&c0, 3, "q", vec![0.0f64; 24], 2);
+        let q1 = group
+            .rank(1)
+            .decl_dat(&c1, 3, "q", (0..12).map(f64::from).collect());
+        let recvs = exchange(&group, &[q0.clone(), q1], &spec);
+        recvs[0][1].wait();
+        group.fence();
+        q0.snapshot()
+    };
+
+    let spec2 = spec.clone();
+    let got = spmd("exchange", 2, move |rank, t| {
+        let group = LocalityGroup::with_transport(Op2Config::dataflow(2), t);
+        let out = if rank == 0 {
+            let c0 = group.rank(0).decl_set(6, "cells");
+            let q0 = group
+                .rank(0)
+                .decl_dat_halo(&c0, 3, "q", vec![0.0f64; 24], 2);
+            let recvs = exchange(&group, std::slice::from_ref(&q0), &spec2);
+            recvs[0][1].wait();
+            Some(q0.snapshot())
+        } else {
+            let c1 = group.rank(1).decl_set(4, "cells");
+            let q1 = group
+                .rank(1)
+                .decl_dat(&c1, 3, "q", (0..12).map(f64::from).collect());
+            let recvs = exchange(&group, &[q1], &spec2);
+            assert!(recvs[0].iter().all(|r| r.is_ready()));
+            None
+        };
+        group.fence();
+        group.barrier();
+        out
+    });
+    assert_eq!(got.expect("rank 0 returns its dat"), expected);
+}
+
+/// The whole sharded Airfoil solve — implicit halo rings, dirty bits,
+/// distributed allreduce — over socket-backed single-rank groups matches
+/// the in-process run's residual history within the sharding tolerance.
+#[test]
+fn sharded_airfoil_over_sockets_matches_in_process() {
+    const NRANKS: usize = 3;
+    let cfg = SolverConfig {
+        niter: 4,
+        window: 2,
+        print_every: 0,
+    };
+    let mesh = channel_with_bump(12, 6);
+    let reference = {
+        let shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, NRANKS);
+        run_sharded(&shp, &cfg)
+    };
+
+    let history = spmd("airfoil", NRANKS, |_rank, t| {
+        let mesh = channel_with_bump(12, 6);
+        let shp = ShardedProblem::declare_with_transport(Op2Config::dataflow(2), &mesh, t);
+        let result = run_sharded(&shp, &cfg);
+        shp.group.barrier();
+        result.rms_history
+    });
+
+    assert_eq!(history.len(), reference.rms_history.len());
+    for (i, (a, b)) in history.iter().zip(&reference.rms_history).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "iteration {i}: socket rms {a} vs in-process {b}"
+        );
+    }
+}
+
+/// The distributed allreduce (partial → rank 0 → tree combine → broadcast)
+/// is bitwise identical to the in-process collect tree: `tree_combine`
+/// reproduces the pairing shape exactly.
+#[test]
+fn allreduce_over_sockets_is_bitwise_the_in_process_tree() {
+    const NRANKS: usize = 5;
+    let contribution = |r: usize| 0.1 + r as f64 * 0.017;
+    let expected = {
+        let group = LocalityGroup::new(Op2Config::dataflow(2), NRANKS);
+        let globals: Vec<Global<f64>> = (0..NRANKS).map(|_| Global::<f64>::sum(1, "rms")).collect();
+        for (r, g) in globals.iter().enumerate() {
+            let cells = group.rank(r).decl_set(64 + r, "cells");
+            let w = contribution(r);
+            group
+                .rank(r)
+                .loop_("update", &cells)
+                .arg(gbl_inc(g))
+                .run(move |acc: &mut [f64]| acc[0] += w);
+        }
+        let red = group.allreduce(&globals);
+        group.fence();
+        red.get_scalar()
+    };
+
+    let got = spmd("allreduce", NRANKS, move |r, t| {
+        let group = LocalityGroup::with_transport(Op2Config::dataflow(2), t);
+        let g = Global::<f64>::sum(1, "rms");
+        let cells = group.rank(r).decl_set(64 + r, "cells");
+        let w = contribution(r);
+        group
+            .rank(r)
+            .loop_("update", &cells)
+            .arg(gbl_inc(&g))
+            .run(move |acc: &mut [f64]| acc[0] += w);
+        let red = group.allreduce(&[g]);
+        let total = red.get_scalar();
+        group.fence();
+        group.barrier();
+        total
+    });
+    assert_eq!(got, expected, "star combine must reproduce the tree shape");
+}
+
+/// Satellite regression: a halo sender whose gather is skipped by an
+/// upstream kernel panic must *abandon* the exchange — the receive half
+/// completes as a diagnostic no-op (counted, not panicking) and the
+/// **first** panic, the kernel's own, is what the fence surfaces. The old
+/// implementation's receive node called `try_recv().expect(...)`, burying
+/// the root cause under a secondary panic while the process aborted.
+#[test]
+fn abandoned_exchange_surfaces_the_original_panic() {
+    let before = op2_hpx::hpx::stats::snapshot();
+    let group = LocalityGroup::new(Op2Config::dataflow(2), 2);
+    let c0 = group.rank(0).decl_set(4, "cells");
+    let c1 = group.rank(1).decl_set(4, "cells");
+    let q0 = group.rank(0).decl_dat_halo(&c0, 1, "q", vec![0.0f64; 8], 4);
+    let q1 = group.rank(1).decl_dat(&c1, 1, "q", vec![1.0f64; 4]);
+
+    // The exporter's pending writer dies; the exchange's gather node
+    // dep-panics and is skipped.
+    group
+        .rank(1)
+        .loop_("boom", &c1)
+        .arg(write(&q1))
+        .run(|_q: &mut [f64]| panic!("kernel exploded: synthetic failure"));
+
+    let mut spec = HaloSpec::empty(2);
+    spec.export_rows[1][0] = vec![0, 1, 2, 3];
+    spec.import_range[0][1] = 4..8;
+    let recvs = exchange(&group, &[q0.clone(), q1], &spec);
+
+    // The receive COMPLETES (abandonment, not a hang) without panicking.
+    recvs[0][1].wait();
+    assert!(
+        before.delta("op2.transport.sends_abandoned") >= 1,
+        "the skipped gather must abandon its send"
+    );
+    assert!(
+        before.delta("op2.transport.recvs_abandoned") >= 1,
+        "the receive must degrade to a counted no-op"
+    );
+    assert!(
+        q0.snapshot()[4..8].iter().all(|&v| v == 0.0),
+        "abandoned halo rows stay stale"
+    );
+
+    // The fence surfaces the ORIGINAL kernel panic.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| group.fence()))
+        .expect_err("fence must propagate the kernel panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("kernel exploded"),
+        "fence panicked with a secondary error instead of the root cause: {msg:?}"
+    );
+}
+
+/// Injected link delay is honored by the in-process transport without
+/// blocking a runtime worker: with a single worker thread, a delayed
+/// exchange still completes (the old implementation slept *inside* the
+/// send node, wedging the lone worker for the duration and serializing
+/// every delayed pair).
+#[test]
+fn injected_delay_does_not_occupy_the_single_worker() {
+    use op2_hpx::op2::locality::{exchange_with, ExchangeOpts};
+    use std::time::{Duration, Instant};
+
+    let group = LocalityGroup::new(Op2Config::dataflow(1), 4);
+    let mut dats = Vec::new();
+    let mut spec = HaloSpec::empty(4);
+    for r in 0..4 {
+        let cells = group.rank(r).decl_set(4, "cells");
+        let d = group
+            .rank(r)
+            .decl_dat_halo(&cells, 1, "q", vec![r as f64; 7], 3);
+        dats.push(d);
+    }
+    // All-to-all: every rank exports row 0 to every other rank; each
+    // rank's three halo rows (4..7) are fed in exporter order.
+    for dst in 0..4 {
+        let mut off = 4;
+        for src in 0..4 {
+            if src == dst {
+                continue;
+            }
+            spec.export_rows[src][dst] = vec![0];
+            spec.import_range[dst][src] = off..off + 1;
+            off += 1;
+        }
+    }
+    spec.validate().expect("spec");
+
+    let delay = Duration::from_millis(40);
+    let t0 = Instant::now();
+    let recvs = exchange_with(
+        &group,
+        &dats,
+        &spec,
+        &ExchangeOpts {
+            link_delay: Some(delay),
+        },
+    );
+    for per_rank in &recvs {
+        for f in per_rank {
+            f.wait();
+        }
+    }
+    let elapsed = t0.elapsed();
+    // 12 delayed pairs on ONE worker: worker-blocking sleeps would need
+    // ≥ 12 × 40ms serialized; timer-deferred delivery needs ~one delay.
+    assert!(
+        elapsed < delay * 6,
+        "12 pairs took {elapsed:?} — delay is blocking the worker"
+    );
+    for (i, d) in dats.iter().enumerate() {
+        let snap = d.snapshot();
+        let mut mirrored: Vec<f64> = snap[4..7].to_vec();
+        mirrored.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..4).filter(|&r| r != i).map(|r| r as f64).collect();
+        assert_eq!(mirrored, expected, "rank {i} halo rows");
+    }
+}
