@@ -35,4 +35,4 @@ pub mod verify;
 
 pub use setup::Problem;
 pub use shard::{run_sharded, RankProblem, ShardedProblem};
-pub use solver::{run, RunResult, SolverConfig};
+pub use solver::{run, solve, RunResult, SolverConfig};

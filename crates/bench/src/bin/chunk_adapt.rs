@@ -18,7 +18,6 @@ use std::time::Duration;
 
 use airfoil_cfd::{solver, Problem, SolverConfig};
 use op2_bench::Table;
-use op2_core::hpx_rt::stats::counter_value;
 use op2_core::hpx_rt::ChunkPolicy;
 use op2_core::{Op2, Op2Config};
 use op2_mesh::QuadMesh;
@@ -108,6 +107,10 @@ fn main() {
         mesh.ncell, args.iters, args.threads, args.reps
     );
 
+    // Deltas over this process's runs, not absolute process-wide values —
+    // robust to any warm-up work that already ticked the counters.
+    let stats_before = op2_core::hpx_rt::stats::snapshot();
+
     let mut table = Table::new(vec!["variant", "best_seconds", "vs_best_static"]);
 
     // Static sweep: hand-tuned node granularity.
@@ -152,14 +155,14 @@ fn main() {
     println!("best static point: block={best_block} ({best_static:.4}s)");
 
     let (hits, misses, replans) = (
-        counter_value("op2.spec_cache.hits"),
-        counter_value("op2.spec_cache.misses"),
-        counter_value("op2.spec_cache.replans"),
+        stats_before.delta("op2.spec_cache.hits"),
+        stats_before.delta("op2.spec_cache.misses"),
+        stats_before.delta("op2.spec_cache.replans"),
     );
-    let samples = counter_value("hpx.feedback.samples");
+    let samples = stats_before.delta("hpx.feedback.samples");
     println!(
         "loop-spec cache: {hits} hits / {misses} misses / {replans} re-plans; \
-         {samples} feedback samples (process-wide)"
+         {samples} feedback samples (this bench)"
     );
 
     // Hand-rolled JSON (offline build: no serde).

@@ -153,6 +153,8 @@ fn main() {
         "speedup_vs_whole_loop",
     ]);
     let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
+    // Deltas over this sweep, not absolute process-wide values.
+    let stats_before = op2_core::hpx_rt::stats::snapshot();
 
     for &threads in &args.threads {
         let mut whole_loop_best = f64::NAN;
@@ -186,9 +188,9 @@ fn main() {
 
     // Loop-spec cache effectiveness across the whole sweep: every repeated
     // submission of a (name, set, signature, chunk) shape should hit.
-    let spec_hits = op2_core::hpx_rt::stats::counter_value("op2.spec_cache.hits");
-    let spec_misses = op2_core::hpx_rt::stats::counter_value("op2.spec_cache.misses");
-    println!("loop-spec cache: {spec_hits} hits / {spec_misses} misses (process-wide)");
+    let spec_hits = stats_before.delta("op2.spec_cache.hits");
+    let spec_misses = stats_before.delta("op2.spec_cache.misses");
+    println!("loop-spec cache: {spec_hits} hits / {spec_misses} misses (this sweep)");
 
     // Hand-rolled JSON (offline build: no serde).
     let mut json = String::from("{\n  \"bench\": \"pipeline_chain\",\n");

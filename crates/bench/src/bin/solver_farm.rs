@@ -1,0 +1,338 @@
+//! The traffic-scale headline bench: N concurrent airfoil solves on one
+//! shared runtime through the [`SolverFarm`].
+//!
+//! Every tenant runs a closed submission loop — `--solves` jobs, each a
+//! full airfoil solve on a fresh tenant world — with the farm's
+//! per-tenant backpressure window providing steady-state arrival: a new
+//! solve is admitted as an old one completes, so the farm sits at its
+//! concurrency limit for the whole run instead of burst-then-drain.
+//! Per-solve latency is submit-to-completion (queueing included — the
+//! number a tenant actually experiences), summarized as p50/p95/p99.
+//!
+//! Gates (CI):
+//! * `--fairness` — at every multi-tenant point, no tenant is starved:
+//!   every tenant completes all its solves and the first `tenants`
+//!   completions come from at least half the tenants (weighted-fair
+//!   dispatch round-robins equal-priority tenants, so early completions
+//!   must be spread, not one tenant's burst).
+//! * `--min-throughput-ratio X` — aggregate throughput at 16 tenants
+//!   must reach at least `X` times the 1-tenant throughput: concurrency
+//!   across tenants has to *pay*, not just queue.
+//!
+//! Writes `BENCH_farm.json`. Options: `--cells`, `--iters` (solver
+//! iterations per solve), `--solves` (per tenant), `--tenants LIST`
+//! (default 1,16,128), `--threads N`, `--lanes N`, `--window N`,
+//! `--fairness`, `--min-throughput-ratio X`, `--csv PATH`, `--json PATH`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use op2_bench::tables::{ms_f, LatencySummary};
+use op2_bench::Table;
+use op2_core::farm::{FarmConfig, Priority, SolverFarm};
+use op2_mesh::QuadMesh;
+
+struct Args {
+    cells: usize,
+    iters: usize,
+    solves: usize,
+    tenants: Vec<usize>,
+    threads: usize,
+    lanes: usize,
+    window: usize,
+    fairness: bool,
+    min_throughput_ratio: f64,
+    csv: Option<std::path::PathBuf>,
+    json_path: String,
+}
+
+fn parse_args() -> Args {
+    let host = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut args = Args {
+        cells: 1500,
+        iters: 10,
+        solves: 4,
+        tenants: vec![1, 16, 128],
+        threads: host,
+        lanes: (host / 2).clamp(2, 8),
+        window: 2,
+        fairness: false,
+        min_throughput_ratio: 0.0,
+        csv: None,
+        json_path: "BENCH_farm.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--cells" => args.cells = value("--cells").parse().expect("--cells"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters"),
+            "--solves" => args.solves = value("--solves").parse().expect("--solves"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--lanes" => args.lanes = value("--lanes").parse().expect("--lanes"),
+            "--window" => args.window = value("--window").parse().expect("--window"),
+            "--tenants" => {
+                args.tenants = value("--tenants")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--tenants"))
+                    .collect();
+            }
+            "--fairness" => args.fairness = true,
+            "--min-throughput-ratio" => {
+                args.min_throughput_ratio = value("--min-throughput-ratio")
+                    .parse()
+                    .expect("--min-throughput-ratio")
+            }
+            "--csv" => args.csv = Some(value("--csv").into()),
+            "--json" => args.json_path = value("--json"),
+            "--help" | "-h" => {
+                println!(
+                    "solver_farm options:\n\
+                     --cells N                 mesh cells per solve (default 1500)\n\
+                     --iters N                 solver iterations per solve (default 10)\n\
+                     --solves N                solves per tenant (default 4)\n\
+                     --tenants LIST            concurrent-tenant sweep (default 1,16,128)\n\
+                     --threads N               shared runtime workers (default host)\n\
+                     --lanes N                 dispatcher lanes (default host/2, 2..=8)\n\
+                     --window N                per-tenant in-flight window (default 2)\n\
+                     --fairness                gate: no tenant starved at multi-tenant points\n\
+                     --min-throughput-ratio X  gate: throughput@16 >= X * throughput@1\n\
+                     --csv PATH                also write CSV\n\
+                     --json PATH               JSON baseline (default BENCH_farm.json)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+struct Point {
+    tenants: usize,
+    jobs: usize,
+    wall_s: f64,
+    throughput: f64,
+    latency: LatencySummary,
+    min_completed: u64,
+    max_completed: u64,
+    /// Distinct tenants among the first `tenants` completions.
+    early_distinct: usize,
+    spec_hits: u64,
+    spec_built: usize,
+}
+
+fn run_point(args: &Args, ntenants: usize) -> Point {
+    let mesh = Arc::new(QuadMesh::with_cells(args.cells));
+    let solver_cfg = airfoil_cfd::SolverConfig {
+        niter: args.iters,
+        window: 4,
+        print_every: 0,
+    };
+    let farm = SolverFarm::new(
+        FarmConfig::with_threads(args.threads)
+            .with_lanes(args.lanes)
+            .with_window(args.window)
+            .with_queue_capacity((2 * ntenants).max(64)),
+    );
+    let tenants: Vec<_> = (0..ntenants)
+        .map(|i| farm.register(&format!("bench{i}"), Priority::Normal))
+        .collect();
+
+    // (tenant index, global completion order, submit-to-completion secs)
+    let completions: Arc<Mutex<Vec<(usize, usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let order = Arc::new(AtomicUsize::new(0));
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for (ti, tenant) in tenants.iter().enumerate() {
+            let farm = &farm;
+            let mesh = Arc::clone(&mesh);
+            let solver_cfg = solver_cfg.clone();
+            let completions = Arc::clone(&completions);
+            let order = Arc::clone(&order);
+            s.spawn(move || {
+                for _ in 0..args.solves {
+                    let mesh = Arc::clone(&mesh);
+                    let solver_cfg = solver_cfg.clone();
+                    let completions = Arc::clone(&completions);
+                    let order = Arc::clone(&order);
+                    let submitted = Instant::now();
+                    // submit() parks on the oldest in-flight solve once
+                    // this tenant is at its window — the steady state.
+                    farm.submit(tenant, move |op2| {
+                        let r = airfoil_cfd::solve(op2, &mesh, &solver_cfg);
+                        assert!(r.final_rms().is_finite());
+                        let seq = order.fetch_add(1, Ordering::Relaxed);
+                        completions.lock().expect("completion log").push((
+                            ti,
+                            seq,
+                            submitted.elapsed().as_secs_f64(),
+                        ));
+                    });
+                }
+            });
+        }
+    });
+    farm.drain();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let jobs = ntenants * args.solves;
+    let completions = completions.lock().expect("completion log");
+    assert_eq!(completions.len(), jobs, "every solve completed");
+    let latencies: Vec<f64> = completions.iter().map(|&(_, _, l)| l).collect();
+    let mut early: Vec<usize> = completions
+        .iter()
+        .filter(|&&(_, seq, _)| seq < ntenants)
+        .map(|&(ti, _, _)| ti)
+        .collect();
+    early.sort_unstable();
+    early.dedup();
+    let completed: Vec<u64> = tenants.iter().map(|t| farm.tenant_completed(t)).collect();
+
+    Point {
+        tenants: ntenants,
+        jobs,
+        wall_s,
+        throughput: jobs as f64 / wall_s,
+        latency: LatencySummary::from_samples(&latencies),
+        min_completed: completed.iter().copied().min().unwrap_or(0),
+        max_completed: completed.iter().copied().max().unwrap_or(0),
+        early_distinct: early.len(),
+        spec_hits: farm.spec_share().hits(),
+        spec_built: farm.spec_share().built(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("solver_farm: concurrent airfoil solves on one shared runtime");
+    println!(
+        "cells={} iters={} solves/tenant={} threads={} lanes={} window={}",
+        args.cells, args.iters, args.solves, args.threads, args.lanes, args.window
+    );
+
+    let mut table = Table::new(vec![
+        "tenants",
+        "solves",
+        "wall_s",
+        "solves_per_s",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "completed_min/max",
+    ]);
+    let mut points: Vec<Point> = Vec::new();
+    for &n in &args.tenants {
+        let p = run_point(&args, n.max(1));
+        println!(
+            "  {} tenants: {:.2} solves/s, p99 {:.1} ms, spec cache {} built / {} hits",
+            p.tenants,
+            p.throughput,
+            p.latency.p99_s * 1e3,
+            p.spec_built,
+            p.spec_hits
+        );
+        table.row(vec![
+            p.tenants.to_string(),
+            p.jobs.to_string(),
+            format!("{:.3}", p.wall_s),
+            format!("{:.2}", p.throughput),
+            ms_f(p.latency.p50_s),
+            ms_f(p.latency.p95_s),
+            ms_f(p.latency.p99_s),
+            format!("{}/{}", p.min_completed, p.max_completed),
+        ]);
+        points.push(p);
+    }
+    println!("{}", table.render());
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("write CSV");
+    }
+
+    // Hand-rolled JSON (offline build: no serde).
+    let mut json = String::from("{\n  \"bench\": \"solver_farm\",\n");
+    json.push_str(&format!(
+        "  \"cells\": {}, \"iters\": {}, \"solves_per_tenant\": {}, \"threads\": {}, \
+         \"lanes\": {}, \"window\": {}, \"host_threads\": {},\n  \"results\": [\n",
+        args.cells,
+        args.iters,
+        args.solves,
+        args.threads,
+        args.lanes,
+        args.window,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"solves\": {}, \"wall_seconds\": {:.4}, \
+             \"solves_per_second\": {:.4}, {}, \"completed_min\": {}, \
+             \"completed_max\": {}, \"early_distinct_tenants\": {}, \
+             \"spec_cache_built\": {}, \"spec_cache_hits\": {}}}{}\n",
+            p.tenants,
+            p.jobs,
+            p.wall_s,
+            p.throughput,
+            p.latency.json_fields(),
+            p.min_completed,
+            p.max_completed,
+            p.early_distinct,
+            p.spec_built,
+            p.spec_hits,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.json_path, json).expect("write JSON baseline");
+    println!("wrote {}", args.json_path);
+
+    let mut failed = false;
+    if args.fairness {
+        for p in points.iter().filter(|p| p.tenants > 1) {
+            if p.min_completed < args.solves as u64 {
+                eprintln!(
+                    "FAIL fairness: at {} tenants a tenant finished only {}/{} solves",
+                    p.tenants, p.min_completed, args.solves
+                );
+                failed = true;
+            }
+            if p.early_distinct < p.tenants.div_ceil(2) {
+                eprintln!(
+                    "FAIL fairness: first {} completions came from only {} tenants (need >= {})",
+                    p.tenants,
+                    p.early_distinct,
+                    p.tenants.div_ceil(2)
+                );
+                failed = true;
+            }
+        }
+    }
+    if args.min_throughput_ratio > 0.0 {
+        let at = |n: usize| points.iter().find(|p| p.tenants == n);
+        let single = at(1);
+        let multi = at(16).or_else(|| points.iter().rfind(|p| p.tenants > 1));
+        match (single, multi) {
+            (Some(s), Some(m)) => {
+                let ratio = m.throughput / s.throughput;
+                if ratio < args.min_throughput_ratio {
+                    eprintln!(
+                        "FAIL throughput: {} tenants reach {ratio:.3}x of 1-tenant throughput \
+                         (need >= {:.3}x)",
+                        m.tenants, args.min_throughput_ratio
+                    );
+                    failed = true;
+                }
+            }
+            _ => eprintln!(
+                "WARN: --min-throughput-ratio needs both a 1-tenant and a multi-tenant point"
+            ),
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

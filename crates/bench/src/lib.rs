@@ -11,6 +11,7 @@
 //! | `fig19_bandwidth` | Fig 19: transfer rate, standard vs prefetch iterator |
 //! | `fig20_prefetch_distance` | Fig 20: transfer rate vs prefetch distance |
 //! | `table1_policies` | Table I: execution-policy catalogue |
+//! | `solver_farm` | multi-tenant farm: throughput + p50/p95/p99 at 1/16/128 tenants |
 //! | `all_figures` | runs everything, writing CSVs to `results/` |
 //!
 //! Every binary accepts `--cells`, `--iters`, `--threads a,b,c`, `--reps`,
@@ -22,4 +23,4 @@ pub mod tables;
 
 pub use harness::{bandwidth_run, run_airfoil, Measurement, Variant};
 pub use sweep::{parse_sweep_args, SweepArgs};
-pub use tables::Table;
+pub use tables::{percentile, LatencySummary, Table};

@@ -2,9 +2,10 @@
 //! divided.
 
 use hpx_rt::timing::Clock;
-use hpx_rt::{ChunkPolicy, PersistentChunker};
+use hpx_rt::{ChunkPolicy, GranularityFeedback, PersistentChunker};
 
 use crate::dat::Layout;
+use crate::driver::SpecShare;
 
 /// The three execution strategies compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,20 @@ pub struct Op2Config {
     /// [`ChunkPolicy::PersistentAuto`] chunker carries its own clock and
     /// ignores this one.
     pub clock: Clock,
+    /// Loop-spec cache this world resolves schedules through. `None` (the
+    /// default) gives the world a private cache; a [`SpecShare`] handle
+    /// cloned into several configs makes those worlds share warm schedules
+    /// — cache keys are content signatures, so same-shaped meshes hit
+    /// across worlds (see [`crate::farm`]).
+    pub shared_specs: Option<SpecShare>,
+    /// Measured-cost table adaptive granularity resolves from. `None` (the
+    /// default) follows the chunk policy: a
+    /// [`ChunkPolicy::PersistentAuto`] chunker's own table, else a private
+    /// accumulator on [`Op2Config::clock`]. An explicit handle overrides
+    /// both — the farm installs one table for every tenant world, so a
+    /// tenant's first loop resolves granularity from costs its neighbours
+    /// already measured.
+    pub shared_feedback: Option<GranularityFeedback>,
 }
 
 impl Op2Config {
@@ -84,6 +99,8 @@ impl Op2Config {
             prefetch_distance: None,
             layout: Layout::AoS,
             clock: Clock::real(),
+            shared_specs: None,
+            shared_feedback: None,
         }
     }
 
@@ -100,6 +117,8 @@ impl Op2Config {
             prefetch_distance: None,
             layout: Layout::AoS,
             clock: Clock::real(),
+            shared_specs: None,
+            shared_feedback: None,
         }
     }
 
@@ -115,6 +134,8 @@ impl Op2Config {
             prefetch_distance: None,
             layout: Layout::AoS,
             clock: Clock::real(),
+            shared_specs: None,
+            shared_feedback: None,
         }
     }
 
@@ -139,6 +160,8 @@ impl Op2Config {
             prefetch_distance: None,
             layout: Layout::AoS,
             clock,
+            shared_specs: None,
+            shared_feedback: None,
         }
     }
 
@@ -196,6 +219,24 @@ impl Op2Config {
     #[must_use]
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Resolves loop schedules through `specs` instead of a private cache.
+    /// Clone one [`SpecShare`] into several configs and the worlds built
+    /// from them share warm schedules (content-signature keys — see
+    /// [`Op2Config::shared_specs`]).
+    #[must_use]
+    pub fn with_shared_specs(mut self, specs: SpecShare) -> Self {
+        self.shared_specs = Some(specs);
+        self
+    }
+
+    /// Resolves adaptive granularity from `feedback` instead of the chunk
+    /// policy's own table (see [`Op2Config::shared_feedback`]).
+    #[must_use]
+    pub fn with_shared_feedback(mut self, feedback: GranularityFeedback) -> Self {
+        self.shared_feedback = Some(feedback);
         self
     }
 }

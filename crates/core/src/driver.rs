@@ -237,11 +237,16 @@ fn feedback_block_size(
 ///
 /// The same resolution applies to colored (indirect) loops: the resolved
 /// granularity is the coloring block size, and the plan cache keys on it.
-fn resolve_granularity(world: &Op2, kernel: &str, set_id: u64, n: usize) -> usize {
+///
+/// Feedback is keyed by `(kernel, set signature)` — *shape*, not entity
+/// identity — so a second world running the same solver (a farm tenant)
+/// resolves measured granularities from the first world's samples when the
+/// two share a feedback table.
+fn resolve_granularity(world: &Op2, kernel: &str, set_sig: u64, n: usize) -> usize {
     let cfg = world.config();
     let default_bs = cfg.block_size.max(1);
     let measured = |target_ns: u64, min: usize| -> usize {
-        match world.granularity_feedback().cost(kernel, set_id) {
+        match world.granularity_feedback().cost(kernel, set_sig) {
             None => default_bs,
             Some(c) => feedback_block_size(target_ns, c.ewma_ns_per_elem, n, cfg.threads, min),
         }
@@ -256,7 +261,7 @@ fn resolve_granularity(world: &Op2, kernel: &str, set_id: u64, n: usize) -> usiz
         ChunkPolicy::Auto { target } => measured(target.as_nanos() as u64, 1),
         ChunkPolicy::PersistentAuto(handle) => {
             let target_ns = handle.target_ns();
-            if let Some(c) = world.granularity_feedback().cost(kernel, set_id) {
+            if let Some(c) = world.granularity_feedback().cost(kernel, set_sig) {
                 // First kernel with feedback calibrates the shared
                 // duration (first-loop-wins): later kernels match this
                 // duration with their own sizes (paper Fig 12b). The
@@ -326,7 +331,7 @@ impl SpecKey {
             .map(|i| {
                 let kind = match &i.kind {
                     ArgKind::Direct => SigKind::Direct,
-                    ArgKind::Indirect { map, idx } => SigKind::Via(map.id(), *idx),
+                    ArgKind::Indirect { map, idx } => SigKind::Via(map.signature(), *idx),
                     ArgKind::Global => SigKind::Global,
                 };
                 (i.access, kind)
@@ -341,17 +346,20 @@ impl SpecKey {
         };
         SpecKey {
             name: spec.name.clone(),
-            set: spec.set.id(),
+            set: spec.set.signature(),
             sig,
             chunk: (chunk.0, chunk.1),
         }
     }
 }
 
-/// Per-context cache of dataflow [`Schedule`]s, the OP2-style "plan once,
-/// execute many" applied to the *whole* loop shape: repeated solver
-/// iterations of a named loop reuse the block partition and color rounds
-/// without rebuilding or even re-deriving conflicts.
+/// Cache of dataflow [`Schedule`]s, the OP2-style "plan once, execute
+/// many" applied to the *whole* loop shape: repeated solver iterations of
+/// a named loop reuse the block partition and color rounds without
+/// rebuilding or even re-deriving conflicts. Private to one context by
+/// default, but key identity is **shape** (kernel name, set/map content
+/// signatures, chunk-policy kind), so a cache shared between worlds via
+/// [`SpecShare`] hits warm across tenants running the same solver.
 ///
 /// Every cached schedule carries the **resolved node granularity** it was
 /// built at. A lookup whose freshly resolved granularity matches is a
@@ -370,7 +378,7 @@ pub(crate) struct SpecCache {
 
 impl SpecCache {
     fn get(&self, world: &Op2, spec: &LoopSpec, n: usize) -> Arc<Schedule> {
-        let granularity = resolve_granularity(world, &spec.name, spec.set.id(), n);
+        let granularity = resolve_granularity(world, &spec.name, spec.set.signature(), n);
         let key = SpecKey::of(world, spec);
         match self.map.lock().get(&key) {
             Some((g, s)) if *g == granularity => {
@@ -417,6 +425,59 @@ impl SpecCache {
     }
 }
 
+/// A shareable handle to one loop-spec cache (see [`SpecCache`]'s
+/// internal docs): clone it into several [`Op2Config`]s via
+/// [`Op2Config::with_shared_specs`](crate::Op2Config::with_shared_specs)
+/// and every world built from them resolves loop schedules through **one**
+/// cache. Because keys are content signatures, not entity ids, a world
+/// declaring the same mesh shape as an earlier one hits the earlier
+/// world's warm schedules on its very first loop — the cross-tenant warm
+/// path of [`crate::farm`].
+///
+/// The default value (`SpecShare::default()`) is a fresh, empty cache —
+/// exactly what a solitary `Op2::new` gets.
+#[derive(Clone, Default)]
+pub struct SpecShare {
+    cache: Arc<SpecCache>,
+}
+
+impl SpecShare {
+    /// A fresh, empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn cache(&self) -> &SpecCache {
+        &self.cache
+    }
+
+    /// Number of distinct loop shapes with a built schedule.
+    pub fn built(&self) -> usize {
+        self.cache.built()
+    }
+
+    /// Lookups served from a cached schedule (across every sharing world).
+    pub fn hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Granularity-change invalidations (see
+    /// [`Op2::spec_cache_replans`](crate::Op2::spec_cache_replans)).
+    pub fn replans(&self) -> u64 {
+        self.cache.replans()
+    }
+}
+
+impl std::fmt::Debug for SpecShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecShare")
+            .field("built", &self.built())
+            .field("hits", &self.hits())
+            .field("replans", &self.replans())
+            .finish()
+    }
+}
+
 /// The uniform node granularity a Dataflow loop named `kernel` over `set`
 /// resolves to under `world`'s configuration and current feedback —
 /// exposed so tests can assert the feedback wiring (probe default before
@@ -424,7 +485,7 @@ impl SpecCache {
 /// into the driver.
 #[doc(hidden)]
 pub fn __dataflow_resolved_block_size(world: &Op2, kernel: &str, set: &Set) -> usize {
-    resolve_granularity(world, kernel, set.id(), set.size())
+    resolve_granularity(world, kernel, set.signature(), set.size())
 }
 
 /// The block partition a *direct* dataflow loop named `kernel` over `set`
@@ -433,7 +494,7 @@ pub fn __dataflow_resolved_block_size(world: &Op2, kernel: &str, set: &Set) -> u
 #[doc(hidden)]
 pub fn __dataflow_direct_blocks(world: &Op2, kernel: &str, set: &Set) -> Vec<Range<usize>> {
     let n = set.size();
-    let bs = resolve_granularity(world, kernel, set.id(), n);
+    let bs = resolve_granularity(world, kernel, set.signature(), n);
     (0..n.div_ceil(bs))
         .map(|b| b * bs..((b + 1) * bs).min(n))
         .collect()
@@ -441,7 +502,7 @@ pub fn __dataflow_direct_blocks(world: &Op2, kernel: &str, set: &Set) -> Vec<Ran
 
 /// What a measuring dataflow node needs to report its execution cost back
 /// to the feedback accumulator: the accumulator itself (which carries the
-/// clock), the kernel name and the set id.
+/// clock), the kernel name and the set signature.
 struct MeasureCtx {
     feedback: GranularityFeedback,
     name: Arc<str>,
@@ -463,8 +524,8 @@ const GATHER_LOOKAHEAD_MAX: usize = 128;
 /// resolved from the granularity feedback's measured per-element cost when
 /// available (cheap kernels look further ahead, expensive ones barely need
 /// to), the static paper default otherwise.
-fn gather_lookahead(world: &Op2, kernel: &str, set_id: u64) -> usize {
-    match world.granularity_feedback().cost(kernel, set_id) {
+fn gather_lookahead(world: &Op2, kernel: &str, set_sig: u64) -> usize {
+    match world.granularity_feedback().cost(kernel, set_sig) {
         Some(c) => ((MEM_LATENCY_NS / c.ewma_ns_per_elem.max(1e-3)) as usize)
             .clamp(1, GATHER_LOOKAHEAD_MAX),
         None => GATHER_LOOKAHEAD_DEFAULT,
@@ -491,7 +552,7 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
         Arc::new(MeasureCtx {
             feedback: world.granularity_feedback().clone(),
             name: spec.name.clone(),
-            set: spec.set.id(),
+            set: spec.set.signature(),
         })
     });
 
@@ -506,7 +567,7 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     // cost when the feedback table has one.
     let gather = spec.gather.clone();
     let lookahead = if gather.is_some() {
-        gather_lookahead(world, &spec.name, spec.set.id())
+        gather_lookahead(world, &spec.name, spec.set.signature())
     } else {
         0
     };

@@ -49,6 +49,7 @@ mod config;
 mod dat;
 pub mod diag;
 mod driver;
+pub mod farm;
 mod gbl;
 pub mod locality;
 mod map;
@@ -66,7 +67,9 @@ pub use arg::{
 };
 pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
 pub use dat::{Dat, DatReadGuard, DatWriteGuard, Layout};
-pub use driver::{__dataflow_direct_blocks, __dataflow_resolved_block_size, plan_for, LoopHandle};
+pub use driver::{
+    __dataflow_direct_blocks, __dataflow_resolved_block_size, plan_for, LoopHandle, SpecShare,
+};
 pub use gbl::{Global, ReduceOp, ReducedFuture, Reducible};
 pub use map::Map;
 pub use par_loop::ParLoop;

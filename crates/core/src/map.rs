@@ -8,7 +8,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::plan::{build_block_reach, BlockReach};
-use crate::set::Set;
+use crate::set::{Fnv, Set};
 use crate::types::next_entity_id;
 
 /// Cache of [`Map::touched_target_blocks`] results, keyed by
@@ -23,6 +23,8 @@ pub(crate) struct MapInner {
     pub dim: usize,
     pub indices: Vec<u32>,
     pub name: String,
+    /// Content signature — see [`Map::signature`].
+    pub signature: u64,
     /// Target rows beyond `to.size()` the table may index — the halo
     /// mirror region of a sharded dat (see [`crate::locality`]). 0 for
     /// ordinary single-locality maps.
@@ -79,6 +81,19 @@ impl Map {
                 to.size()
             );
         }
+        // Content signature: the cached dataflow schedules keyed on it
+        // embed colorings derived from the actual index table, so the
+        // table's contents — not just the endpoint shapes — must be part
+        // of the identity.
+        let mut sig = Fnv::new()
+            .bytes(name.as_bytes())
+            .u64(dim as u64)
+            .u64(from.signature())
+            .u64(to.signature())
+            .u64(halo_targets as u64);
+        for &t in &indices {
+            sig = sig.u64(t as u64);
+        }
         Map {
             inner: Arc::new(MapInner {
                 id: next_entity_id(),
@@ -87,6 +102,7 @@ impl Map {
                 dim,
                 indices,
                 name: name.to_owned(),
+                signature: sig.finish(),
                 halo_targets,
                 reach: Mutex::new(HashMap::new()),
                 touched: Mutex::new(HashMap::new()),
@@ -199,6 +215,16 @@ impl Map {
         self.inner.id
     }
 
+    /// Content signature: a stable hash of the map's name, arity, endpoint
+    /// set signatures, halo extent and **the full index table**. Two maps
+    /// declared identically in different [`Op2`](crate::Op2) worlds share a
+    /// signature, so loop shapes over them share warm-cache entries (see
+    /// [`Set::signature`]); any difference in connectivity — which changes
+    /// coloring — changes the signature.
+    pub fn signature(&self) -> u64 {
+        self.inner.signature
+    }
+
     /// The raw index table (row-major, `from.size()` rows of `dim`).
     pub fn indices(&self) -> &[u32] {
         &self.inner.indices
@@ -252,5 +278,20 @@ mod tests {
     fn rejects_wrong_length() {
         let (edges, nodes) = sets();
         let _ = Map::new(&edges, &nodes, 2, vec![0, 1], "short");
+    }
+
+    #[test]
+    fn signature_tracks_contents() {
+        let (edges, nodes) = sets();
+        let table = vec![0, 1, 1, 2, 2, 0, 0, 2];
+        let a = Map::new(&edges, &nodes, 2, table.clone(), "pedge");
+        let b = Map::new(&edges, &nodes, 2, table.clone(), "pedge");
+        assert_eq!(a.signature(), b.signature(), "identical declarations");
+        let mut other = table.clone();
+        other[7] = 1;
+        let c = Map::new(&edges, &nodes, 2, other, "pedge");
+        assert_ne!(a.signature(), c.signature(), "index table is hashed");
+        let d = Map::new(&edges, &nodes, 2, table, "pecell");
+        assert_ne!(a.signature(), d.signature(), "name is hashed");
     }
 }

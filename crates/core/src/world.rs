@@ -43,7 +43,9 @@ pub struct Op2 {
     rt: Arc<Runtime>,
     config: Op2Config,
     plans: PlanCache,
-    specs: crate::driver::SpecCache,
+    /// Loop-spec cache: private by default, one shared [`SpecShare`]
+    /// handle across worlds when the config installs one (farm tenants).
+    specs: crate::driver::SpecShare,
     /// Measured per-(kernel, set) cost the Dataflow driver resolves
     /// adaptive node granularity from. Under a
     /// [`ChunkPolicy::PersistentAuto`] config this is the chunker's own
@@ -99,15 +101,20 @@ impl Op2 {
     /// entities) but all ranks share one worker pool, so halo-exchange
     /// tasks and loop blocks of different ranks interleave freely.
     pub fn with_runtime(config: Op2Config, rt: Arc<Runtime>) -> Self {
-        let feedback = match &config.chunk {
-            ChunkPolicy::PersistentAuto(h) => h.feedback().clone(),
-            _ => GranularityFeedback::with_clock(config.clock.clone()),
+        // An explicitly shared feedback table overrides the policy default
+        // (the farm installs one per-farm table so every tenant world
+        // resolves from the same measured costs).
+        let feedback = match (&config.shared_feedback, &config.chunk) {
+            (Some(fb), _) => fb.clone(),
+            (None, ChunkPolicy::PersistentAuto(h)) => h.feedback().clone(),
+            (None, _) => GranularityFeedback::with_clock(config.clock.clone()),
         };
+        let specs = config.shared_specs.clone().unwrap_or_default();
         Op2 {
             rt,
             config,
             plans: PlanCache::default(),
-            specs: crate::driver::SpecCache::default(),
+            specs,
             feedback,
             outstanding: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(HashMap::new())),
@@ -250,7 +257,7 @@ impl Op2 {
     }
 
     pub(crate) fn specs(&self) -> &crate::driver::SpecCache {
-        &self.specs
+        self.specs.cache()
     }
 
     pub(crate) fn stats_handle(&self) -> StatsHandle {

@@ -224,9 +224,10 @@ fn adaptive_granularity_preserves_sharded_physics_across_halo_boundary() {
         assert!(d_rms < 1e-7, "{name}: rms deviates by {d_rms:e}");
         assert!(d_q < 1e-9, "{name}: q deviates by {d_q:e}");
     }
-    // The persistent chunker measured across all 4 ranks: per-rank sets
-    // have distinct ids, so the shared table holds one entry per
-    // (kernel, rank set) that executed under it.
+    // The persistent chunker measured across all 4 ranks. The table is
+    // keyed by (kernel, set *signature*) — same-shaped rank sets share an
+    // entry — but the five airfoil kernels span several sets, so the
+    // shared table still holds at least a handful of entries.
     let measured = chunker.feedback().snapshot();
     assert!(
         measured.len() >= 4,
