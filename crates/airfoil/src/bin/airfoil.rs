@@ -39,6 +39,8 @@ struct Args {
     prefetch: Option<usize>,
     persistent: bool,
     print_every: usize,
+    rebalance: usize,
+    skew: f64,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +57,8 @@ fn parse_args() -> Args {
         prefetch: None,
         persistent: false,
         print_every: 100,
+        rebalance: 0,
+        skew: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +81,8 @@ fn parse_args() -> Args {
             "--print-every" => {
                 args.print_every = value("--print-every").parse().expect("--print-every")
             }
+            "--rebalance" => args.rebalance = value("--rebalance").parse().expect("--rebalance"),
+            "--skew" => args.skew = value("--skew").parse().expect("--skew"),
             "--paper-scale" => args.cells = 720_000,
             "--help" | "-h" => {
                 println!(
@@ -93,7 +99,11 @@ fn parse_args() -> Args {
                      --prefetch F       enable prefetching, distance factor F\n\
                      --persistent       persistent_auto_chunk_size: measured,\n    \
                                     feedback-resolved dataflow node granularity\n\
-                     --print-every N    residual print period (default 100)"
+                     --print-every N    residual print period (default 100)\n\
+                     --rebalance N      live-repartition check period in iterations\n    \
+                                    (sharded runs only; 0 = off, the default)\n\
+                     --skew S           artificial per-cell cost skew units (see\n    \
+                                    SolverConfig::skew; sharded runs only)"
                 );
                 std::process::exit(0);
             }
@@ -214,12 +224,15 @@ fn main() {
             }
             None => shard::ShardedProblem::declare(config, &mesh, args.ranks),
         };
+        let mut shp = shp;
         let result = shard::run_sharded(
-            &shp,
+            &mut shp,
             &SolverConfig {
                 niter: args.iters,
                 window: 16,
                 print_every: args.print_every,
+                skew: args.skew,
+                rebalance_every: args.rebalance,
             },
         );
         if is_rank0 {
@@ -274,6 +287,7 @@ fn main() {
             niter: args.iters,
             window: 16,
             print_every: args.print_every,
+            ..SolverConfig::default()
         },
     );
 

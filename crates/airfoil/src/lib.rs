@@ -16,7 +16,7 @@
 //! let mesh = channel_with_bump(24, 12);
 //! let problem = Problem::declare(&op2, &mesh);
 //! let result = solver::run(&op2, &problem, &SolverConfig {
-//!     niter: 5, window: 4, print_every: 0,
+//!     niter: 5, window: 4, ..Default::default()
 //! });
 //! assert_eq!(result.rms_history.len(), 5);
 //! assert!(result.rms_history.iter().all(|r| r.is_finite()));
@@ -34,5 +34,5 @@ pub mod solver;
 pub mod verify;
 
 pub use setup::Problem;
-pub use shard::{run_sharded, RankProblem, ShardedProblem};
+pub use shard::{run_sharded, RankProblem, RebalanceReport, ShardedProblem};
 pub use solver::{run, solve, RunResult, SolverConfig};

@@ -64,10 +64,16 @@ use std::time::Instant;
 
 use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
 use op2_core::hpx_rt::SharedFuture;
-use op2_core::locality::{HaloSpec, LocalityGroup};
+use op2_core::locality::{ExchangeOpts, HaloSpec, LocalityGroup};
+use op2_core::rebalance::{
+    agree_rank_busy, cost_levels, migrate_rows, MigrationSpec, DEFAULT_DEAD_ZONE,
+};
 use op2_core::transport::{InProcessTransport, Transport};
 use op2_core::{Dat, Global, LoopHandle, Map, Op2Config, ReducedFuture, Set};
-use op2_mesh::{build_halo, neighbors_from_pairs, partition_greedy_bfs, QuadMesh};
+use op2_mesh::{
+    build_halo, neighbors_from_pairs, partition_greedy_bfs, partition_greedy_bfs_weighted,
+    Partition, QuadMesh,
+};
 
 use crate::constants::qinf;
 use crate::kernels;
@@ -132,6 +138,22 @@ pub struct ShardedProblem {
     pub owned_cells: Vec<Vec<u32>>,
     /// Global cell count.
     pub ncell_global: usize,
+    /// The global mesh, kept so [`ShardedProblem::rebalance`] can
+    /// re-derive shards for a new ownership.
+    pub mesh: QuadMesh,
+}
+
+/// What one successful [`ShardedProblem::rebalance`] did.
+#[derive(Debug, Clone)]
+pub struct RebalanceReport {
+    /// The agreed per-rank busy nanoseconds the decision was taken from.
+    pub busy_ns: Vec<u64>,
+    /// Quantized per-element cost level of each rank's old shard.
+    pub levels: Vec<u64>,
+    /// Cells that changed owner rank.
+    pub rows_crossing: usize,
+    /// Cached loop schedules retired with the old shards.
+    pub specs_dropped: usize,
 }
 
 impl ShardedProblem {
@@ -161,17 +183,44 @@ impl ShardedProblem {
         );
         let adj = neighbors_from_pairs(&mesh.edge_cells, mesh.ncell);
         let part = partition_greedy_bfs(&adj, nranks);
-        let halo = build_halo(&part, &mesh.edge_cells, 2);
         let group = LocalityGroup::with_transport(config, transport);
-        let local = group.local_ranks();
-        let qinf = qinf();
+        let owned_cells = part.owned_all();
+        let (parts, spec) = declare_shards(&group, mesh, &part, &owned_cells);
 
-        let mut parts = Vec::with_capacity(local.len());
-        let mut owned_cells = Vec::with_capacity(nranks);
-        let mut spec = HaloSpec::empty(nranks);
+        ShardedProblem {
+            group,
+            parts,
+            cell_spec: spec,
+            cell_owner: part.part_of,
+            owned_cells,
+            ncell_global: mesh.ncell,
+            mesh: mesh.clone(),
+        }
+    }
+}
 
-        for r in 0..nranks {
-            let owned = part.owned(r);
+/// Declares every locally hosted rank's shard of `mesh` for the ownership
+/// `part` / `owned_all` (the latter is `part.owned_all()`, passed in so
+/// callers can reuse it) and ties the `q`/`adt` shards into fresh halo
+/// rings. Shared by first declaration and live repartitioning; fully
+/// deterministic in its inputs.
+fn declare_shards(
+    group: &LocalityGroup,
+    mesh: &QuadMesh,
+    part: &Partition,
+    owned_all: &[Vec<u32>],
+) -> (Vec<RankProblem>, HaloSpec) {
+    let nranks = part.nparts;
+    let halo = build_halo(part, &mesh.edge_cells, 2);
+    let local = group.local_ranks();
+    let qinf = qinf();
+
+    let mut parts = Vec::with_capacity(local.len());
+    let mut spec = HaloSpec::empty(nranks);
+
+    {
+        let halo = &halo;
+        for (r, owned) in owned_all.iter().enumerate() {
             let n_owned = owned.len();
 
             // Local cell numbering: owned first, then halo imports grouped
@@ -202,7 +251,6 @@ impl ShardedProblem {
 
             // The spec is global; the entities below are per-process.
             if !local.contains(&r) {
-                owned_cells.push(owned);
                 continue;
             }
             let op2 = group.rank(r);
@@ -224,7 +272,7 @@ impl ShardedProblem {
 
             // Local nodes: everything the local elements reach, ascending.
             let mut lnodes: Vec<u32> = Vec::new();
-            for &c in &owned {
+            for &c in owned {
                 lnodes.extend_from_slice(&mesh.cell_nodes[4 * c as usize..4 * c as usize + 4]);
             }
             for &e in &ledges {
@@ -330,28 +378,22 @@ impl ShardedProblem {
                 n_interior_edges: n_interior,
                 n_halo_cells: n_halo,
             });
-            owned_cells.push(owned);
-        }
-        spec.validate().expect("shard construction broke the spec");
-
-        // Implicit communication: tie the q and adt shards into halo
-        // rings so the time loop needs no manual exchange calls (res
-        // halo increments are dead values — see module docs).
-        let qs: Vec<Dat<f64>> = parts.iter().map(|p| p.p_q.clone()).collect();
-        let adts: Vec<Dat<f64>> = parts.iter().map(|p| p.p_adt.clone()).collect();
-        group.link_halo(&qs, &spec);
-        group.link_halo(&adts, &spec);
-
-        ShardedProblem {
-            group,
-            parts,
-            cell_spec: spec,
-            cell_owner: part.part_of,
-            owned_cells,
-            ncell_global: mesh.ncell,
         }
     }
+    spec.validate().expect("shard construction broke the spec");
 
+    // Implicit communication: tie the q and adt shards into halo
+    // rings so the time loop needs no manual exchange calls (res
+    // halo increments are dead values — see module docs).
+    let qs: Vec<Dat<f64>> = parts.iter().map(|p| p.p_q.clone()).collect();
+    let adts: Vec<Dat<f64>> = parts.iter().map(|p| p.p_adt.clone()).collect();
+    group.link_halo(&qs, &spec);
+    group.link_halo(&adts, &spec);
+
+    (parts, spec)
+}
+
+impl ShardedProblem {
     /// Assembles the global solution vector from the ranks' owned rows
     /// (waits for pending writers). All-local groups only: a distributed
     /// process holds just its own shard of the solution.
@@ -369,6 +411,126 @@ impl ShardedProblem {
         }
         q
     }
+
+    /// Checks the measured per-rank busy times for imbalance and, when
+    /// the skew is outside the dead zone, live-repartitions: re-runs the
+    /// greedy-BFS partitioner with cost-weighted quotas, declares fresh
+    /// shards, migrates the flow state (`q`) into them as dataflow nodes
+    /// — **without stopping the pipeline** — and retires the old shards'
+    /// cached schedules and cost estimates. `None` means the workload is
+    /// balanced (or unmeasured) and *nothing* changed: a run that never
+    /// triggers stays bitwise identical to one that never checks.
+    ///
+    /// SPMD-safe: the decision is taken from [`agree_rank_busy`]'s agreed
+    /// vector, so every process repartitions identically or not at all.
+    /// Measured busy times reset after every check, triggered or not, so
+    /// each decision sees only the load profile since the last one.
+    pub fn rebalance(&mut self) -> Option<RebalanceReport> {
+        let busy = agree_rank_busy(&self.group);
+        self.rebalance_with_busy(&busy)
+    }
+
+    /// [`ShardedProblem::rebalance`] with the agreed per-rank busy times
+    /// supplied by the caller — the deterministic entry point tests and
+    /// drivers use to force (or provably not force) a migration.
+    pub fn rebalance_with_busy(&mut self, busy: &[u64]) -> Option<RebalanceReport> {
+        let nranks = self.group.nranks();
+        assert_eq!(busy.len(), nranks, "one busy time per rank");
+        let owned_sizes: Vec<usize> = self.owned_cells.iter().map(Vec::len).collect();
+        let decision = cost_levels(busy, &owned_sizes, DEFAULT_DEAD_ZONE);
+        // Fresh window either way: the next check must judge the load
+        // profile that develops from *this* decision.
+        self.reset_busy();
+        let levels = decision?;
+
+        // Each cell inherits its owner rank's measured per-element cost
+        // level; the weighted partitioner then equalizes predicted work,
+        // not cell counts.
+        let mut weights = vec![1u64; self.ncell_global];
+        for (r, owned) in self.owned_cells.iter().enumerate() {
+            for &c in owned {
+                weights[c as usize] = levels[r];
+            }
+        }
+        let adj = neighbors_from_pairs(&self.mesh.edge_cells, self.mesh.ncell);
+        let part = partition_greedy_bfs_weighted(&adj, nranks, &weights);
+        let new_owned = part.owned_all();
+        if new_owned == self.owned_cells {
+            return None;
+        }
+
+        let (new_parts, new_spec) = declare_shards(&self.group, &self.mesh, &part, &new_owned);
+
+        // Retire the old shards' cached schedules and measured costs
+        // BEFORE any loop runs over the new sets: set signatures are
+        // shape-based, so a rank re-declaring "cells" at an unchanged
+        // size would otherwise hit the old shard's stale entries.
+        let local = self.group.local_ranks();
+        let mut specs_dropped = 0;
+        for (i, p) in self.parts.iter().enumerate() {
+            let op2 = self.group.rank(local.start + i);
+            for sig in [
+                p.cells.signature(),
+                p.edges.signature(),
+                p.bedges.signature(),
+            ] {
+                specs_dropped += op2.retire_set_signature(sig);
+            }
+        }
+
+        // Only `q` carries state across iteration boundaries (`qold`,
+        // `adt`, `res` are recomputed from it every iteration, and halo
+        // mirrors refresh on first read) — migrate its owned rows as
+        // ordinary epoch-table nodes and let the dependency chains gate
+        // the new shards' first loops on the landings.
+        let mspec = MigrationSpec::diff(&self.owned_cells, &new_owned);
+        let old_q: Vec<Dat<f64>> = self.parts.iter().map(|p| p.p_q.clone()).collect();
+        let new_q: Vec<Dat<f64>> = new_parts.iter().map(|p| p.p_q.clone()).collect();
+        migrate_rows(
+            &self.group,
+            &old_q,
+            &new_q,
+            &mspec,
+            &ExchangeOpts::default(),
+        );
+
+        let report = RebalanceReport {
+            busy_ns: busy.to_vec(),
+            levels,
+            rows_crossing: mspec.rows_crossing(),
+            specs_dropped,
+        };
+        self.parts = new_parts;
+        self.cell_spec = new_spec;
+        self.cell_owner = part.part_of;
+        self.owned_cells = new_owned;
+        Some(report)
+    }
+
+    fn reset_busy(&self) {
+        // Rank worlds in one process share the feedback table, but under
+        // a shared spec cache the table may span processes' worth of
+        // state — reset through every local world to stay correct for
+        // both wirings.
+        for world in self.group.ranks() {
+            world.granularity_feedback().reset_rank_busy();
+        }
+    }
+}
+
+/// Extra spin work proportional to how far this cell's state has moved
+/// off free stream — the "work follows the flow gradient" cost model of
+/// the load-balancing demo ([`SolverConfig::skew`]). Burns time only;
+/// every dat value stays bitwise identical to the unskewed kernel.
+#[inline]
+fn skew_work(skew: f64, q: &[f64], qinf: &[f64; 4]) {
+    let dev: f64 = q.iter().zip(qinf).map(|(a, b)| (a - b).abs()).sum();
+    let spins = (skew * dev) as u64;
+    let mut acc = 0u64;
+    for i in 0..spins {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        std::hint::black_box(acc);
+    }
 }
 
 /// Runs `cfg.niter` Airfoil iterations over the sharded problem — the
@@ -377,7 +539,12 @@ impl ShardedProblem {
 /// rings linked at declare time schedule the `q`/`adt` exchanges when
 /// `res_calc`'s stale halo reads are submitted (overlapped with interior
 /// compute under the Dataflow backend; see module docs).
-pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
+///
+/// Takes the problem `&mut` because `cfg.rebalance_every > 0` lets the
+/// loop live-repartition between iterations
+/// ([`ShardedProblem::rebalance`]); with rebalancing off the problem is
+/// only read.
+pub fn run_sharded(shp: &mut ShardedProblem, cfg: &SolverConfig) -> RunResult {
     let nranks = shp.parts.len();
     let first = shp.group.local_ranks().start;
     // Under a distributed transport every process computes the reduced
@@ -407,6 +574,8 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
         for _k in 0..2 {
             for (r, p) in shp.parts.iter().enumerate() {
                 let op2 = shp.group.rank(first + r);
+                let skew = cfg.skew;
+                let qinf = p.qinf;
                 op2.loop_("adt_calc", &p.cells)
                     .arg(read_via(&p.p_x, &p.pcell, 0))
                     .arg(read_via(&p.p_x, &p.pcell, 1))
@@ -415,13 +584,16 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
                     .arg(read(&p.p_q))
                     .arg(write(&p.p_adt))
                     .run(
-                        |x1: &[f64],
-                         x2: &[f64],
-                         x3: &[f64],
-                         x4: &[f64],
-                         q: &[f64],
-                         adt: &mut [f64]| {
-                            kernels::adt_calc(x1, x2, x3, x4, q, adt)
+                        move |x1: &[f64],
+                              x2: &[f64],
+                              x3: &[f64],
+                              x4: &[f64],
+                              q: &[f64],
+                              adt: &mut [f64]| {
+                            kernels::adt_calc(x1, x2, x3, x4, q, adt);
+                            if skew > 0.0 {
+                                skew_work(skew, q, &qinf);
+                            }
                         },
                     );
             }
@@ -528,6 +700,23 @@ pub fn run_sharded(shp: &ShardedProblem, cfg: &SolverConfig) -> RunResult {
                 h.wait();
             }
         }
+
+        // Feedback-driven live repartitioning: between iterations, never
+        // for the last one. A triggered rebalance swaps `shp`'s shards;
+        // the next iteration's loops run over the new ones, gated by the
+        // migration nodes through the epoch tables — the pipeline never
+        // drains.
+        if cfg.rebalance_every > 0 && iter % cfg.rebalance_every == 0 && iter < cfg.niter {
+            if let Some(rep) = shp.rebalance() {
+                if prints_here {
+                    eprintln!(
+                        " rebalance @ iter {iter}: levels {:?}, {} cells changed rank, \
+                         {} cached schedules retired",
+                        rep.levels, rep.rows_crossing, rep.specs_dropped
+                    );
+                }
+            }
+        }
     }
 
     shp.group.fence();
@@ -602,6 +791,7 @@ mod tests {
             niter: 4,
             window: 2,
             print_every: 0,
+            ..SolverConfig::default()
         };
         // Plain single-context run.
         let op2 = op2_core::Op2::new(Op2Config::seq());
@@ -610,8 +800,8 @@ mod tests {
         let q_plain = p.p_q.snapshot();
         // Sharded run with one rank: identical renumbering, identical
         // execution order under Seq — results must match bit for bit.
-        let shp = ShardedProblem::declare(Op2Config::seq(), &mesh, 1);
-        let sharded = run_sharded(&shp, &cfg);
+        let mut shp = ShardedProblem::declare(Op2Config::seq(), &mesh, 1);
+        let sharded = run_sharded(&mut shp, &cfg);
         assert_eq!(sharded.rms_history, plain.rms_history);
         assert_eq!(shp.gather_q(), q_plain);
     }
@@ -623,9 +813,10 @@ mod tests {
             niter: 3,
             window: 2,
             print_every: 0,
+            ..SolverConfig::default()
         };
-        let shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, 3);
-        let r = run_sharded(&shp, &cfg);
+        let mut shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, 3);
+        let r = run_sharded(&mut shp, &cfg);
         assert!(r.rms_history.iter().all(|v| v.is_finite()));
     }
 }

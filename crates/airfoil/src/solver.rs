@@ -33,6 +33,17 @@ pub struct SolverConfig {
     /// Print `rms` every so many iterations (0 = never), mirroring the
     /// original's `iter % 100` report.
     pub print_every: usize,
+    /// Artificial per-cell cost skew for load-balancing studies: each
+    /// cell burns `skew * |q - q_inf|` extra spin-work units in
+    /// `adt_calc` (values are bitwise untouched), so cost tracks the
+    /// flow field and concentrates around the bump's disturbed region —
+    /// which no uniform static partition can balance. 0.0 (the default)
+    /// disables the skew entirely. Honored by the sharded runner only.
+    pub skew: f64,
+    /// Check for rank imbalance and live-repartition every so many
+    /// iterations (0 = never). Honored by the sharded runner only; see
+    /// [`crate::shard::ShardedProblem::rebalance`].
+    pub rebalance_every: usize,
 }
 
 impl Default for SolverConfig {
@@ -41,6 +52,8 @@ impl Default for SolverConfig {
             niter: 1000,
             window: 16,
             print_every: 0,
+            skew: 0.0,
+            rebalance_every: 0,
         }
     }
 }
@@ -72,7 +85,7 @@ impl RunResult {
 /// # let mesh = op2_mesh::channel_with_bump(24, 12);
 /// # let farm = op2_core::farm::SolverFarm::new(op2_core::farm::FarmConfig::with_threads(2));
 /// # let tenant = farm.register("t", op2_core::farm::Priority::Normal);
-/// let cfg = airfoil_cfd::SolverConfig { niter: 10, window: 4, print_every: 0 };
+/// let cfg = airfoil_cfd::SolverConfig { niter: 10, window: 4, ..Default::default() };
 /// let mesh = std::sync::Arc::new(mesh);
 /// farm.submit(&tenant, move |op2| {
 ///     airfoil_cfd::solve(op2, &mesh, &cfg);
@@ -242,6 +255,7 @@ mod tests {
                 niter,
                 window: 4,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         );
         let q = p.p_q.snapshot();
@@ -305,6 +319,7 @@ mod tests {
                 niter: 5,
                 window: 0,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         );
         // Continue with a large window on the same state.
@@ -315,6 +330,7 @@ mod tests {
                 niter: 5,
                 window: 64,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         );
         assert!(r1

@@ -176,6 +176,7 @@ fn bench_airfoil_iteration(b: &Bench) {
                     niter: 1,
                     window: 0,
                     print_every: 0,
+                    ..SolverConfig::default()
                 },
             )
             .final_rms()

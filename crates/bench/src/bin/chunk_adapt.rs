@@ -86,6 +86,7 @@ fn run_airfoil(config: &Op2Config, mesh: &QuadMesh, iters: usize, reps: usize) -
                 niter: iters,
                 window: 16,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         );
         assert!(

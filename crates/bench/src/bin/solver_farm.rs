@@ -132,6 +132,7 @@ fn run_point(args: &Args, ntenants: usize) -> Point {
         niter: args.iters,
         window: 4,
         print_every: 0,
+        ..airfoil_cfd::SolverConfig::default()
     };
     let farm = SolverFarm::new(
         FarmConfig::with_threads(args.threads)

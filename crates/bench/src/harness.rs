@@ -84,6 +84,7 @@ pub fn run_airfoil(
                 niter: iters,
                 window: 16,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         );
         let m = Measurement {

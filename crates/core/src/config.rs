@@ -86,6 +86,12 @@ pub struct Op2Config {
     /// tenant's first loop resolves granularity from costs its neighbours
     /// already measured.
     pub shared_feedback: Option<GranularityFeedback>,
+    /// Rank this world's feedback handle attributes measurements to.
+    /// `None` (the default) leaves the handle untagged; the locality layer
+    /// tags each rank world so measured kernel time accumulates per rank —
+    /// the imbalance signal live repartitioning reads
+    /// ([`hpx_rt::GranularityFeedback::rank_busy_ns`]).
+    pub feedback_rank: Option<u32>,
 }
 
 impl Op2Config {
@@ -101,6 +107,7 @@ impl Op2Config {
             clock: Clock::real(),
             shared_specs: None,
             shared_feedback: None,
+            feedback_rank: None,
         }
     }
 
@@ -119,6 +126,7 @@ impl Op2Config {
             clock: Clock::real(),
             shared_specs: None,
             shared_feedback: None,
+            feedback_rank: None,
         }
     }
 
@@ -136,6 +144,7 @@ impl Op2Config {
             clock: Clock::real(),
             shared_specs: None,
             shared_feedback: None,
+            feedback_rank: None,
         }
     }
 
@@ -162,6 +171,7 @@ impl Op2Config {
             clock,
             shared_specs: None,
             shared_feedback: None,
+            feedback_rank: None,
         }
     }
 
@@ -237,6 +247,15 @@ impl Op2Config {
     #[must_use]
     pub fn with_shared_feedback(mut self, feedback: GranularityFeedback) -> Self {
         self.shared_feedback = Some(feedback);
+        self
+    }
+
+    /// Attributes this world's feedback measurements to `rank` (per-rank
+    /// busy time + rank-local cost table; see
+    /// [`Op2Config::feedback_rank`]).
+    #[must_use]
+    pub fn with_feedback_rank(mut self, rank: u32) -> Self {
+        self.feedback_rank = Some(rank);
         self
     }
 }

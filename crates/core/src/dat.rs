@@ -490,6 +490,47 @@ impl<T: OpType> Dat<T> {
         }
     }
 
+    /// Scatters `buf` (canonical row-major order, one `dim`-wide chunk per
+    /// entry of `rows`) into the listed — possibly non-contiguous — rows.
+    /// The row-migration path lands moved rows with this (a rank's
+    /// newly-owned rows interleave with rows it kept, so the destination
+    /// is a list, unlike a halo import's contiguous range).
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold exclusive access to the target rows per the
+    /// module-level model; every row must be `< total_rows()` and
+    /// `buf.len()` must equal `rows.len() * dim`.
+    pub(crate) unsafe fn scatter_row_list_from(&self, rows: &[u32], buf: &[T]) {
+        let dim = self.inner.dim;
+        debug_assert_eq!(buf.len(), rows.len() * dim);
+        let base = unsafe { self.ptr() };
+        match self.inner.layout {
+            Layout::AoS => {
+                for (i, &row) in rows.iter().enumerate() {
+                    // SAFETY: row < total_rows per contract; rows are
+                    // dim-aligned in the never-resized storage.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            buf.as_ptr().add(i * dim),
+                            base.add(row as usize * dim),
+                            dim,
+                        )
+                    };
+                }
+            }
+            Layout::SoA => {
+                let stride = self.total_rows();
+                for (i, &row) in rows.iter().enumerate() {
+                    for c in 0..dim {
+                        // SAFETY: c * stride + row < dim * total_rows.
+                        unsafe { *base.add(c * stride + row as usize) = buf[i * dim + c] };
+                    }
+                }
+            }
+        }
+    }
+
     /// Clones the payload out in canonical row-major order (gathering SoA
     /// planes back into rows). Callers must already hold access.
     fn to_canonical_vec(&self) -> Vec<T> {

@@ -101,6 +101,11 @@ fn drive_sync(world: &Op2, spec: LoopSpec, parallel: bool) -> SharedFuture<()> {
     }
     let n = spec.set.size();
     let t0 = Instant::now();
+    // A rank-tagged world attributes whole-loop time to its rank through
+    // the feedback clock (so Seq sharded runs feed the rebalancer's
+    // imbalance signal — deterministically, under a fake clock).
+    let fb = world.granularity_feedback();
+    let start_ns = fb.rank().is_some().then(|| fb.clock().now_ns());
     if n > 0 {
         if !parallel {
             (spec.block_body)(0..n);
@@ -109,6 +114,10 @@ fn drive_sync(world: &Op2, spec: LoopSpec, parallel: bool) -> SharedFuture<()> {
         }
     }
     (spec.finalize)();
+    if let Some(start) = start_ns {
+        let elapsed = fb.clock().now_ns().saturating_sub(start);
+        fb.record(&spec.name, spec.set.signature(), n, elapsed);
+    }
     record_loop_time(&world.stats_handle(), &spec.name, t0.elapsed());
     SharedFuture::ready(())
 }
@@ -301,7 +310,7 @@ fn dataflow_schedule(world: &Op2, spec: &LoopSpec, n: usize, granularity: usize)
 
 /// One argument's contribution to a [`SpecKey`]: enough shape to make the
 /// cached schedule valid for any loop sharing it.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 enum SigKind {
     Direct,
     Via(u64, usize),
@@ -315,7 +324,7 @@ enum SigKind {
 /// granularity change *re-keys* (invalidates and rebuilds) the entry
 /// exactly once instead of accumulating one entry per granularity ever
 /// seen.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct SpecKey {
     name: Arc<str>,
     set: u64,
@@ -369,22 +378,64 @@ impl SpecKey {
 /// granularity change costs exactly one rebuild. Hits/misses/re-plans are
 /// mirrored in the `op2.spec_cache.{hits,misses,replans}` named counters
 /// of [`hpx_rt::stats`].
-#[derive(Default)]
+///
+/// Residency is **bounded**: the cache holds at most `capacity` schedules
+/// (default [`DEFAULT_SPEC_CAPACITY`]); inserting past it evicts the
+/// least-recently-used entry (`op2.spec_cache.evictions`), so a shared
+/// pool serving many distinct tenant shapes cannot grow without bound.
+/// Entries for a retired set signature are dropped eagerly via
+/// [`SpecCache::invalidate_set`] (`op2.spec_cache.invalidations`) — the
+/// live-repartition path, where schedules for a migrated-away set must not
+/// be reachable once its signature is reused.
 pub(crate) struct SpecCache {
-    map: Mutex<HashMap<SpecKey, (usize, Arc<Schedule>)>>,
+    map: Mutex<HashMap<SpecKey, CachedSpec>>,
     hits: AtomicU64,
     replans: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    /// Monotonic recency clock; every hit or insert stamps the entry.
+    tick: AtomicU64,
+    capacity: std::sync::atomic::AtomicUsize,
+}
+
+/// Default bound on resident schedules (see [`SpecCache`]).
+pub const DEFAULT_SPEC_CAPACITY: usize = 512;
+
+struct CachedSpec {
+    granularity: usize,
+    /// Recency stamp (larger = more recently used).
+    stamp: u64,
+    schedule: Arc<Schedule>,
+}
+
+impl Default for SpecCache {
+    fn default() -> Self {
+        SpecCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            capacity: std::sync::atomic::AtomicUsize::new(DEFAULT_SPEC_CAPACITY),
+        }
+    }
 }
 
 impl SpecCache {
+    fn touch(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     fn get(&self, world: &Op2, spec: &LoopSpec, n: usize) -> Arc<Schedule> {
         let granularity = resolve_granularity(world, &spec.name, spec.set.signature(), n);
         let key = SpecKey::of(world, spec);
-        match self.map.lock().get(&key) {
-            Some((g, s)) if *g == granularity => {
+        match self.map.lock().get_mut(&key) {
+            Some(c) if c.granularity == granularity => {
+                c.stamp = self.touch();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 hpx_rt::static_counter!("op2.spec_cache.hits").fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(s);
+                return Arc::clone(&c.schedule);
             }
             Some(_) => {
                 // Granularity changed: invalidate and rebuild (re-key).
@@ -399,16 +450,85 @@ impl SpecCache {
         // Built outside the lock (plan construction can be expensive);
         // re-check on insert so a concurrent same-shape submission that
         // won the race at this granularity is reused, not overwritten.
-        match self.map.lock().entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) if e.get().0 != granularity => {
-                e.insert((granularity, Arc::clone(&built)));
+        let stamp = self.touch();
+        let mut map = self.map.lock();
+        let out = match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e)
+                if e.get().granularity != granularity =>
+            {
+                e.insert(CachedSpec {
+                    granularity,
+                    stamp,
+                    schedule: Arc::clone(&built),
+                });
                 built
             }
-            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().1),
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().stamp = stamp;
+                Arc::clone(&e.get().schedule)
+            }
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert((granularity, Arc::clone(&built)));
+                v.insert(CachedSpec {
+                    granularity,
+                    stamp,
+                    schedule: Arc::clone(&built),
+                });
                 built
             }
+        };
+        // Bounded residency: evict the least-recently-used entries. The
+        // just-inserted entry carries the freshest stamp, so it is never
+        // the victim.
+        let cap = self.capacity.load(Ordering::Relaxed).max(1);
+        while map.len() > cap {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, c)| c.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            hpx_rt::static_counter!("op2.spec_cache.evictions").fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Drops every cached schedule keyed on set signature `set_sig` and
+    /// returns how many were removed. Called by the live-repartition path
+    /// after migration retires a set, so a stale schedule for the old
+    /// signature can never be hit again (a later mesh declaring the same
+    /// shape would otherwise reuse a schedule whose plan tables index the
+    /// retired entities' block layout).
+    pub fn invalidate_set(&self, set_sig: u64) -> usize {
+        let mut map = self.map.lock();
+        let before = map.len();
+        map.retain(|k, _| k.set != set_sig);
+        let removed = before - map.len();
+        drop(map);
+        if removed > 0 {
+            self.invalidations
+                .fetch_add(removed as u64, Ordering::Relaxed);
+            hpx_rt::static_counter!("op2.spec_cache.invalidations")
+                .fetch_add(removed as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Bounds resident schedules to `capacity` (≥ 1), evicting LRU entries
+    /// immediately if the cache is already over the new bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut map = self.map.lock();
+        while map.len() > capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, c)| c.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over-capacity map");
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            hpx_rt::static_counter!("op2.spec_cache.evictions").fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -422,6 +542,14 @@ impl SpecCache {
 
     pub fn replans(&self) -> u64 {
         self.replans.load(Ordering::Relaxed)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 }
 
@@ -442,9 +570,18 @@ pub struct SpecShare {
 }
 
 impl SpecShare {
-    /// A fresh, empty shared cache.
+    /// A fresh, empty shared cache with the default residency bound
+    /// ([`DEFAULT_SPEC_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh, empty shared cache holding at most `capacity` schedules
+    /// (LRU eviction past the bound; see [`SpecShare::set_capacity`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let share = Self::default();
+        share.cache.set_capacity(capacity);
+        share
     }
 
     pub(crate) fn cache(&self) -> &SpecCache {
@@ -465,6 +602,23 @@ impl SpecShare {
     /// [`Op2::spec_cache_replans`](crate::Op2::spec_cache_replans)).
     pub fn replans(&self) -> u64 {
         self.cache.replans()
+    }
+
+    /// Entries dropped by the LRU residency bound.
+    pub fn evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Entries dropped because their set signature was invalidated (live
+    /// repartition retiring a migrated set).
+    pub fn invalidations(&self) -> u64 {
+        self.cache.invalidations()
+    }
+
+    /// Re-bounds resident schedules to `capacity` (≥ 1), evicting
+    /// least-recently-used entries immediately if needed.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
     }
 }
 
@@ -543,11 +697,13 @@ fn drive_dataflow(world: &Op2, spec: LoopSpec) -> SharedFuture<()> {
     // A measuring policy closes the feedback loop: every node times its
     // body on the feedback clock and records (elements, elapsed), which
     // the *next* submission of this (kernel, set) resolves its granularity
-    // from.
-    let measure: Option<Arc<MeasureCtx>> = matches!(
+    // from. A rank-tagged world measures regardless of policy — its
+    // samples also accumulate the per-rank busy time the rebalancer reads,
+    // which must not depend on the chunking strategy.
+    let measure: Option<Arc<MeasureCtx>> = (matches!(
         world.config().chunk,
         ChunkPolicy::Auto { .. } | ChunkPolicy::PersistentAuto(_) | ChunkPolicy::Guided { .. }
-    )
+    ) || world.granularity_feedback().rank().is_some())
     .then(|| {
         Arc::new(MeasureCtx {
             feedback: world.granularity_feedback().clone(),

@@ -55,6 +55,7 @@ pub mod locality;
 mod map;
 mod par_loop;
 pub mod plan;
+pub mod rebalance;
 mod set;
 pub mod transport;
 mod types;
@@ -69,6 +70,7 @@ pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
 pub use dat::{Dat, DatReadGuard, DatWriteGuard, Layout};
 pub use driver::{
     __dataflow_direct_blocks, __dataflow_resolved_block_size, plan_for, LoopHandle, SpecShare,
+    DEFAULT_SPEC_CAPACITY,
 };
 pub use gbl::{Global, ReduceOp, ReducedFuture, Reducible};
 pub use map::Map;

@@ -179,9 +179,19 @@ impl LocalityGroup {
             "a locality group needs at least one rank"
         );
         let rt = Arc::new(Runtime::with_name(config.threads, "op2-locality"));
+        // Tag each rank world's feedback with its global rank id: measured
+        // kernel time then accumulates per rank — the imbalance signal the
+        // live-repartition path reads (a caller-specified tag wins, for
+        // tests that want a fixed attribution).
         let ranks = local
             .clone()
-            .map(|_| Op2::with_runtime(config.clone(), Arc::clone(&rt)))
+            .map(|r| {
+                let mut cfg = config.clone();
+                if cfg.feedback_rank.is_none() {
+                    cfg.feedback_rank = Some(r as u32);
+                }
+                Op2::with_runtime(cfg, Arc::clone(&rt))
+            })
             .collect();
         LocalityGroup {
             ranks,
@@ -677,6 +687,7 @@ pub fn exchange_with<T: OpType>(
             let seq = transport.next_seq(MsgKind::Halo, src, dst);
             if src_local {
                 let _send = schedule_send_half(
+                    MsgKind::Halo,
                     src,
                     dst,
                     &group.ranks[src - first].comm_hooks(),
@@ -714,7 +725,8 @@ pub fn exchange_with<T: OpType>(
 /// [`SendGuard`] (a skipped or panicking node abandons the exchange so the
 /// receiver never hangs).
 #[allow(clippy::too_many_arguments)]
-fn schedule_send_half<T: OpType>(
+pub(crate) fn schedule_send_half<T: OpType>(
+    kind: MsgKind,
     src: usize,
     dst: usize,
     src_hooks: &CommHooks,
@@ -742,7 +754,7 @@ fn schedule_send_half<T: OpType>(
     let gather_rows: Arc<[u32]> = Arc::from(rows);
     let gather_dat = dat_src.clone();
     let delay = opts.link_delay;
-    let guard = SendGuard::new(Arc::clone(transport), MsgKind::Halo, src, dst, seq);
+    let guard = SendGuard::new(Arc::clone(transport), kind, src, dst, seq);
     let send_done = schedule_after(src_hooks.runtime(), &deps, move || {
         let dim = gather_dat.dim();
         let mut vals = Vec::with_capacity(gather_rows.len() * dim);
@@ -972,6 +984,7 @@ impl<T: OpType> HaloRing<T> {
             if local.contains(&src) {
                 let dat_src = self.shard(src);
                 let _send = schedule_send_half(
+                    MsgKind::Halo,
                     src,
                     dst,
                     &self.hooks[src - self.first],
@@ -1003,6 +1016,7 @@ impl<T: OpType> HaloRing<T> {
                 let (send_gen, _) = *gens.get_or_insert_with(|| (next_loop_gen(), next_loop_gen()));
                 let seq = self.transport.next_seq(MsgKind::Halo, dst, imp);
                 let _send = schedule_send_half(
+                    MsgKind::Halo,
                     dst,
                     imp,
                     &self.hooks[dst - self.first],

@@ -1,0 +1,515 @@
+//! Feedback-driven live repartitioning: the locality-layer half of the
+//! dynamic load-balancing protocol.
+//!
+//! The pipeline (driven by a solver layer, e.g. the sharded Airfoil):
+//!
+//! 1. **Measure** — every rank world of a [`LocalityGroup`] carries a
+//!    rank-tagged [`hpx_rt::GranularityFeedback`] handle, so each executed
+//!    node's measured time accumulates per rank. [`agree_rank_busy`]
+//!    collects the per-rank busy nanoseconds across the whole job (a
+//!    control-message star under a distributed transport, so every SPMD
+//!    process agrees on the same vector and makes the same decision).
+//! 2. **Decide** — [`cost_levels`] turns busy times into quantized
+//!    per-element cost weights. The quantization is the protocol's
+//!    hysteresis *and* its bitwise-safety keystone: a balanced workload
+//!    (all ratios inside the dead zone) yields `None`, the solver skips
+//!    migration entirely, and a never-skewed run stays bit-identical to
+//!    the non-rebalancing path.
+//! 3. **Repartition** — the solver re-runs the greedy-BFS partitioner
+//!    with cost-weighted quotas
+//!    (`op2_mesh::partition_greedy_bfs_weighted`) and declares fresh
+//!    shards for the new ownership.
+//! 4. **Migrate** — [`MigrationSpec::diff`] turns old/new ownership into
+//!    per-rank-pair row moves and [`migrate_rows`] schedules them as
+//!    ordinary epoch-table nodes: gathers read the old shards as block
+//!    *readers*, landings write the new shards as block *writers*, and
+//!    cross-process moves travel as [`MsgKind::Migrate`] messages. The
+//!    dataflow never stops — in-flight loops on the old shards simply
+//!    precede the gathers in the epoch tables, and the first loops on the
+//!    new shards gate on the landings.
+//! 5. **Invalidate** — the solver retires the old set signatures
+//!    ([`crate::Op2::retire_set_signature`]) so a stale cached schedule or
+//!    cost estimate for the pre-migration shape can never be hit again.
+//!
+//! Halo mirrors are *not* migrated: a freshly linked halo ring starts with
+//! every import stale, so the first post-migration reader refreshes its
+//! mirrors from the (already migrated) owned rows.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hpx_rt::{schedule_after, when_all_shared, SharedFuture};
+
+use crate::dat::Dat;
+use crate::locality::{schedule_send_half, ExchangeOpts, LocalityGroup};
+use crate::transport::{decode_scalars, MsgKind, Transport};
+use crate::types::{next_loop_gen, OpType};
+use crate::world::CommHooks;
+
+/// Default imbalance dead zone of [`cost_levels`]: per-element cost ratios
+/// under 1.5x are treated as noise, not as a reason to migrate.
+pub const DEFAULT_DEAD_ZONE: f64 = 1.5;
+
+/// Collects every rank's measured busy nanoseconds (see
+/// [`hpx_rt::GranularityFeedback::rank_busy_ns`]) across the whole job.
+///
+/// All-local groups read the rank worlds directly. Distributed groups run
+/// a gather/broadcast star over [`MsgKind::Ctrl`] messages — every process
+/// must call this at the same program point (SPMD), and every process
+/// returns the identical vector, which is what lets them all take the
+/// same rebalance decision without negotiation. Only the submitting thread
+/// blocks; runtime workers keep draining the dataflow.
+pub fn agree_rank_busy(group: &LocalityGroup) -> Vec<u64> {
+    let n = group.nranks();
+    let local = group.local_ranks();
+    let mut busy = vec![0u64; n];
+    for (i, world) in group.ranks().iter().enumerate() {
+        let r = local.start + i;
+        busy[r] = world.granularity_feedback().rank_busy_ns(r as u32);
+    }
+    let transport = group.transport();
+    if transport.all_local() {
+        return busy;
+    }
+    // Star over rank 0, like the transport barrier: every non-zero rank
+    // sends its value up, rank 0 broadcasts the assembled vector down.
+    for r in local.clone() {
+        if r != 0 {
+            let seq = transport.next_seq(MsgKind::Ctrl, r, 0);
+            transport.send(
+                MsgKind::Ctrl,
+                r,
+                0,
+                seq,
+                None,
+                busy[r].to_le_bytes().to_vec(),
+            );
+        }
+    }
+    if local.contains(&0) {
+        for (s, slot) in busy.iter_mut().enumerate().skip(1) {
+            let seq = transport.next_seq(MsgKind::Ctrl, s, 0);
+            let d = transport.recv(MsgKind::Ctrl, s, 0, seq);
+            d.ready().wait();
+            let bytes = d.take().expect("rank-busy agreement abandoned by a peer");
+            *slot = u64::from_le_bytes(bytes.as_slice().try_into().expect("8-byte payload"));
+        }
+        let full: Vec<u8> = busy.iter().flat_map(|v| v.to_le_bytes()).collect();
+        for s in 1..n {
+            let seq = transport.next_seq(MsgKind::Ctrl, 0, s);
+            transport.send(MsgKind::Ctrl, 0, s, seq, None, full.clone());
+        }
+    }
+    for r in local {
+        if r != 0 {
+            let seq = transport.next_seq(MsgKind::Ctrl, 0, r);
+            let d = transport.recv(MsgKind::Ctrl, 0, r, seq);
+            d.ready().wait();
+            let bytes = d.take().expect("rank-busy broadcast abandoned by rank 0");
+            for (s, chunk) in bytes.chunks_exact(8).enumerate() {
+                busy[s] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunks"));
+            }
+        }
+    }
+    busy
+}
+
+/// `max / mean` of the per-rank busy times — 1.0 is perfect balance, k
+/// means the slowest rank carries k× the average load. `None` if any rank
+/// has no measurement yet (no decision can be taken).
+pub fn imbalance_ratio(busy: &[u64]) -> Option<f64> {
+    if busy.is_empty() || busy.contains(&0) {
+        return None;
+    }
+    let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+    Some(*busy.iter().max().expect("non-empty") as f64 / mean)
+}
+
+/// Quantizes measured per-rank busy times into integer per-element cost
+/// levels (`busy[r] / owned[r]`, normalized by the cheapest rank and
+/// rounded), the weights a cost-aware repartition feeds to
+/// `partition_greedy_bfs_weighted`.
+///
+/// Returns `None` — *do not migrate* — when any rank lacks a measurement
+/// or owns nothing, when the worst/best cost ratio is inside `dead_zone`,
+/// or when every level rounds to the same value. The integer rounding is
+/// deliberate hysteresis: measurement jitter cannot produce a new
+/// partition every iteration, and a balanced run provably never migrates
+/// (the bitwise-equality guarantee of the non-rebalancing path).
+pub fn cost_levels(busy: &[u64], owned: &[usize], dead_zone: f64) -> Option<Vec<u64>> {
+    assert_eq!(busy.len(), owned.len(), "one busy time per rank");
+    if busy.is_empty() || busy.iter().zip(owned).any(|(&b, &o)| b == 0 || o == 0) {
+        return None;
+    }
+    let cost: Vec<f64> = busy
+        .iter()
+        .zip(owned)
+        .map(|(&b, &o)| b as f64 / o as f64)
+        .collect();
+    let min = cost.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = cost.iter().cloned().fold(0.0f64, f64::max);
+    if max / min < dead_zone.max(1.0) {
+        return None;
+    }
+    let levels: Vec<u64> = cost
+        .iter()
+        .map(|c| (c / min).round().max(1.0) as u64)
+        .collect();
+    if levels.windows(2).all(|w| w[0] == w[1]) {
+        return None;
+    }
+    Some(levels)
+}
+
+/// The row moves realizing one ownership change: for every `(src, dst)`
+/// rank pair, which local rows of `src`'s *old* shard land in which local
+/// rows of `dst`'s *new* shard. Every resident row of the new shards is
+/// covered — renumbering moves rows even on ranks that keep them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationSpec {
+    /// Number of ranks.
+    pub nranks: usize,
+    /// `moves[src][dst] = (rows in src's old shard, rows in dst's new
+    /// shard)` — parallel lists, same order.
+    pub moves: Vec<Vec<(Vec<u32>, Vec<u32>)>>,
+}
+
+impl MigrationSpec {
+    /// Diffs old and new ownership (each rank's owned element ids,
+    /// ascending — `Partition::owned_all` order, which is also the local
+    /// row numbering of the shard builders).
+    pub fn diff(old_owned: &[Vec<u32>], new_owned: &[Vec<u32>]) -> MigrationSpec {
+        let n = old_owned.len();
+        assert_eq!(new_owned.len(), n, "rank count changed across ownership");
+        let total: usize = old_owned.iter().map(Vec::len).sum();
+        assert_eq!(
+            new_owned.iter().map(Vec::len).sum::<usize>(),
+            total,
+            "ownership must cover the same elements"
+        );
+        let mut old_loc = vec![(u32::MAX, 0u32); total];
+        for (r, rows) in old_owned.iter().enumerate() {
+            for (i, &g) in rows.iter().enumerate() {
+                old_loc[g as usize] = (r as u32, i as u32);
+            }
+        }
+        let mut moves = vec![vec![(Vec::new(), Vec::new()); n]; n];
+        for (dst, rows) in new_owned.iter().enumerate() {
+            for (i, &g) in rows.iter().enumerate() {
+                let (src, srow) = old_loc[g as usize];
+                assert_ne!(src, u32::MAX, "element {g} unowned in the old partition");
+                let pair = &mut moves[src as usize][dst];
+                pair.0.push(srow);
+                pair.1.push(i as u32);
+            }
+        }
+        MigrationSpec { nranks: n, moves }
+    }
+
+    /// Rows changing owner rank (diagnostics; same-rank renumbering moves
+    /// are excluded).
+    pub fn rows_crossing(&self) -> usize {
+        (0..self.nranks)
+            .flat_map(|s| (0..self.nranks).map(move |d| (s, d)))
+            .filter(|&(s, d)| s != d)
+            .map(|(s, d)| self.moves[s][d].0.len())
+            .sum()
+    }
+}
+
+/// Schedules the row moves of `spec` from the old shards into the new
+/// ones as ordinary epoch-table nodes — the dataflow keeps flowing (see
+/// module docs). `old[i]` / `new[i]` are local rank
+/// `group.local_ranks().start + i`'s shards of one logical dat.
+///
+/// Same-process pairs run as one gather+scatter copy node; cross-process
+/// pairs travel as [`MsgKind::Migrate`] messages with the send halves
+/// scheduled before any receive half (the same deadlock-avoidance
+/// discipline as halo exchange). Returns one completion future per local
+/// rank, already tracked for the rank fences.
+pub fn migrate_rows<T: OpType>(
+    group: &LocalityGroup,
+    old: &[Dat<T>],
+    new: &[Dat<T>],
+    spec: &MigrationSpec,
+    opts: &ExchangeOpts,
+) -> Vec<SharedFuture<()>> {
+    let n = spec.nranks;
+    assert_eq!(group.nranks(), n, "spec rank count matches the group");
+    let local = group.local_ranks();
+    let first = local.start;
+    assert_eq!(old.len(), local.len(), "one old shard per local rank");
+    assert_eq!(new.len(), local.len(), "one new shard per local rank");
+    let transport = group.transport();
+    // One reader generation for every gather, one writer generation for
+    // every landing: nodes of one migration accumulate in the epoch
+    // tables instead of superseding each other (they are the many nodes
+    // of one logical scatter).
+    let send_gen = next_loop_gen();
+    let recv_gen = next_loop_gen();
+    let mut done: Vec<Vec<SharedFuture<()>>> = (0..local.len()).map(|_| Vec::new()).collect();
+    let mut rows_moved = 0u64;
+    let mut pending_copies: Vec<(usize, usize)> = Vec::new();
+    let mut pending_recvs: Vec<(usize, usize, u64)> = Vec::new();
+    for src in 0..n {
+        for dst in 0..n {
+            let (src_rows, _) = &spec.moves[src][dst];
+            if src_rows.is_empty() {
+                continue;
+            }
+            let src_local = local.contains(&src);
+            let dst_local = local.contains(&dst);
+            if !src_local && !dst_local {
+                continue;
+            }
+            rows_moved += src_rows.len() as u64;
+            if src_local && dst_local {
+                // Same process: one copy node, no wire round-trip.
+                pending_copies.push((src, dst));
+                continue;
+            }
+            let seq = transport.next_seq(MsgKind::Migrate, src, dst);
+            if src_local {
+                let f = schedule_send_half(
+                    MsgKind::Migrate,
+                    src,
+                    dst,
+                    &group.ranks()[src - first].comm_hooks(),
+                    &old[src - first],
+                    src_rows,
+                    send_gen,
+                    seq,
+                    transport,
+                    opts,
+                );
+                done[src - first].push(f);
+            } else {
+                pending_recvs.push((src, dst, seq));
+            }
+        }
+    }
+    // Copy and receive nodes register as writers of the new shards; they
+    // come after every send half so the cross-rank wait graph stays
+    // acyclic under symmetric SPMD scheduling.
+    for (src, dst) in pending_copies {
+        let f = schedule_copy(
+            src,
+            dst,
+            &group.ranks()[dst - first].comm_hooks(),
+            &old[src - first],
+            &new[dst - first],
+            &spec.moves[src][dst],
+            send_gen,
+            recv_gen,
+        );
+        done[src - first].push(f.clone());
+        if src != dst {
+            done[dst - first].push(f);
+        }
+    }
+    for (src, dst, seq) in pending_recvs {
+        let f = schedule_migrate_recv(
+            src,
+            dst,
+            &group.ranks()[dst - first].comm_hooks(),
+            &new[dst - first],
+            &spec.moves[src][dst].1,
+            recv_gen,
+            seq,
+            transport,
+        );
+        done[dst - first].push(f);
+    }
+    hpx_rt::static_counter!("op2.rebalance.rows_moved").fetch_add(rows_moved, Ordering::Relaxed);
+    done.into_iter()
+        .map(|futs| match futs.len() {
+            0 => SharedFuture::ready(()),
+            1 => futs.into_iter().next().expect("one future"),
+            _ => when_all_shared(&futs).share(),
+        })
+        .collect()
+}
+
+/// One same-process move: gather `src_rows` from the old shard (reader of
+/// their blocks), scatter into `dst_rows` of the new shard (writer of
+/// theirs).
+#[allow(clippy::too_many_arguments)]
+fn schedule_copy<T: OpType>(
+    src: usize,
+    dst: usize,
+    hooks: &CommHooks,
+    dat_old: &Dat<T>,
+    dat_new: &Dat<T>,
+    rows: &(Vec<u32>, Vec<u32>),
+    send_gen: u64,
+    recv_gen: u64,
+) -> SharedFuture<()> {
+    let (src_rows, dst_rows) = rows;
+    assert_eq!(src_rows.len(), dst_rows.len(), "move {src}->{dst} lists");
+    assert!(
+        src_rows
+            .iter()
+            .all(|&r| (r as usize) < dat_old.set().size()),
+        "move {src}->{dst}: sources must be owned rows of '{}'",
+        dat_old.name()
+    );
+    assert!(
+        dst_rows
+            .iter()
+            .all(|&r| (r as usize) < dat_new.set().size()),
+        "move {src}->{dst}: landings must be owned rows of '{}'",
+        dat_new.name()
+    );
+    let src_blocks = blocks_of(src_rows, dat_old.dep_block_size());
+    let dst_blocks = blocks_of(dst_rows, dat_new.dep_block_size());
+    let mut deps: Vec<SharedFuture<()>> = Vec::new();
+    for &b in &src_blocks {
+        dat_old.deps().collect_block(b, false, &mut deps);
+    }
+    for &b in &dst_blocks {
+        dat_new.deps().collect_block(b, true, &mut deps);
+    }
+    let gather_rows: Arc<[u32]> = Arc::from(src_rows.as_slice());
+    let land_rows: Arc<[u32]> = Arc::from(dst_rows.as_slice());
+    let (old, new) = (dat_old.clone(), dat_new.clone());
+    let fut = schedule_after(hooks.runtime(), &deps, move || {
+        let dim = old.dim();
+        let mut vals = Vec::with_capacity(gather_rows.len() * dim);
+        for &row in gather_rows.iter() {
+            // SAFETY: scheduled after every pending writer of the gathered
+            // blocks and registered as their reader, so the rows are
+            // stable while this node runs.
+            unsafe { old.append_row_to(row as usize, &mut vals) };
+        }
+        // SAFETY: scheduled after every pending reader/writer of the
+        // landing blocks and registered as their writer — exclusive
+        // access to the listed rows.
+        unsafe { new.scatter_row_list_from(&land_rows, &vals) };
+    });
+    for &b in &src_blocks {
+        dat_old.deps().record_block(b, false, send_gen, &fut);
+    }
+    for &b in &dst_blocks {
+        dat_new.deps().record_block(b, true, recv_gen, &fut);
+    }
+    hooks.track(fut.clone());
+    fut
+}
+
+/// The receive half of one cross-process move: gated on the transport
+/// delivery plus the landing rows' pending accesses, registered as their
+/// writer. An abandoned move degrades to a diagnostic no-op, like an
+/// abandoned halo exchange — the sender's original failure reaches the
+/// fence.
+#[allow(clippy::too_many_arguments)]
+fn schedule_migrate_recv<T: OpType>(
+    src: usize,
+    dst: usize,
+    dst_hooks: &CommHooks,
+    dat_new: &Dat<T>,
+    dst_rows: &[u32],
+    recv_gen: u64,
+    seq: u64,
+    transport: &Arc<dyn Transport>,
+) -> SharedFuture<()> {
+    assert!(
+        dst_rows
+            .iter()
+            .all(|&r| (r as usize) < dat_new.set().size()),
+        "move {src}->{dst}: landings must be owned rows of '{}'",
+        dat_new.name()
+    );
+    let delivery = transport.recv(MsgKind::Migrate, src, dst, seq);
+    let blocks = blocks_of(dst_rows, dat_new.dep_block_size());
+    let mut deps: Vec<SharedFuture<()>> = Vec::new();
+    for &b in &blocks {
+        dat_new.deps().collect_block(b, true, &mut deps);
+    }
+    deps.push(delivery.ready().clone());
+    let land_rows: Arc<[u32]> = Arc::from(dst_rows);
+    let new = dat_new.clone();
+    let fut = schedule_after(dst_hooks.runtime(), &deps, move || {
+        let dim = new.dim();
+        match delivery.take() {
+            Some(bytes) => {
+                let vals: Vec<T> = decode_scalars(&bytes);
+                assert_eq!(vals.len(), land_rows.len() * dim, "migration payload size");
+                // SAFETY: scheduled after every pending reader/writer of
+                // the landing blocks and registered as their writer.
+                unsafe { new.scatter_row_list_from(&land_rows, &vals) };
+            }
+            None => {
+                hpx_rt::static_counter!("op2.transport.recvs_abandoned")
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "op2-rebalance: move {src}->{dst} abandoned by the sender; \
+                     rows of '{}' left at their initial values",
+                    new.name()
+                );
+            }
+        }
+    });
+    for &b in &blocks {
+        dat_new.deps().record_block(b, true, recv_gen, &fut);
+    }
+    dst_hooks.track(fut.clone());
+    fut
+}
+
+/// Sorted, deduplicated dependency-block indices of a row list.
+fn blocks_of(rows: &[u32], block_size: usize) -> Vec<usize> {
+    let bsz = block_size.max(1);
+    let mut blocks: Vec<usize> = rows.iter().map(|&r| r as usize / bsz).collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_ratio_basics() {
+        assert_eq!(imbalance_ratio(&[]), None);
+        assert_eq!(imbalance_ratio(&[10, 0]), None, "unmeasured rank");
+        assert_eq!(imbalance_ratio(&[5, 5, 5]), Some(1.0));
+        assert_eq!(imbalance_ratio(&[30, 10, 20]), Some(1.5));
+    }
+
+    #[test]
+    fn cost_levels_dead_zone_and_quantization() {
+        // Balanced (inside the dead zone): no migration.
+        assert_eq!(cost_levels(&[100, 110], &[10, 10], 1.5), None);
+        // Unmeasured or empty rank: no decision.
+        assert_eq!(cost_levels(&[100, 0], &[10, 10], 1.5), None);
+        assert_eq!(cost_levels(&[100, 100], &[10, 0], 1.5), None);
+        // 3x skew quantizes to levels [3, 1].
+        assert_eq!(cost_levels(&[300, 100], &[10, 10], 1.5), Some(vec![3, 1]));
+        // Equal counts, equal busy — even with a tiny dead zone the equal
+        // levels suppress migration.
+        assert_eq!(cost_levels(&[100, 100], &[10, 10], 1.0), None);
+    }
+
+    #[test]
+    fn migration_spec_diff_covers_every_row() {
+        // 6 elements; rank 0 gives element 2 to rank 1.
+        let old = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let new = vec![vec![0, 1], vec![2, 3, 4, 5]];
+        let spec = MigrationSpec::diff(&old, &new);
+        assert_eq!(spec.nranks, 2);
+        // Rank 0 keeps rows 0,1 at the same local rows.
+        assert_eq!(spec.moves[0][0], (vec![0, 1], vec![0, 1]));
+        // Element 2 was rank 0's local row 2 and becomes rank 1's local
+        // row 0; rank 1's kept elements shift down by one local row.
+        assert_eq!(spec.moves[0][1], (vec![2], vec![0]));
+        assert_eq!(spec.moves[1][1], (vec![0, 1, 2], vec![1, 2, 3]));
+        assert!(spec.moves[1][0].0.is_empty());
+        assert_eq!(spec.rows_crossing(), 1);
+        let landed: usize = (0..2)
+            .flat_map(|s| (0..2).map(move |d| (s, d)))
+            .map(|(s, d)| spec.moves[s][d].1.len())
+            .sum();
+        assert_eq!(landed, 6, "every new-shard row is written exactly once");
+    }
+}

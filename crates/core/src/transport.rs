@@ -176,6 +176,10 @@ pub enum MsgKind {
     Reduce = 1,
     /// Control traffic (barrier arrivals/releases).
     Ctrl = 2,
+    /// Row migration during a live repartition (canonical row-major dat
+    /// rows, like [`MsgKind::Halo`], but on a separate sequence stream so
+    /// in-flight halo traffic and migration moves never collide).
+    Migrate = 3,
 }
 
 impl MsgKind {
@@ -184,6 +188,7 @@ impl MsgKind {
             0 => MsgKind::Halo,
             1 => MsgKind::Reduce,
             2 => MsgKind::Ctrl,
+            3 => MsgKind::Migrate,
             _ => panic!("transport: unknown message kind {v}"),
         }
     }

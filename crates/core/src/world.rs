@@ -10,6 +10,7 @@ use hpx_rt::{ChunkPolicy, GranularityFeedback, Runtime, SharedFuture};
 
 use crate::config::Op2Config;
 use crate::dat::{Dat, Layout};
+use crate::driver::SpecShare;
 use crate::map::Map;
 use crate::plan::PlanCache;
 use crate::set::Set;
@@ -108,6 +109,12 @@ impl Op2 {
             (Some(fb), _) => fb.clone(),
             (None, ChunkPolicy::PersistentAuto(h)) => h.feedback().clone(),
             (None, _) => GranularityFeedback::with_clock(config.clock.clone()),
+        };
+        // A rank-tagged world attributes its measurements per rank (the
+        // table itself stays shared across tagged clones).
+        let feedback = match config.feedback_rank {
+            Some(r) => feedback.for_rank(r),
+            None => feedback,
         };
         let specs = config.shared_specs.clone().unwrap_or_default();
         Op2 {
@@ -300,6 +307,29 @@ impl Op2 {
     /// one re-plan; a stable chunker keeps this at 0 after warmup.
     pub fn spec_cache_replans(&self) -> u64 {
         self.specs.replans()
+    }
+
+    /// Number of loop-spec cache entries dropped by the LRU residency
+    /// bound (`op2.spec_cache.evictions`).
+    pub fn spec_cache_evictions(&self) -> u64 {
+        self.specs.evictions()
+    }
+
+    /// The loop-spec cache handle this world resolves schedules through —
+    /// its private cache, or the [`SpecShare`] installed via
+    /// [`Op2Config::with_shared_specs`](crate::Op2Config::with_shared_specs).
+    pub fn spec_share(&self) -> &SpecShare {
+        &self.specs
+    }
+
+    /// Retires a set signature after live repartitioning: drops every
+    /// cached loop schedule keyed on it (they describe the pre-migration
+    /// shard shape and must never be hit again) and forgets its measured
+    /// costs so post-migration feedback restarts clean. Returns the
+    /// number of schedules dropped.
+    pub fn retire_set_signature(&self, sig: u64) -> usize {
+        self.feedback.forget_set(sig);
+        self.specs.cache().invalidate_set(sig)
     }
 
     /// The measured per-(kernel, set) cost table adaptive Dataflow

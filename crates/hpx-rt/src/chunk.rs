@@ -119,6 +119,12 @@ pub struct KernelCost {
 #[derive(Debug, Clone, Default)]
 pub struct GranularityFeedback {
     inner: Arc<FeedbackInner>,
+    /// Rank this *handle* attributes samples to. The table stays shared
+    /// (clones see each other's costs), but a tagged handle additionally
+    /// folds every sample into its rank's private cost table and busy-time
+    /// accumulator — the imbalance signal the rebalancer reads. Untagged
+    /// handles behave exactly as before.
+    rank: Option<u32>,
 }
 
 #[derive(Debug, Default)]
@@ -126,6 +132,51 @@ struct FeedbackInner {
     clock: Clock,
     /// set id -> kernel name -> smoothed cost.
     costs: Mutex<HashMap<u64, HashMap<Arc<str>, KernelCost>>>,
+    /// rank -> per-rank attribution (busy time + rank-local cost table).
+    ranks: Mutex<HashMap<u32, RankAttribution>>,
+}
+
+/// What a rank-tagged handle accumulates on top of the shared table.
+#[derive(Debug, Default)]
+struct RankAttribution {
+    /// Total measured kernel nanoseconds attributed to this rank since the
+    /// last [`GranularityFeedback::reset_rank_busy`].
+    busy_ns: u64,
+    /// Rank-local cost table: without it a slow rank's samples are
+    /// EWMA-mixed with a fast rank's and per-rank imbalance is invisible.
+    costs: HashMap<u64, HashMap<Arc<str>, KernelCost>>,
+}
+
+/// Folds one per-element cost sample into a cost table (EWMA with
+/// phase-change snapping).
+fn fold_sample(
+    table: &mut HashMap<u64, HashMap<Arc<str>, KernelCost>>,
+    kernel: &Arc<str>,
+    set: u64,
+    sample: f64,
+) {
+    let by_kernel = table.entry(set).or_default();
+    match by_kernel.get_mut(kernel.as_ref()) {
+        Some(c) => {
+            if sample > c.ewma_ns_per_elem * FEEDBACK_SNAP_FACTOR
+                || sample < c.ewma_ns_per_elem / FEEDBACK_SNAP_FACTOR
+            {
+                c.ewma_ns_per_elem = sample;
+            } else {
+                c.ewma_ns_per_elem += FEEDBACK_ALPHA * (sample - c.ewma_ns_per_elem);
+            }
+            c.samples += 1;
+        }
+        None => {
+            by_kernel.insert(
+                Arc::clone(kernel),
+                KernelCost {
+                    ewma_ns_per_elem: sample,
+                    samples: 1,
+                },
+            );
+        }
+    }
 }
 
 impl GranularityFeedback {
@@ -141,7 +192,9 @@ impl GranularityFeedback {
             inner: Arc::new(FeedbackInner {
                 clock,
                 costs: Mutex::new(HashMap::new()),
+                ranks: Mutex::new(HashMap::new()),
             }),
+            rank: None,
         }
     }
 
@@ -150,49 +203,94 @@ impl GranularityFeedback {
         &self.inner.clock
     }
 
+    /// A handle sharing this accumulator's state that attributes every
+    /// sample it records to `rank` (busy time + a rank-local cost table)
+    /// in addition to the shared table.
+    pub fn for_rank(&self, rank: u32) -> GranularityFeedback {
+        GranularityFeedback {
+            inner: Arc::clone(&self.inner),
+            rank: Some(rank),
+        }
+    }
+
+    /// The rank this handle attributes samples to, if tagged.
+    pub fn rank(&self) -> Option<u32> {
+        self.rank
+    }
+
     /// Folds in one measurement: `elems` elements of `kernel` over set
-    /// `set` took `elapsed_ns`. Zero-element or zero-duration samples are
-    /// ignored (they carry no cost information).
+    /// `set` took `elapsed_ns`. Zero-element samples are ignored (they
+    /// carry no cost information); a zero-duration sample means the chunk
+    /// ran below clock resolution and is floored to 1 ns — dropping it
+    /// would freeze a stale expensive estimate forever and granularity
+    /// could never converge downward.
     pub fn record(&self, kernel: &Arc<str>, set: u64, elems: usize, elapsed_ns: u64) {
-        if elems == 0 || elapsed_ns == 0 {
+        if elems == 0 {
             return;
         }
+        let elapsed_ns = elapsed_ns.max(1);
         let sample = elapsed_ns as f64 / elems as f64;
-        let mut costs = self.inner.costs.lock();
-        let by_kernel = costs.entry(set).or_default();
-        match by_kernel.get_mut(kernel.as_ref()) {
-            Some(c) => {
-                if sample > c.ewma_ns_per_elem * FEEDBACK_SNAP_FACTOR
-                    || sample < c.ewma_ns_per_elem / FEEDBACK_SNAP_FACTOR
-                {
-                    c.ewma_ns_per_elem = sample;
-                } else {
-                    c.ewma_ns_per_elem += FEEDBACK_ALPHA * (sample - c.ewma_ns_per_elem);
-                }
-                c.samples += 1;
-            }
-            None => {
-                by_kernel.insert(
-                    Arc::clone(kernel),
-                    KernelCost {
-                        ewma_ns_per_elem: sample,
-                        samples: 1,
-                    },
-                );
-            }
+        fold_sample(&mut self.inner.costs.lock(), kernel, set, sample);
+        if let Some(rank) = self.rank {
+            let mut ranks = self.inner.ranks.lock();
+            let attr = ranks.entry(rank).or_default();
+            attr.busy_ns += elapsed_ns;
+            fold_sample(&mut attr.costs, kernel, set, sample);
         }
-        drop(costs);
         crate::static_counter!("hpx.feedback.samples").fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The smoothed cost of `(kernel, set)`, if it has ever been measured.
+    /// The smoothed cost of `(kernel, set)`. A rank-tagged handle prefers
+    /// its rank's private estimate (falling back to the shared table), so
+    /// a slow rank resolves granularity from what *it* measured rather
+    /// than the cross-rank mixture.
     pub fn cost(&self, kernel: &str, set: u64) -> Option<KernelCost> {
+        if let Some(rank) = self.rank {
+            let ranks = self.inner.ranks.lock();
+            if let Some(c) = ranks
+                .get(&rank)
+                .and_then(|a| a.costs.get(&set))
+                .and_then(|m| m.get(kernel))
+            {
+                return Some(*c);
+            }
+        }
         self.inner
             .costs
             .lock()
             .get(&set)
             .and_then(|m| m.get(kernel))
             .copied()
+    }
+
+    /// Total measured kernel nanoseconds attributed to `rank` since the
+    /// last [`GranularityFeedback::reset_rank_busy`] — the per-rank
+    /// imbalance signal the rebalancer compares across ranks.
+    pub fn rank_busy_ns(&self, rank: u32) -> u64 {
+        self.inner
+            .ranks
+            .lock()
+            .get(&rank)
+            .map(|a| a.busy_ns)
+            .unwrap_or(0)
+    }
+
+    /// Zeroes every rank's busy accumulator (cost tables are kept), so
+    /// the next measurement window starts fresh after a rebalance.
+    pub fn reset_rank_busy(&self) {
+        for attr in self.inner.ranks.lock().values_mut() {
+            attr.busy_ns = 0;
+        }
+    }
+
+    /// Forgets every measurement for set signature `set` — shared and
+    /// per-rank — so estimates for a set retired by migration cannot leak
+    /// into a new set that happens to collide.
+    pub fn forget_set(&self, set: u64) {
+        self.inner.costs.lock().remove(&set);
+        for attr in self.inner.ranks.lock().values_mut() {
+            attr.costs.remove(&set);
+        }
     }
 
     /// Every measured (kernel, set) cost, sorted by (set, kernel) — the
@@ -208,10 +306,12 @@ impl GranularityFeedback {
         out
     }
 
-    /// Forgets every measurement (the next resolutions fall back to their
-    /// probe defaults).
+    /// Forgets every measurement — shared table, per-rank tables and busy
+    /// accumulators (the next resolutions fall back to their probe
+    /// defaults).
     pub fn reset(&self) {
         self.inner.costs.lock().clear();
+        self.inner.ranks.lock().clear();
     }
 }
 
@@ -586,12 +686,75 @@ mod tests {
         assert!(fb.clock().is_fake());
         let k: Arc<str> = Arc::from("k");
         fb.record(&k, 3, 0, 100);
-        fb.record(&k, 3, 100, 0);
-        assert!(fb.cost("k", 3).is_none());
+        assert!(fb.cost("k", 3).is_none(), "zero elements carry no cost");
         let clone = fb.clone();
         clone.record(&k, 3, 10, 10_000);
         assert_eq!(fb.cost("k", 3).unwrap().samples, 1, "clones share state");
         assert_eq!(fb.snapshot().len(), 1);
+    }
+
+    /// Regression for the stale-estimate bug: a kernel whose cost collapses
+    /// below clock resolution (elapsed_ns == 0 on a coarse fake clock) used
+    /// to have its samples silently dropped, freezing the old expensive
+    /// EWMA forever. The sample is now floored at 1 ns, so the estimate
+    /// snaps down and granularity can converge.
+    #[test]
+    fn feedback_sub_resolution_samples_pull_the_estimate_down() {
+        let fb = GranularityFeedback::with_clock(Clock::fake());
+        let k: Arc<str> = Arc::from("kern");
+        // Phase 1: an expensive kernel, 1µs per element.
+        fb.record(&k, 9, 1000, 1_000_000);
+        assert_eq!(fb.cost("kern", 9).unwrap().ewma_ns_per_elem, 1000.0);
+        // Phase 2: the kernel becomes so cheap the whole chunk measures
+        // 0 ns. Pre-fix this returned early and the estimate stayed 1000.
+        fb.record(&k, 9, 1000, 0);
+        let c = fb.cost("kern", 9).expect("sample was not dropped");
+        assert_eq!(c.samples, 2, "sub-resolution sample must be folded in");
+        assert!(
+            c.ewma_ns_per_elem < 1.0,
+            "estimate must snap down toward the 1 ns floor, got {}",
+            c.ewma_ns_per_elem
+        );
+    }
+
+    #[test]
+    fn rank_tagged_handles_attribute_busy_time_and_costs() {
+        let fb = GranularityFeedback::with_clock(Clock::fake());
+        let k: Arc<str> = Arc::from("kern");
+        let r0 = fb.for_rank(0);
+        let r1 = fb.for_rank(1);
+        assert_eq!(r0.rank(), Some(0));
+        assert_eq!(fb.rank(), None);
+
+        // Rank 0 is fast (100 ns/elem), rank 1 slow (900 ns/elem).
+        r0.record(&k, 5, 100, 10_000);
+        r1.record(&k, 5, 100, 90_000);
+
+        // Busy time is attributed per rank — the imbalance signal.
+        assert_eq!(fb.rank_busy_ns(0), 10_000);
+        assert_eq!(fb.rank_busy_ns(1), 90_000);
+        assert_eq!(fb.rank_busy_ns(2), 0, "unmeasured rank is zero");
+
+        // Each rank's cost view is its own measurement, not the mixture;
+        // the untagged view sees the shared (mixed) table.
+        assert_eq!(r0.cost("kern", 5).unwrap().ewma_ns_per_elem, 100.0);
+        assert_eq!(r1.cost("kern", 5).unwrap().ewma_ns_per_elem, 900.0);
+        let mixed = fb.cost("kern", 5).unwrap();
+        assert_eq!(mixed.samples, 2, "shared table still folds every sample");
+
+        // A tagged rank with no private entry falls back to the shared one.
+        let r2 = fb.for_rank(2);
+        assert_eq!(r2.cost("kern", 5).unwrap(), mixed);
+
+        // reset_rank_busy zeroes the window but keeps the cost tables.
+        fb.reset_rank_busy();
+        assert_eq!(fb.rank_busy_ns(1), 0);
+        assert_eq!(r1.cost("kern", 5).unwrap().ewma_ns_per_elem, 900.0);
+
+        // forget_set drops the signature everywhere.
+        fb.forget_set(5);
+        assert!(fb.cost("kern", 5).is_none());
+        assert!(r1.cost("kern", 5).is_none());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod tri;
 pub mod validate;
 
 pub use csr::{invert_map, neighbors_from_pairs, Csr};
-pub use partition::{build_halo, partition_greedy_bfs, HaloPlan, Partition};
+pub use partition::{
+    build_halo, partition_greedy_bfs, partition_greedy_bfs_weighted, HaloPlan, Partition,
+};
 pub use quad::{channel_with_bump, QuadMesh, BOUND_FARFIELD, BOUND_WALL};
 pub use renumber::{bfs_permutation, mean_pair_span, permute_rows, relabel_targets};
 pub use tri::{unit_square, TriMesh};

@@ -38,7 +38,9 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// Elements owned by `rank`, ascending.
+    /// Elements owned by `rank`, ascending. Prefer [`Partition::owned_all`]
+    /// when every rank's list is needed — calling this in a loop over ranks
+    /// rescans all n elements per rank (O(n·k) total).
     pub fn owned(&self, rank: usize) -> Vec<u32> {
         self.part_of
             .iter()
@@ -46,6 +48,17 @@ impl Partition {
             .filter(|(_, &p)| p as usize == rank)
             .map(|(e, _)| e as u32)
             .collect()
+    }
+
+    /// Every rank's owned elements, ascending, in one O(n) bucket-fill
+    /// pass: `owned_all()[r] == owned(r)` for every rank.
+    pub fn owned_all(&self) -> Vec<Vec<u32>> {
+        let sizes = self.sizes();
+        let mut out: Vec<Vec<u32>> = sizes.into_iter().map(Vec::with_capacity).collect();
+        for (e, &p) in self.part_of.iter().enumerate() {
+            out[p as usize].push(e as u32);
+        }
+        out
     }
 
     /// Element count per rank.
@@ -83,14 +96,33 @@ impl Partition {
 /// at most one — and the BFS growth keeps parts contiguous on meshes with
 /// contiguous numbering, which is what bounds halo sizes.
 pub fn partition_greedy_bfs(adj: &Csr, nparts: usize) -> Partition {
+    partition_greedy_bfs_weighted(adj, nparts, &vec![1u64; adj.len()])
+}
+
+/// Cost-weighted [`partition_greedy_bfs`]: element `e` contributes
+/// `weights[e]` (floored at 1) toward its rank's quota instead of 1, so a
+/// rank full of expensive elements owns proportionally fewer of them.
+///
+/// Quotas are recomputed as each rank is grown —
+/// `⌈remaining_weight / remaining_ranks⌉` — which for unit weights
+/// reproduces the unweighted `⌈n/k⌉`/`⌊n/k⌋` split exactly (same claim
+/// order, same partition), and for skewed weights keeps every rank within
+/// one max-weight element of the ideal share. The growth itself is the
+/// same deterministic BFS: claim unassigned neighbours until the quota is
+/// met, re-seeding from the lowest unassigned element; the final rank's
+/// quota equals the entire remaining weight, so every element is assigned.
+pub fn partition_greedy_bfs_weighted(adj: &Csr, nparts: usize, weights: &[u64]) -> Partition {
     assert!(nparts >= 1, "partition needs at least one rank");
     let n = adj.len();
+    assert_eq!(weights.len(), n, "one weight per element");
     let mut part_of = vec![u32::MAX; n];
-    let (base, extra) = (n / nparts, n % nparts);
+    let w = |e: usize| weights[e].max(1);
+    let mut remaining_weight: u64 = (0..n).map(w).sum();
     let mut next_seed = 0usize;
     for rank in 0..nparts {
-        let quota = base + usize::from(rank < extra);
-        let mut claimed = 0usize;
+        let remaining_ranks = (nparts - rank) as u64;
+        let quota = remaining_weight.div_ceil(remaining_ranks);
+        let mut claimed = 0u64;
         let mut frontier = std::collections::VecDeque::new();
         while claimed < quota {
             let Some(e) = frontier.pop_front() else {
@@ -102,7 +134,7 @@ pub fn partition_greedy_bfs(adj: &Csr, nparts: usize) -> Partition {
                     break;
                 }
                 part_of[next_seed] = rank as u32;
-                claimed += 1;
+                claimed += w(next_seed);
                 frontier.push_back(next_seed as u32);
                 continue;
             };
@@ -112,11 +144,12 @@ pub fn partition_greedy_bfs(adj: &Csr, nparts: usize) -> Partition {
                 }
                 if part_of[nb as usize] == u32::MAX {
                     part_of[nb as usize] = rank as u32;
-                    claimed += 1;
+                    claimed += w(nb as usize);
                     frontier.push_back(nb);
                 }
             }
         }
+        remaining_weight -= claimed.min(remaining_weight);
     }
     debug_assert!(part_of.iter().all(|&p| p != u32::MAX));
     Partition { nparts, part_of }
@@ -267,6 +300,69 @@ mod tests {
     fn partition_is_deterministic() {
         let (adj, _) = ring(64);
         assert_eq!(partition_greedy_bfs(&adj, 5), partition_greedy_bfs(&adj, 5));
+    }
+
+    #[test]
+    fn owned_all_matches_owned_per_rank() {
+        let (adj, _) = ring(57);
+        let p = partition_greedy_bfs(&adj, 5);
+        let all = p.owned_all();
+        assert_eq!(all.len(), 5);
+        for (r, rows) in all.iter().enumerate() {
+            assert_eq!(*rows, p.owned(r), "rank {r}");
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "rank {r} sorted");
+        }
+        assert_eq!(all.iter().map(Vec::len).sum::<usize>(), 57);
+    }
+
+    #[test]
+    fn weighted_partition_with_uniform_weights_matches_unweighted() {
+        let (adj, _) = ring(103);
+        for k in [1usize, 2, 3, 7] {
+            for w in [1u64, 9] {
+                let weighted = partition_greedy_bfs_weighted(&adj, k, &vec![w; 103]);
+                assert_eq!(weighted, partition_greedy_bfs(&adj, k), "k={k} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partition_balances_weight_not_count() {
+        // First half of the ring is 3x as expensive as the second half:
+        // the expensive side must end up split across more ranks, so the
+        // per-rank *weight* stays near the ideal share even though the
+        // per-rank element counts diverge.
+        let n = 120;
+        let (adj, _) = ring(n);
+        let weights: Vec<u64> = (0..n).map(|e| if e < n / 2 { 3 } else { 1 }).collect();
+        let k = 4;
+        let p = partition_greedy_bfs_weighted(&adj, k, &weights);
+        p.validate().unwrap();
+        let total: u64 = weights.iter().sum();
+        let ideal = total as f64 / k as f64;
+        let mut rank_weight = vec![0u64; k];
+        for (e, &r) in p.part_of.iter().enumerate() {
+            rank_weight[r as usize] += weights[e];
+        }
+        for (r, &wsum) in rank_weight.iter().enumerate() {
+            let dev = (wsum as f64 - ideal).abs() / ideal;
+            assert!(dev < 0.15, "rank {r} weight {wsum} vs ideal {ideal}");
+        }
+        let sizes = p.sizes();
+        assert!(
+            sizes.iter().max().unwrap() - sizes.iter().min().unwrap() > n / k / 4,
+            "counts should diverge when weight balances: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_partition_assigns_every_element_even_with_huge_weights() {
+        let (adj, _) = ring(10);
+        let mut weights = vec![1u64; 10];
+        weights[0] = 1_000_000; // one element dwarfs the total
+        let p = partition_greedy_bfs_weighted(&adj, 3, &weights);
+        p.validate().unwrap();
+        assert_eq!(p.sizes().iter().sum::<usize>(), 10, "nothing left behind");
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn main() {
             niter: 100,
             window: 16,
             print_every: 0,
+            ..SolverConfig::default()
         },
     );
 

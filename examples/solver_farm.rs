@@ -28,6 +28,7 @@ fn main() {
         niter: 20,
         window: 4,
         print_every: 0,
+        ..SolverConfig::default()
     };
 
     // Submit a few solves per tenant. Each closure receives a fresh tenant

@@ -347,24 +347,26 @@ fn run_sharded_printing_every_iteration_matches_silent_run() {
     let config = || Op2Config::dataflow(2).with_chunk(ChunkPolicy::Static { size: 64 });
     let mesh = channel_with_bump(12, 6);
     let silent = {
-        let shp = ShardedProblem::declare(config(), &mesh, 3);
+        let mut shp = ShardedProblem::declare(config(), &mesh, 3);
         run_sharded(
-            &shp,
+            &mut shp,
             &SolverConfig {
                 niter: 4,
                 window: 2,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         )
     };
     let printing = {
-        let shp = ShardedProblem::declare(config(), &mesh, 3);
+        let mut shp = ShardedProblem::declare(config(), &mesh, 3);
         run_sharded(
-            &shp,
+            &mut shp,
             &SolverConfig {
                 niter: 4,
                 window: 2,
                 print_every: 1,
+                ..SolverConfig::default()
             },
         )
     };

@@ -20,6 +20,7 @@ fn simulate(config: Op2Config) -> (Vec<f64>, Vec<f64>) {
             niter: 12,
             window: 4,
             print_every: 0,
+            ..SolverConfig::default()
         },
     );
     (r.rms_history, p.p_q.snapshot())
@@ -102,6 +103,7 @@ fn sharded_ranks_agree_with_single_locality_across_backends() {
         niter: 12,
         window: 4,
         print_every: 0,
+        ..SolverConfig::default()
     };
     let candidates: Vec<(&str, Op2Config, usize)> = vec![
         ("seq x1", Op2Config::seq(), 1),
@@ -140,8 +142,8 @@ fn sharded_ranks_agree_with_single_locality_across_backends() {
         ),
     ];
     for (name, config, nranks) in candidates {
-        let shp = ShardedProblem::declare(config, &mesh, nranks);
-        let r = run_sharded(&shp, &cfg);
+        let mut shp = ShardedProblem::declare(config, &mesh, nranks);
+        let r = run_sharded(&mut shp, &cfg);
         let q = shp.gather_q();
         if name == "seq x1" {
             assert_eq!(r.rms_history, rms_ref, "1-rank Seq sharding is bitwise");
@@ -204,6 +206,7 @@ fn soa_layout_matches_aos_across_backends() {
         niter: 12,
         window: 4,
         print_every: 0,
+        ..SolverConfig::default()
     };
     for (name, config, nranks) in [
         ("seq x1 soa", Op2Config::seq().with_layout(Layout::SoA), 1),
@@ -218,8 +221,8 @@ fn soa_layout_matches_aos_across_backends() {
             3,
         ),
     ] {
-        let shp = ShardedProblem::declare(config, &mesh, nranks);
-        let r = run_sharded(&shp, &cfg);
+        let mut shp = ShardedProblem::declare(config, &mesh, nranks);
+        let r = run_sharded(&mut shp, &cfg);
         let q = shp.gather_q();
         if name == "seq x1 soa" {
             assert_eq!(r.rms_history, rms_ref, "1-rank Seq SoA is bitwise");
@@ -242,6 +245,7 @@ fn repeated_runs_on_one_context_continue_the_flow() {
         niter: 4,
         window: 2,
         print_every: 0,
+        ..SolverConfig::default()
     };
     let r1 = solver::run(&op2, &p, &cfg);
     let r2 = solver::run(&op2, &p, &cfg);

@@ -28,6 +28,7 @@ fn small_cfg() -> SolverConfig {
         niter: 2,
         window: 4,
         print_every: 0,
+        ..SolverConfig::default()
     }
 }
 

@@ -93,6 +93,7 @@ fn generated_code_matches_handwritten_solver_bitwise_under_seq() {
             niter: 6,
             window: 0,
             print_every: 0,
+            ..SolverConfig::default()
         },
     );
 

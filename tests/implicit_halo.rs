@@ -300,7 +300,7 @@ fn airfoil_implicit_exchange_count_matches_the_manual_schedule() {
     let mesh = channel_with_bump(24, 12);
     let niter = 3;
     let nranks = 4;
-    let shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, nranks);
+    let mut shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, nranks);
     let nonempty_pairs: u64 = (0..nranks)
         .flat_map(|src| (0..nranks).map(move |dst| (src, dst)))
         .filter(|&(src, dst)| src != dst && !shp.cell_spec.export_rows[src][dst].is_empty())
@@ -308,11 +308,12 @@ fn airfoil_implicit_exchange_count_matches_the_manual_schedule() {
     assert!(nonempty_pairs > 0, "4-rank decomposition must communicate");
 
     let r = run_sharded(
-        &shp,
+        &mut shp,
         &SolverConfig {
             niter,
             window: 2,
             print_every: 0,
+            ..SolverConfig::default()
         },
     );
     assert!(r.rms_history.iter().all(|v| v.is_finite()));

@@ -1,0 +1,403 @@
+//! Feedback-driven dynamic load balancing, end to end: the row-migration
+//! substrate preserves values bitwise under random repartitions, a forced
+//! mid-solve repartition of the Airfoil run preserves the physics, a
+//! balanced run provably never migrates (and stays bitwise identical to
+//! the never-checked path), migration retires exactly the affected
+//! loop-schedule cache entries, and the whole protocol survives real
+//! socket transports.
+
+use std::sync::Arc;
+
+use op2_hpx::airfoil::shard::{run_sharded, ShardedProblem};
+use op2_hpx::airfoil::verify::{max_rel_diff, max_scaled_diff};
+use op2_hpx::airfoil::SolverConfig;
+use op2_hpx::mesh::channel_with_bump;
+use op2_hpx::op2::args::rw;
+use op2_hpx::op2::locality::{ExchangeOpts, LocalityGroup};
+use op2_hpx::op2::rebalance::{agree_rank_busy, migrate_rows, MigrationSpec};
+use op2_hpx::op2::transport::{ProcessTransport, Transport};
+use op2_hpx::op2::{Dat, Layout, Op2Config};
+
+/// Tiny deterministic PRNG (xorshift64*) so the randomized property runs
+/// the same cases everywhere without a proptest dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Random ownership of `n` elements over `nranks` ranks; every rank gets
+/// at least one element (round-robin base, random rest).
+fn random_ownership(rng: &mut Rng, n: usize, nranks: usize) -> Vec<Vec<u32>> {
+    let mut owned: Vec<Vec<u32>> = vec![Vec::new(); nranks];
+    for e in 0..n {
+        let r = if e < nranks { e } else { rng.below(nranks) };
+        owned[r].push(e as u32);
+    }
+    owned
+}
+
+/// The property at the heart of live repartitioning: for random element
+/// counts, dims, layouts, rank counts and random old→new ownership, a
+/// migration scheduled *between* loop submissions — no fence anywhere —
+/// yields bitwise the values of a scalar model. Epoch tables must gate
+/// the gathers behind the old shards' in-flight writers and the new
+/// shards' first loops behind the landings; any ordering hole shows up as
+/// a wrong value.
+#[test]
+fn migration_substrate_preserves_values_bitwise_randomized() {
+    let mut rng = Rng(0x9E3779B97F4A7C15);
+    for case in 0..12 {
+        let n = 16 + rng.below(120);
+        let dim = [1, 3, 4][rng.below(3)];
+        let nranks = 2 + rng.below(3);
+        let layout = if rng.below(2) == 0 {
+            Layout::AoS
+        } else {
+            Layout::SoA
+        };
+        let config = if case % 2 == 0 {
+            Op2Config::seq().with_layout(layout)
+        } else {
+            Op2Config::dataflow(2)
+                .with_layout(layout)
+                .with_block_size(8)
+        };
+        let k1 = 1 + rng.below(3);
+        let k2 = 1 + rng.below(3);
+
+        let old_owned = random_ownership(&mut rng, n, nranks);
+        let new_owned = random_ownership(&mut rng, n, nranks);
+
+        let group = LocalityGroup::new(config, nranks);
+        let declare = |owned: &[Vec<u32>], init: bool| -> Vec<Dat<f64>> {
+            (0..nranks)
+                .map(|r| {
+                    let op2 = group.rank(r);
+                    let set = op2.decl_set(owned[r].len(), "elems");
+                    let vals: Vec<f64> = owned[r]
+                        .iter()
+                        .flat_map(|&g| {
+                            (0..dim).map(move |c| {
+                                if init {
+                                    (g as usize * dim + c) as f64
+                                } else {
+                                    f64::NAN
+                                }
+                            })
+                        })
+                        .collect();
+                    op2.decl_dat(&set, dim, "x", vals)
+                })
+                .collect()
+        };
+        let old = declare(&old_owned, true);
+        let new = declare(&new_owned, false);
+
+        let step = |dats: &[Dat<f64>], mul: f64, add: f64| {
+            for (r, d) in dats.iter().enumerate() {
+                group
+                    .rank(r)
+                    .loop_("step", d.set())
+                    .arg(rw(d))
+                    .run(move |x: &mut [f64]| {
+                        for v in x {
+                            *v = *v * mul + add;
+                        }
+                    });
+            }
+        };
+        for _ in 0..k1 {
+            step(&old, 0.5, 1.0);
+        }
+        // Migrate with loops still in flight — no fence, no barrier.
+        let spec = MigrationSpec::diff(&old_owned, &new_owned);
+        migrate_rows(&group, &old, &new, &spec, &ExchangeOpts::default());
+        for _ in 0..k2 {
+            step(&new, 0.25, 2.0);
+        }
+        group.fence();
+
+        for (r, d) in new.iter().enumerate() {
+            let got = d.snapshot();
+            for (i, &g) in new_owned[r].iter().enumerate() {
+                for c in 0..dim {
+                    let mut want = (g as usize * dim + c) as f64;
+                    for _ in 0..k1 {
+                        want = want * 0.5 + 1.0;
+                    }
+                    for _ in 0..k2 {
+                        want = want * 0.25 + 2.0;
+                    }
+                    let have = got[i * dim + c];
+                    assert!(
+                        have == want,
+                        "case {case}: element {g} component {c} on rank {r}: \
+                         got {have}, want {want} (bitwise)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn cfg(niter: usize) -> SolverConfig {
+    SolverConfig {
+        niter,
+        window: 2,
+        print_every: 0,
+        ..SolverConfig::default()
+    }
+}
+
+/// A forced mid-solve repartition (skewed busy times injected) preserves
+/// the Airfoil physics within the sharding tolerances, and actually
+/// migrates.
+#[test]
+fn forced_mid_solve_repartition_preserves_airfoil_physics() {
+    let mesh = channel_with_bump(16, 8);
+    let niter = 8;
+
+    let mut reference = ShardedProblem::declare(Op2Config::seq(), &mesh, 3);
+    let r_ref = run_sharded(&mut reference, &cfg(niter));
+    let q_ref = reference.gather_q();
+
+    let mut shp = ShardedProblem::declare(Op2Config::seq(), &mesh, 3);
+    let r1 = run_sharded(&mut shp, &cfg(niter / 2));
+    // Rank 0 claims to be 4x as expensive per element: well outside the
+    // dead zone, so this must repartition.
+    let before = shp.owned_cells.clone();
+    let rep = shp
+        .rebalance_with_busy(&[4_000_000, 1_000_000, 1_000_000])
+        .expect("a 4x skew must trigger migration");
+    assert!(rep.rows_crossing > 0, "some cells must change rank");
+    assert!(rep.levels[0] > rep.levels[1], "rank 0 measured costlier");
+    assert_ne!(before, shp.owned_cells, "ownership must actually change");
+    assert!(
+        shp.owned_cells[0].len() < before[0].len(),
+        "the costly rank must shed cells ({} -> {})",
+        before[0].len(),
+        shp.owned_cells[0].len()
+    );
+    let r2 = run_sharded(&mut shp, &cfg(niter - niter / 2));
+
+    let rms: Vec<f64> = r1
+        .rms_history
+        .iter()
+        .chain(&r2.rms_history)
+        .copied()
+        .collect();
+    let d_rms = max_rel_diff(&r_ref.rms_history, &rms);
+    let d_q = max_scaled_diff(&q_ref, &shp.gather_q(), 1.0);
+    assert!(d_rms < 1e-7, "rebalanced rms deviates by {d_rms:e}");
+    assert!(d_q < 1e-9, "rebalanced q deviates by {d_q:e}");
+}
+
+/// Balanced busy times (inside the dead zone) must migrate nothing, and
+/// the interrupted run must stay **bitwise** identical to one that never
+/// checked — the structural guarantee that never-skewed runs cannot be
+/// perturbed by enabling the rebalance machinery.
+#[test]
+fn balanced_load_never_migrates_and_stays_bitwise() {
+    let mesh = channel_with_bump(14, 7);
+    let niter = 6;
+
+    let mut reference = ShardedProblem::declare(Op2Config::seq(), &mesh, 3);
+    let r_ref = run_sharded(&mut reference, &cfg(niter));
+
+    let mut shp = ShardedProblem::declare(Op2Config::seq(), &mesh, 3);
+    let r1 = run_sharded(&mut shp, &cfg(niter / 2));
+    // Within the 1.5x dead zone (owned counts are near-equal): no-op.
+    assert!(
+        shp.rebalance_with_busy(&[1_000_000, 1_200_000, 1_100_000])
+            .is_none(),
+        "near-balanced busy times must not migrate"
+    );
+    let r2 = run_sharded(&mut shp, &cfg(niter - niter / 2));
+
+    let rms: Vec<f64> = r1
+        .rms_history
+        .iter()
+        .chain(&r2.rms_history)
+        .copied()
+        .collect();
+    assert_eq!(r_ref.rms_history, rms, "bitwise-equal residual history");
+    assert_eq!(reference.gather_q(), shp.gather_q(), "bitwise-equal state");
+}
+
+/// One rank can never be imbalanced against itself.
+#[test]
+fn single_rank_rebalance_is_refused() {
+    let mesh = channel_with_bump(10, 5);
+    let mut shp = ShardedProblem::declare(Op2Config::seq(), &mesh, 1);
+    run_sharded(&mut shp, &cfg(2));
+    assert!(shp.rebalance_with_busy(&[u64::MAX / 2]).is_none());
+    assert!(shp.rebalance().is_none());
+}
+
+/// Migration retires exactly the affected loop-schedule cache entries:
+/// every schedule keyed on the migrated sets' signatures is dropped
+/// (counted by the per-cache invalidation counter), while schedules for
+/// unrelated sets survive.
+#[test]
+fn migration_retires_exactly_the_affected_spec_entries() {
+    let mesh = channel_with_bump(16, 8);
+    let mut shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, 2);
+    run_sharded(&mut shp, &cfg(4));
+
+    // An unrelated set on rank 0's world: its schedule must survive.
+    let aux_op2 = shp.group.rank(0);
+    let aux_set = aux_op2.decl_set(777, "aux");
+    let aux = aux_op2.decl_dat(&aux_set, 1, "aux_dat", vec![0.0f64; 777]);
+    aux_op2
+        .loop_("aux_kernel", &aux_set)
+        .arg(rw(&aux))
+        .run(|x: &mut [f64]| x[0] += 1.0)
+        .wait();
+
+    let shares: Vec<_> = (0..2)
+        .map(|r| shp.group.rank(r).spec_share().clone())
+        .collect();
+    let built_before: Vec<usize> = shares.iter().map(|s| s.built()).collect();
+    let inval_before: Vec<u64> = shares.iter().map(|s| s.invalidations()).collect();
+    assert!(
+        built_before.iter().all(|&b| b > 0),
+        "the dataflow run must have populated every rank's spec cache"
+    );
+
+    let rep = shp
+        .rebalance_with_busy(&[5_000_000, 1_000_000])
+        .expect("5x skew must migrate");
+    assert!(rep.specs_dropped > 0, "stale schedules must be retired");
+
+    let mut dropped = 0;
+    for (i, share) in shares.iter().enumerate() {
+        let inval = share.invalidations() - inval_before[i];
+        dropped += inval as usize;
+        // Everything cached for this world belonged to the migrated sets,
+        // except rank 0's aux loop — exactly that one survives.
+        let survivors = if i == 0 { 1 } else { 0 };
+        assert_eq!(
+            share.built(),
+            survivors,
+            "rank {i}: only non-migrated schedules may survive"
+        );
+        assert_eq!(
+            inval as usize,
+            built_before[i] - survivors,
+            "rank {i}: exactly the affected entries are invalidated"
+        );
+    }
+    assert_eq!(dropped, rep.specs_dropped, "report matches the counters");
+
+    // The run continues correctly on the new shards (fresh schedules).
+    let r = run_sharded(&mut shp, &cfg(2));
+    assert!(r.rms_history.iter().all(|v| v.is_finite()));
+}
+
+/// The LRU residency bound: a shared spec cache capped at 2 schedules
+/// never holds more, and evicts as distinct loop shapes stream through.
+#[test]
+fn spec_cache_lru_bound_caps_resident_schedules() {
+    use op2_hpx::op2::{Op2, SpecShare};
+
+    let share = SpecShare::with_capacity(2);
+    let op2 = Op2::new(Op2Config::dataflow(1).with_shared_specs(share.clone()));
+    for (i, n) in [100usize, 200, 300, 400].iter().enumerate() {
+        let set = op2.decl_set(*n, &format!("s{i}"));
+        let d = op2.decl_dat(&set, 1, "d", vec![0.0f64; *n]);
+        op2.loop_("k", &set)
+            .arg(rw(&d))
+            .run(|x: &mut [f64]| x[0] += 1.0)
+            .wait();
+    }
+    assert!(
+        share.built() <= 2,
+        "resident schedules exceed the bound: {}",
+        share.built()
+    );
+    assert_eq!(share.evictions(), 2, "two of four shapes were evicted");
+}
+
+/// The full protocol over real socket transports, SPMD-style: per-rank
+/// busy agreement returns the identical vector in every process, a forced
+/// repartition moves rows as `Migrate` messages over the wire, and the
+/// continued solve matches the in-process run.
+#[test]
+fn rebalance_over_sockets_matches_in_process() {
+    const NRANKS: usize = 3;
+    const BUSY: [u64; NRANKS] = [4_000_000, 1_000_000, 1_000_000];
+    let niter = 6;
+
+    let reference = {
+        let mesh = channel_with_bump(12, 6);
+        let mut shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, NRANKS);
+        let r1 = run_sharded(&mut shp, &cfg(niter / 2));
+        shp.rebalance_with_busy(&BUSY).expect("4x skew migrates");
+        let r2 = run_sharded(&mut shp, &cfg(niter - niter / 2));
+        let mut rms = r1.rms_history;
+        rms.extend(r2.rms_history);
+        rms
+    };
+
+    let dir = std::env::temp_dir().join(format!("op2-rebalance-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("rendezvous dir");
+    let history = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..NRANKS)
+            .map(|r| {
+                let dir = dir.clone();
+                s.spawn(move || {
+                    let t: Arc<dyn Transport> = Arc::new(
+                        ProcessTransport::connect_unix(&dir, r, NRANKS).expect("socket rendezvous"),
+                    );
+                    let mesh = channel_with_bump(12, 6);
+                    let mut shp =
+                        ShardedProblem::declare_with_transport(Op2Config::dataflow(2), &mesh, t);
+
+                    // Deterministic per-rank busy, then cross-process
+                    // agreement must reassemble the exact global vector.
+                    let fb = shp.group.ranks()[0].granularity_feedback();
+                    fb.record(&Arc::from("probe"), 1, 10, (r as u64 + 1) * 1_000);
+                    let agreed = agree_rank_busy(&shp.group);
+                    assert_eq!(
+                        agreed,
+                        vec![1_000, 2_000, 3_000],
+                        "rank {r}: agreement must be global and exact"
+                    );
+                    fb.reset_rank_busy();
+
+                    let r1 = run_sharded(&mut shp, &cfg(niter / 2));
+                    shp.rebalance_with_busy(&BUSY)
+                        .expect("same decision everywhere");
+                    let r2 = run_sharded(&mut shp, &cfg(niter - niter / 2));
+                    shp.group.barrier();
+                    let mut rms = r1.rms_history;
+                    rms.extend(r2.rms_history);
+                    rms
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread"))
+            .next()
+            .expect("at least one rank")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(history.len(), reference.len());
+    let d = max_rel_diff(&reference, &history);
+    assert!(d < 1e-12, "socket run deviates from in-process by {d:e}");
+}

@@ -156,6 +156,7 @@ fn plain_golden(niter: usize) -> (Vec<f64>, Vec<f64>) {
             niter,
             window: 4,
             print_every: 0,
+            ..SolverConfig::default()
         },
     );
     (r.rms_history, p.p_q.snapshot())
@@ -169,13 +170,14 @@ fn sharded_airfoil_matches_single_locality_golden() {
     let niter = 12;
     let (rms_ref, q_ref) = plain_golden(niter);
     let mesh = channel_with_bump(32, 16);
-    let shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, 4);
+    let mut shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, 4);
     let r = run_sharded(
-        &shp,
+        &mut shp,
         &SolverConfig {
             niter,
             window: 4,
             print_every: 0,
+            ..SolverConfig::default()
         },
     );
     let d_rms = max_rel_diff(&rms_ref, &r.rms_history);
@@ -210,13 +212,14 @@ fn adaptive_granularity_preserves_sharded_physics_across_halo_boundary() {
             Op2Config::dataflow(2).with_chunk(ChunkPolicy::Guided { min: 16 }),
         ),
     ] {
-        let shp = ShardedProblem::declare(config, &mesh, 4);
+        let mut shp = ShardedProblem::declare(config, &mesh, 4);
         let r = run_sharded(
-            &shp,
+            &mut shp,
             &SolverConfig {
                 niter,
                 window: 4,
                 print_every: 0,
+                ..SolverConfig::default()
             },
         );
         let d_rms = max_rel_diff(&rms_ref, &r.rms_history);

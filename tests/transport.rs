@@ -116,17 +116,18 @@ fn sharded_airfoil_over_sockets_matches_in_process() {
         niter: 4,
         window: 2,
         print_every: 0,
+        ..SolverConfig::default()
     };
     let mesh = channel_with_bump(12, 6);
     let reference = {
-        let shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, NRANKS);
-        run_sharded(&shp, &cfg)
+        let mut shp = ShardedProblem::declare(Op2Config::dataflow(2), &mesh, NRANKS);
+        run_sharded(&mut shp, &cfg)
     };
 
     let history = spmd("airfoil", NRANKS, |_rank, t| {
         let mesh = channel_with_bump(12, 6);
-        let shp = ShardedProblem::declare_with_transport(Op2Config::dataflow(2), &mesh, t);
-        let result = run_sharded(&shp, &cfg);
+        let mut shp = ShardedProblem::declare_with_transport(Op2Config::dataflow(2), &mesh, t);
+        let result = run_sharded(&mut shp, &cfg);
         shp.group.barrier();
         result.rms_history
     });
