@@ -1,0 +1,436 @@
+//! Airfoil as an [`op2_app::App`]: the harness-facing adapter.
+//!
+//! The five-loop iteration bodies live here as free functions
+//! ([`step_plain`], [`step_sharded`]); [`crate::solver::run`] and
+//! [`crate::shard::run_sharded`] drive them through the generic
+//! [`op2_app::run`] time loop with borrowing instances (so their
+//! signatures and behavior — including bitwise output — are unchanged),
+//! while [`AirfoilApp`] packages the same bodies behind the [`App`]
+//! factory for the app-generic test matrix and the farm.
+
+use std::sync::Arc;
+
+use op2_app::{App, AppInstance, RebalanceReport, RunConfig, StepOutput};
+use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
+use op2_core::{Global, LoopHandle, Op2, Op2Config, ResidualMap};
+use op2_mesh::{channel_with_bump, QuadMesh};
+
+use crate::kernels;
+use crate::setup::Problem;
+use crate::shard::{skew_work, ShardedProblem};
+
+/// Submits one Airfoil iteration (save + two inner steps) on a plain
+/// single-context problem and returns the second inner step's `rms`
+/// future and update handle. Statement-for-statement the body of the
+/// pre-harness `solver::run` loop.
+pub(crate) fn step_plain(op2: &Op2, p: &Problem) -> StepOutput {
+    let qinf = p.qinf;
+
+    // Save the old solution.
+    op2.loop_("save_soln", &p.cells)
+        .arg(read(&p.p_q))
+        .arg(write(&p.p_qold))
+        .run(|q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold));
+
+    let mut last_update: Option<(Global<f64>, LoopHandle)> = None;
+    for _k in 0..2 {
+        // Local timestep.
+        op2.loop_("adt_calc", &p.cells)
+            .arg(read_via(&p.p_x, &p.pcell, 0))
+            .arg(read_via(&p.p_x, &p.pcell, 1))
+            .arg(read_via(&p.p_x, &p.pcell, 2))
+            .arg(read_via(&p.p_x, &p.pcell, 3))
+            .arg(read(&p.p_q))
+            .arg(write(&p.p_adt))
+            .run(
+                |x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]| {
+                    kernels::adt_calc(x1, x2, x3, x4, q, adt)
+                },
+            );
+
+        // Interior fluxes (indirect increments -> colored plan).
+        op2.loop_("res_calc", &p.edges)
+            .arg(read_via(&p.p_x, &p.pedge, 0))
+            .arg(read_via(&p.p_x, &p.pedge, 1))
+            .arg(read_via(&p.p_q, &p.pecell, 0))
+            .arg(read_via(&p.p_q, &p.pecell, 1))
+            .arg(read_via(&p.p_adt, &p.pecell, 0))
+            .arg(read_via(&p.p_adt, &p.pecell, 1))
+            .arg(inc_via(&p.p_res, &p.pecell, 0))
+            .arg(inc_via(&p.p_res, &p.pecell, 1))
+            .run(
+                |x1: &[f64],
+                 x2: &[f64],
+                 q1: &[f64],
+                 q2: &[f64],
+                 adt1: &[f64],
+                 adt2: &[f64],
+                 res1: &mut [f64],
+                 res2: &mut [f64]| {
+                    kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
+                },
+            );
+
+        // Boundary fluxes.
+        op2.loop_("bres_calc", &p.bedges)
+            .arg(read_via(&p.p_x, &p.pbedge, 0))
+            .arg(read_via(&p.p_x, &p.pbedge, 1))
+            .arg(read_via(&p.p_q, &p.pbecell, 0))
+            .arg(read_via(&p.p_adt, &p.pbecell, 0))
+            .arg(inc_via(&p.p_res, &p.pbecell, 0))
+            .arg(read(&p.p_bound))
+            .run(
+                move |x1: &[f64],
+                      x2: &[f64],
+                      q1: &[f64],
+                      adt1: &[f64],
+                      res1: &mut [f64],
+                      bound: &[i32]| {
+                    kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
+                },
+            );
+
+        // Update; a fresh rms Global per step keeps the pipeline free
+        // of reduction-read barriers.
+        let rms = Global::<f64>::sum(1, "rms");
+        let h = op2
+            .loop_("update", &p.cells)
+            .arg(read(&p.p_qold))
+            .arg(write(&p.p_q))
+            .arg(rw(&p.p_res))
+            .arg(read(&p.p_adt))
+            .arg(gbl_inc(&rms))
+            .run(
+                |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
+                    kernels::update(qold, q, res, adt, rms)
+                },
+            );
+        last_update = Some((rms, h));
+    }
+
+    let (rms, handle) = last_update.expect("two inner steps ran");
+    // Asynchronous reduction read (paper Fig 9): the value becomes a
+    // future gated on the update loop's finalize; nothing blocks here.
+    StepOutput {
+        residual: rms.reduce_async(op2),
+        gates: vec![handle],
+    }
+}
+
+/// One sharded Airfoil iteration across every locally hosted rank, with
+/// the cross-rank `rms` as an allreduce future. Statement-for-statement
+/// the body of the pre-harness `run_sharded` loop (no communication
+/// calls: the halo rings schedule the `q`/`adt` exchanges when
+/// `res_calc`'s stale halo reads are submitted).
+pub(crate) fn step_sharded(shp: &ShardedProblem, skew: f64) -> StepOutput {
+    let nranks = shp.parts.len();
+    let first = shp.group.local_ranks().start;
+
+    for (r, p) in shp.parts.iter().enumerate() {
+        let op2 = shp.group.rank(first + r);
+        op2.loop_("save_soln", &p.cells)
+            .arg(read(&p.p_q))
+            .arg(write(&p.p_qold))
+            .run(|q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold));
+    }
+
+    let mut last_update: Option<(Vec<Global<f64>>, Vec<LoopHandle>)> = None;
+    for _k in 0..2 {
+        for (r, p) in shp.parts.iter().enumerate() {
+            let op2 = shp.group.rank(first + r);
+            let qinf = p.qinf;
+            op2.loop_("adt_calc", &p.cells)
+                .arg(read_via(&p.p_x, &p.pcell, 0))
+                .arg(read_via(&p.p_x, &p.pcell, 1))
+                .arg(read_via(&p.p_x, &p.pcell, 2))
+                .arg(read_via(&p.p_x, &p.pcell, 3))
+                .arg(read(&p.p_q))
+                .arg(write(&p.p_adt))
+                .run(
+                    move |x1: &[f64],
+                          x2: &[f64],
+                          x3: &[f64],
+                          x4: &[f64],
+                          q: &[f64],
+                          adt: &mut [f64]| {
+                        kernels::adt_calc(x1, x2, x3, x4, q, adt);
+                        if skew > 0.0 {
+                            skew_work(skew, q, &qinf);
+                        }
+                    },
+                );
+        }
+
+        // No manual exchange: res_calc's read_via(pecell) arguments
+        // reach the halo rows, so submitting it refreshes the stale
+        // q/adt imports automatically (sends chain behind the exported
+        // rows' writers — `update` for q, `adt_calc` for adt — and
+        // receives gate only res_calc's boundary blocks).
+        for (r, p) in shp.parts.iter().enumerate() {
+            let op2 = shp.group.rank(first + r);
+            op2.loop_("res_calc", &p.edges)
+                .arg(read_via(&p.p_x, &p.pedge, 0))
+                .arg(read_via(&p.p_x, &p.pedge, 1))
+                .arg(read_via(&p.p_q, &p.pecell, 0))
+                .arg(read_via(&p.p_q, &p.pecell, 1))
+                .arg(read_via(&p.p_adt, &p.pecell, 0))
+                .arg(read_via(&p.p_adt, &p.pecell, 1))
+                .arg(inc_via(&p.p_res, &p.pecell, 0))
+                .arg(inc_via(&p.p_res, &p.pecell, 1))
+                .run(
+                    |x1: &[f64],
+                     x2: &[f64],
+                     q1: &[f64],
+                     q2: &[f64],
+                     adt1: &[f64],
+                     adt2: &[f64],
+                     res1: &mut [f64],
+                     res2: &mut [f64]| {
+                        kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
+                    },
+                );
+        }
+
+        for (r, p) in shp.parts.iter().enumerate() {
+            let op2 = shp.group.rank(first + r);
+            let qinf = p.qinf;
+            op2.loop_("bres_calc", &p.bedges)
+                .arg(read_via(&p.p_x, &p.pbedge, 0))
+                .arg(read_via(&p.p_x, &p.pbedge, 1))
+                .arg(read_via(&p.p_q, &p.pbecell, 0))
+                .arg(read_via(&p.p_adt, &p.pbecell, 0))
+                .arg(inc_via(&p.p_res, &p.pbecell, 0))
+                .arg(read(&p.p_bound))
+                .run(
+                    move |x1: &[f64],
+                          x2: &[f64],
+                          q1: &[f64],
+                          adt1: &[f64],
+                          res1: &mut [f64],
+                          bound: &[i32]| {
+                        kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
+                    },
+                );
+        }
+
+        let mut step_rms = Vec::with_capacity(nranks);
+        let mut step_handles = Vec::with_capacity(nranks);
+        for (r, p) in shp.parts.iter().enumerate() {
+            let op2 = shp.group.rank(first + r);
+            let rms = Global::<f64>::sum(1, "rms");
+            let h = op2
+                .loop_("update", &p.cells)
+                .arg(read(&p.p_qold))
+                .arg(write(&p.p_q))
+                .arg(rw(&p.p_res))
+                .arg(read(&p.p_adt))
+                .arg(gbl_inc(&rms))
+                .run(
+                    |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
+                        kernels::update(qold, q, res, adt, rms)
+                    },
+                );
+            step_rms.push(rms);
+            step_handles.push(h);
+        }
+        last_update = Some((step_rms, step_handles));
+    }
+
+    let (rms, handles) = last_update.expect("two inner steps ran");
+    // Asynchronous cross-rank allreduce: each rank's contribution node
+    // gates on its own update finalize, the tree combines in fixed
+    // rank order, and the total is a future — no rank's pipeline
+    // drains here, even when printing every iteration.
+    StepOutput {
+        residual: shp.group.allreduce(&rms),
+        gates: handles,
+    }
+}
+
+fn rms_scale(ncell: usize) -> ResidualMap {
+    let n = ncell as f64;
+    Arc::new(move |v| (v / n).sqrt())
+}
+
+/// The borrowing plain instance [`crate::solver::run`] drives (borrowed
+/// world + borrowed problem keeps the public `run(op2, &problem, cfg)`
+/// signature intact).
+pub struct PlainAirfoil<'a> {
+    op2: &'a Op2,
+    p: &'a Problem,
+}
+
+impl<'a> PlainAirfoil<'a> {
+    /// Wraps an already-declared problem.
+    pub fn new(op2: &'a Op2, p: &'a Problem) -> PlainAirfoil<'a> {
+        PlainAirfoil { op2, p }
+    }
+}
+
+impl AppInstance for PlainAirfoil<'_> {
+    fn step(&mut self, _iter: usize) -> StepOutput {
+        step_plain(self.op2, self.p)
+    }
+
+    fn residual_map(&self) -> ResidualMap {
+        rms_scale(self.p.cells.size())
+    }
+
+    fn fence(&self) {
+        self.op2.fence();
+    }
+
+    fn state(&self) -> Vec<f64> {
+        self.p.p_q.snapshot()
+    }
+}
+
+/// The borrowing sharded instance [`crate::shard::run_sharded`] drives.
+pub struct ShardedAirfoil<'a> {
+    shp: &'a mut ShardedProblem,
+    skew: f64,
+}
+
+impl<'a> ShardedAirfoil<'a> {
+    /// Wraps an already-declared sharded problem; `skew` is the
+    /// artificial cost skew ([`crate::SolverConfig::skew`]).
+    pub fn new(shp: &'a mut ShardedProblem, skew: f64) -> ShardedAirfoil<'a> {
+        ShardedAirfoil { shp, skew }
+    }
+}
+
+impl AppInstance for ShardedAirfoil<'_> {
+    fn step(&mut self, _iter: usize) -> StepOutput {
+        step_sharded(self.shp, self.skew)
+    }
+
+    fn residual_map(&self) -> ResidualMap {
+        rms_scale(self.shp.ncell_global)
+    }
+
+    fn prints_here(&self) -> bool {
+        self.shp.group.local_ranks().contains(&0)
+    }
+
+    fn fence(&self) {
+        self.shp.group.fence();
+    }
+
+    fn rebalance(&mut self) -> Option<RebalanceReport> {
+        self.shp.rebalance()
+    }
+
+    fn state(&self) -> Vec<f64> {
+        self.shp.gather_q()
+    }
+}
+
+/// Owning variants behind [`App::declare`] / [`App::declare_sharded`]
+/// (the factory path carries its declarations with the instance).
+struct DeclaredAirfoil<'a> {
+    op2: &'a Op2,
+    p: Problem,
+}
+
+impl AppInstance for DeclaredAirfoil<'_> {
+    fn step(&mut self, _iter: usize) -> StepOutput {
+        step_plain(self.op2, &self.p)
+    }
+
+    fn residual_map(&self) -> ResidualMap {
+        rms_scale(self.p.cells.size())
+    }
+
+    fn fence(&self) {
+        self.op2.fence();
+    }
+
+    fn state(&self) -> Vec<f64> {
+        self.p.p_q.snapshot()
+    }
+}
+
+struct DeclaredShardedAirfoil {
+    shp: ShardedProblem,
+}
+
+impl AppInstance for DeclaredShardedAirfoil {
+    fn step(&mut self, _iter: usize) -> StepOutput {
+        step_sharded(&self.shp, 0.0)
+    }
+
+    fn residual_map(&self) -> ResidualMap {
+        rms_scale(self.shp.ncell_global)
+    }
+
+    fn prints_here(&self) -> bool {
+        self.shp.group.local_ranks().contains(&0)
+    }
+
+    fn fence(&self) {
+        self.shp.group.fence();
+    }
+
+    fn rebalance(&mut self) -> Option<RebalanceReport> {
+        self.shp.rebalance()
+    }
+
+    fn state(&self) -> Vec<f64> {
+        self.shp.gather_q()
+    }
+}
+
+/// The Airfoil benchmark as an [`App`]: a channel-with-bump mesh plus
+/// the hand-ported five-loop iteration (the `.op2` spec describes the
+/// same loops; its generated wrappers are golden-tested against the
+/// hand-written code in `tests/generated_airfoil.rs`).
+pub struct AirfoilApp {
+    mesh: QuadMesh,
+}
+
+impl AirfoilApp {
+    /// An `nx x ny` channel-with-bump mesh.
+    pub fn new(nx: usize, ny: usize) -> AirfoilApp {
+        AirfoilApp {
+            mesh: channel_with_bump(nx, ny),
+        }
+    }
+
+    /// Wraps an existing mesh.
+    pub fn with_mesh(mesh: QuadMesh) -> AirfoilApp {
+        AirfoilApp { mesh }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &QuadMesh {
+        &self.mesh
+    }
+}
+
+impl App for AirfoilApp {
+    fn name(&self) -> &'static str {
+        "airfoil"
+    }
+
+    fn spec(&self) -> &'static str {
+        include_str!("../../translator/specs/airfoil.op2")
+    }
+
+    fn declare<'a>(&self, op2: &'a Op2) -> Box<dyn AppInstance + 'a> {
+        Box::new(DeclaredAirfoil {
+            op2,
+            p: Problem::declare(op2, &self.mesh),
+        })
+    }
+
+    fn declare_sharded(&self, config: Op2Config, nranks: usize) -> Box<dyn AppInstance> {
+        Box::new(DeclaredShardedAirfoil {
+            shp: ShardedProblem::declare(config, &self.mesh, nranks),
+        })
+    }
+
+    fn default_run(&self) -> RunConfig {
+        // The original driver: 1000 fixed iterations, window 16.
+        RunConfig::iterations(1000, 16)
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod app;
 pub mod constants;
 pub mod kernels;
 pub mod setup;
@@ -33,6 +34,7 @@ pub mod simd;
 pub mod solver;
 pub mod verify;
 
+pub use app::{AirfoilApp, PlainAirfoil, ShardedAirfoil};
 pub use setup::Problem;
 pub use shard::{run_sharded, RankProblem, RebalanceReport, ShardedProblem};
 pub use solver::{run, solve, RunResult, SolverConfig};

@@ -58,26 +58,24 @@
 //! halo mirrors are dead values (partition-boundary edges are executed
 //! redundantly by both ranks), so exchanging them would be pure waste.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
 
-use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
-use op2_core::hpx_rt::SharedFuture;
+use op2_app::{plan_shards, ExitPolicy, RunConfig};
 use op2_core::locality::{ExchangeOpts, HaloSpec, LocalityGroup};
 use op2_core::rebalance::{
     agree_rank_busy, cost_levels, migrate_rows, MigrationSpec, DEFAULT_DEAD_ZONE,
 };
 use op2_core::transport::{InProcessTransport, Transport};
-use op2_core::{Dat, Global, LoopHandle, Map, Op2Config, ReducedFuture, Set};
+use op2_core::{Dat, Map, Op2Config, Set};
 use op2_mesh::{
-    build_halo, neighbors_from_pairs, partition_greedy_bfs, partition_greedy_bfs_weighted,
-    Partition, QuadMesh,
+    neighbors_from_pairs, partition_greedy_bfs, partition_greedy_bfs_weighted, Partition, QuadMesh,
 };
 
+use crate::app::ShardedAirfoil;
 use crate::constants::qinf;
-use crate::kernels;
 use crate::solver::{RunResult, SolverConfig};
+
+pub use op2_app::RebalanceReport;
 
 /// One rank's fully local view of the Airfoil problem (compare
 /// [`crate::Problem`], plus the shard bookkeeping).
@@ -143,19 +141,6 @@ pub struct ShardedProblem {
     pub mesh: QuadMesh,
 }
 
-/// What one successful [`ShardedProblem::rebalance`] did.
-#[derive(Debug, Clone)]
-pub struct RebalanceReport {
-    /// The agreed per-rank busy nanoseconds the decision was taken from.
-    pub busy_ns: Vec<u64>,
-    /// Quantized per-element cost level of each rank's old shard.
-    pub levels: Vec<u64>,
-    /// Cells that changed owner rank.
-    pub rows_crossing: usize,
-    /// Cached loop schedules retired with the old shards.
-    pub specs_dropped: usize,
-}
-
 impl ShardedProblem {
     /// Partitions `mesh` into `nranks` shards and declares every rank's
     /// local problem, all in this process (see module docs).
@@ -210,44 +195,21 @@ fn declare_shards(
     part: &Partition,
     owned_all: &[Vec<u32>],
 ) -> (Vec<RankProblem>, HaloSpec) {
-    let nranks = part.nparts;
-    let halo = build_halo(part, &mesh.edge_cells, 2);
+    // The generic half — owned-first cell numbering, per-peer import
+    // ranges, export rows, interior-first execute-halo split — is the
+    // app-agnostic shard planner's job.
+    let plan = plan_shards(mesh.ncell, &mesh.edge_cells, part, owned_all);
     let local = group.local_ranks();
     let qinf = qinf();
 
     let mut parts = Vec::with_capacity(local.len());
-    let mut spec = HaloSpec::empty(nranks);
 
     {
-        let halo = &halo;
-        for (r, owned) in owned_all.iter().enumerate() {
-            let n_owned = owned.len();
-
-            // Local cell numbering: owned first, then halo imports grouped
-            // by owner rank (contiguous per peer — the exchange relies on
-            // contiguity to scatter with one copy).
-            let mut g2l_cell = vec![u32::MAX; mesh.ncell];
-            for (i, &c) in owned.iter().enumerate() {
-                g2l_cell[c as usize] = i as u32;
-            }
-            let mut off = n_owned;
-            for s in 0..nranks {
-                let imp = &halo.import[r][s];
-                spec.import_range[r][s] = off..off + imp.len();
-                for (j, &c) in imp.iter().enumerate() {
-                    g2l_cell[c as usize] = (off + j) as u32;
-                }
-                off += imp.len();
-            }
-            let n_halo = off - n_owned;
-
-            // Exported rows are owned, so their local ids are final here.
-            for s in 0..nranks {
-                spec.export_rows[r][s] = halo.export[r][s]
-                    .iter()
-                    .map(|&c| g2l_cell[c as usize])
-                    .collect();
-            }
+        for (r, (owned, shard)) in owned_all.iter().zip(&plan.shards).enumerate() {
+            let n_owned = shard.n_owned;
+            debug_assert_eq!(n_owned, owned.len());
+            let g2l_cell = &shard.g2l;
+            let n_halo = shard.n_halo;
 
             // The spec is global; the entities below are per-process.
             if !local.contains(&r) {
@@ -256,14 +218,10 @@ fn declare_shards(
             let op2 = group.rank(r);
 
             // Local edges: interior (both cells owned) first, boundary
-            // after, each ascending in global order.
+            // after, each ascending in global order (the planner's split).
             let is_owned = |c: u32| part.part_of[c as usize] as usize == r;
-            let (interior, boundary): (Vec<u32>, Vec<u32>) = halo.exec[r].iter().partition(|&&e| {
-                is_owned(mesh.edge_cells[2 * e as usize])
-                    && is_owned(mesh.edge_cells[2 * e as usize + 1])
-            });
-            let n_interior = interior.len();
-            let ledges: Vec<u32> = interior.into_iter().chain(boundary).collect();
+            let n_interior = shard.n_interior;
+            let ledges: Vec<u32> = shard.exec.clone();
 
             // Local boundary edges: owned by their single cell's owner.
             let lbedges: Vec<u32> = (0..mesh.nbedge as u32)
@@ -380,17 +338,15 @@ fn declare_shards(
             });
         }
     }
-    spec.validate().expect("shard construction broke the spec");
-
     // Implicit communication: tie the q and adt shards into halo
     // rings so the time loop needs no manual exchange calls (res
     // halo increments are dead values — see module docs).
     let qs: Vec<Dat<f64>> = parts.iter().map(|p| p.p_q.clone()).collect();
     let adts: Vec<Dat<f64>> = parts.iter().map(|p| p.p_adt.clone()).collect();
-    group.link_halo(&qs, &spec);
-    group.link_halo(&adts, &spec);
+    group.link_halo(&qs, &plan.spec);
+    group.link_halo(&adts, &plan.spec);
 
-    (parts, spec)
+    (parts, plan.spec)
 }
 
 impl ShardedProblem {
@@ -523,7 +479,7 @@ impl ShardedProblem {
 /// the load-balancing demo ([`SolverConfig::skew`]). Burns time only;
 /// every dat value stays bitwise identical to the unskewed kernel.
 #[inline]
-fn skew_work(skew: f64, q: &[f64], qinf: &[f64; 4]) {
+pub(crate) fn skew_work(skew: f64, q: &[f64], qinf: &[f64; 4]) {
     let dev: f64 = q.iter().zip(qinf).map(|(a, b)| (a - b).abs()).sum();
     let spins = (skew * dev) as u64;
     let mut acc = 0u64;
@@ -545,191 +501,20 @@ fn skew_work(skew: f64, q: &[f64], qinf: &[f64; 4]) {
 /// ([`ShardedProblem::rebalance`]); with rebalancing off the problem is
 /// only read.
 pub fn run_sharded(shp: &mut ShardedProblem, cfg: &SolverConfig) -> RunResult {
-    let nranks = shp.parts.len();
-    let first = shp.group.local_ranks().start;
-    // Under a distributed transport every process computes the reduced
-    // residual, but only the process hosting rank 0 prints it.
-    let prints_here = shp.group.local_ranks().contains(&0);
     let ncell = shp.ncell_global;
-    let t0 = Instant::now();
-
-    let mut rms_futs: Vec<ReducedFuture<f64>> = Vec::with_capacity(cfg.niter);
-    // Backpressure window: the waited prefix is drained, so handle memory
-    // is O(window * nranks), not O(niter * nranks).
-    let mut window_handles: VecDeque<Vec<LoopHandle>> = VecDeque::with_capacity(cfg.window + 1);
-    // Print nodes chain linearly so residual lines stay ordered without a
-    // blocking read in the loop.
-    let mut last_print: Option<SharedFuture<()>> = None;
-
-    for iter in 1..=cfg.niter {
-        for (r, p) in shp.parts.iter().enumerate() {
-            let op2 = shp.group.rank(first + r);
-            op2.loop_("save_soln", &p.cells)
-                .arg(read(&p.p_q))
-                .arg(write(&p.p_qold))
-                .run(|q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold));
-        }
-
-        let mut last_update: Option<(Vec<Global<f64>>, Vec<LoopHandle>)> = None;
-        for _k in 0..2 {
-            for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(first + r);
-                let skew = cfg.skew;
-                let qinf = p.qinf;
-                op2.loop_("adt_calc", &p.cells)
-                    .arg(read_via(&p.p_x, &p.pcell, 0))
-                    .arg(read_via(&p.p_x, &p.pcell, 1))
-                    .arg(read_via(&p.p_x, &p.pcell, 2))
-                    .arg(read_via(&p.p_x, &p.pcell, 3))
-                    .arg(read(&p.p_q))
-                    .arg(write(&p.p_adt))
-                    .run(
-                        move |x1: &[f64],
-                              x2: &[f64],
-                              x3: &[f64],
-                              x4: &[f64],
-                              q: &[f64],
-                              adt: &mut [f64]| {
-                            kernels::adt_calc(x1, x2, x3, x4, q, adt);
-                            if skew > 0.0 {
-                                skew_work(skew, q, &qinf);
-                            }
-                        },
-                    );
-            }
-
-            // No manual exchange: res_calc's read_via(pecell) arguments
-            // reach the halo rows, so submitting it refreshes the stale
-            // q/adt imports automatically (sends chain behind the exported
-            // rows' writers — `update` for q, `adt_calc` for adt — and
-            // receives gate only res_calc's boundary blocks).
-            for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(first + r);
-                op2.loop_("res_calc", &p.edges)
-                    .arg(read_via(&p.p_x, &p.pedge, 0))
-                    .arg(read_via(&p.p_x, &p.pedge, 1))
-                    .arg(read_via(&p.p_q, &p.pecell, 0))
-                    .arg(read_via(&p.p_q, &p.pecell, 1))
-                    .arg(read_via(&p.p_adt, &p.pecell, 0))
-                    .arg(read_via(&p.p_adt, &p.pecell, 1))
-                    .arg(inc_via(&p.p_res, &p.pecell, 0))
-                    .arg(inc_via(&p.p_res, &p.pecell, 1))
-                    .run(
-                        |x1: &[f64],
-                         x2: &[f64],
-                         q1: &[f64],
-                         q2: &[f64],
-                         adt1: &[f64],
-                         adt2: &[f64],
-                         res1: &mut [f64],
-                         res2: &mut [f64]| {
-                            kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
-                        },
-                    );
-            }
-
-            for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(first + r);
-                let qinf = p.qinf;
-                op2.loop_("bres_calc", &p.bedges)
-                    .arg(read_via(&p.p_x, &p.pbedge, 0))
-                    .arg(read_via(&p.p_x, &p.pbedge, 1))
-                    .arg(read_via(&p.p_q, &p.pbecell, 0))
-                    .arg(read_via(&p.p_adt, &p.pbecell, 0))
-                    .arg(inc_via(&p.p_res, &p.pbecell, 0))
-                    .arg(read(&p.p_bound))
-                    .run(
-                        move |x1: &[f64],
-                              x2: &[f64],
-                              q1: &[f64],
-                              adt1: &[f64],
-                              res1: &mut [f64],
-                              bound: &[i32]| {
-                            kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
-                        },
-                    );
-            }
-
-            let mut step_rms = Vec::with_capacity(nranks);
-            let mut step_handles = Vec::with_capacity(nranks);
-            for (r, p) in shp.parts.iter().enumerate() {
-                let op2 = shp.group.rank(first + r);
-                let rms = Global::<f64>::sum(1, "rms");
-                let h = op2
-                    .loop_("update", &p.cells)
-                    .arg(read(&p.p_qold))
-                    .arg(write(&p.p_q))
-                    .arg(rw(&p.p_res))
-                    .arg(read(&p.p_adt))
-                    .arg(gbl_inc(&rms))
-                    .run(
-                        |qold: &[f64],
-                         q: &mut [f64],
-                         res: &mut [f64],
-                         adt: &[f64],
-                         rms: &mut [f64]| {
-                            kernels::update(qold, q, res, adt, rms)
-                        },
-                    );
-                step_rms.push(rms);
-                step_handles.push(h);
-            }
-            last_update = Some((step_rms, step_handles));
-        }
-
-        let (rms, handles) = last_update.expect("two inner steps ran");
-        // Asynchronous cross-rank allreduce: each rank's contribution node
-        // gates on its own update finalize, the tree combines in fixed
-        // rank order, and the total is a future — no rank's pipeline
-        // drains here, even when printing every iteration.
-        let red = shp.group.allreduce(&rms);
-        if prints_here && cfg.print_every > 0 && iter % cfg.print_every == 0 {
-            let after: Vec<SharedFuture<()>> = last_print.iter().cloned().collect();
-            let ncell_f = ncell as f64;
-            last_print = Some(red.then_after(&after, move |v| {
-                println!(" {iter:6} {:10.5e}", (v[0] / ncell_f).sqrt());
-            }));
-        }
-        rms_futs.push(red);
-        window_handles.push_back(handles);
-
-        // Backpressure: bound in-flight iterations across all ranks,
-        // draining the waited handles out of the window.
-        if cfg.window > 0 && window_handles.len() > cfg.window {
-            for h in window_handles.pop_front().expect("window is non-empty") {
-                h.wait();
-            }
-        }
-
-        // Feedback-driven live repartitioning: between iterations, never
-        // for the last one. A triggered rebalance swaps `shp`'s shards;
-        // the next iteration's loops run over the new ones, gated by the
-        // migration nodes through the epoch tables — the pipeline never
-        // drains.
-        if cfg.rebalance_every > 0 && iter % cfg.rebalance_every == 0 && iter < cfg.niter {
-            if let Some(rep) = shp.rebalance() {
-                if prints_here {
-                    eprintln!(
-                        " rebalance @ iter {iter}: levels {:?}, {} cells changed rank, \
-                         {} cached schedules retired",
-                        rep.levels, rep.rows_crossing, rep.specs_dropped
-                    );
-                }
-            }
-        }
-    }
-
-    shp.group.fence();
-    let elapsed = t0.elapsed();
-
-    let rms_history = rms_futs
-        .iter()
-        .map(|r| (r.get_scalar() / ncell as f64).sqrt())
-        .collect();
-
+    let mut inst = ShardedAirfoil::new(shp, cfg.skew);
+    let out = op2_app::run(
+        &mut inst,
+        RunConfig {
+            exit: ExitPolicy::Iterations(cfg.niter),
+            window: cfg.window,
+            print_every: cfg.print_every,
+            rebalance_every: cfg.rebalance_every,
+        },
+    );
     RunResult {
-        rms_history,
-        elapsed,
+        rms_history: out.residuals,
+        elapsed: out.elapsed,
         ncell,
     }
 }

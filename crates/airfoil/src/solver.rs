@@ -10,14 +10,12 @@
 //! continuation and the history is collected after the final fence, so
 //! the time loop contains **zero blocking reduction reads**.
 
-use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use op2_core::args::{gbl_inc, inc_via, read, read_via, rw, write};
-use op2_core::hpx_rt::SharedFuture;
-use op2_core::{Global, LoopHandle, Op2, ReducedFuture};
+use op2_app::{ExitPolicy, RunConfig};
+use op2_core::Op2;
 
-use crate::kernels;
+use crate::app::PlainAirfoil;
 use crate::setup::Problem;
 use op2_mesh::QuadMesh;
 
@@ -99,141 +97,26 @@ pub fn solve(op2: &Op2, mesh: &QuadMesh, cfg: &SolverConfig) -> RunResult {
 /// Runs `cfg.niter` iterations of the Airfoil pseudo-timestepping loop on
 /// an already-declared problem. May be called repeatedly; continues from
 /// the current flow state.
+///
+/// The iteration body lives in [`crate::app`] ([`PlainAirfoil`]) and the
+/// time loop is the generic [`op2_app::run`] harness — a fixed-iteration
+/// run through it is statement-for-statement the pre-refactor loop, so
+/// the output is bitwise unchanged.
 pub fn run(op2: &Op2, p: &Problem, cfg: &SolverConfig) -> RunResult {
-    let ncell = p.cells.size();
-    let qinf = p.qinf;
-    let t0 = Instant::now();
-
-    let mut rms_futs: Vec<ReducedFuture<f64>> = Vec::with_capacity(cfg.niter);
-    // Backpressure window: only the youngest `window` iterations' handles
-    // are retained — the waited prefix is drained as it leaves the window,
-    // so handle memory is O(window), not O(niter).
-    let mut window_handles: VecDeque<LoopHandle> = VecDeque::with_capacity(cfg.window + 1);
-    // Residual printing chains each line behind the previous one, so
-    // output stays ordered without a blocking read in the loop.
-    let mut last_print: Option<SharedFuture<()>> = None;
-
-    for iter in 1..=cfg.niter {
-        // Save the old solution.
-        op2.loop_("save_soln", &p.cells)
-            .arg(read(&p.p_q))
-            .arg(write(&p.p_qold))
-            .run(|q: &[f64], qold: &mut [f64]| kernels::save_soln(q, qold));
-
-        let mut last_update: Option<(Global<f64>, LoopHandle)> = None;
-        for _k in 0..2 {
-            // Local timestep.
-            op2.loop_("adt_calc", &p.cells)
-                .arg(read_via(&p.p_x, &p.pcell, 0))
-                .arg(read_via(&p.p_x, &p.pcell, 1))
-                .arg(read_via(&p.p_x, &p.pcell, 2))
-                .arg(read_via(&p.p_x, &p.pcell, 3))
-                .arg(read(&p.p_q))
-                .arg(write(&p.p_adt))
-                .run(
-                    |x1: &[f64], x2: &[f64], x3: &[f64], x4: &[f64], q: &[f64], adt: &mut [f64]| {
-                        kernels::adt_calc(x1, x2, x3, x4, q, adt)
-                    },
-                );
-
-            // Interior fluxes (indirect increments -> colored plan).
-            op2.loop_("res_calc", &p.edges)
-                .arg(read_via(&p.p_x, &p.pedge, 0))
-                .arg(read_via(&p.p_x, &p.pedge, 1))
-                .arg(read_via(&p.p_q, &p.pecell, 0))
-                .arg(read_via(&p.p_q, &p.pecell, 1))
-                .arg(read_via(&p.p_adt, &p.pecell, 0))
-                .arg(read_via(&p.p_adt, &p.pecell, 1))
-                .arg(inc_via(&p.p_res, &p.pecell, 0))
-                .arg(inc_via(&p.p_res, &p.pecell, 1))
-                .run(
-                    |x1: &[f64],
-                     x2: &[f64],
-                     q1: &[f64],
-                     q2: &[f64],
-                     adt1: &[f64],
-                     adt2: &[f64],
-                     res1: &mut [f64],
-                     res2: &mut [f64]| {
-                        kernels::res_calc(x1, x2, q1, q2, adt1, adt2, res1, res2)
-                    },
-                );
-
-            // Boundary fluxes.
-            op2.loop_("bres_calc", &p.bedges)
-                .arg(read_via(&p.p_x, &p.pbedge, 0))
-                .arg(read_via(&p.p_x, &p.pbedge, 1))
-                .arg(read_via(&p.p_q, &p.pbecell, 0))
-                .arg(read_via(&p.p_adt, &p.pbecell, 0))
-                .arg(inc_via(&p.p_res, &p.pbecell, 0))
-                .arg(read(&p.p_bound))
-                .run(
-                    move |x1: &[f64],
-                          x2: &[f64],
-                          q1: &[f64],
-                          adt1: &[f64],
-                          res1: &mut [f64],
-                          bound: &[i32]| {
-                        kernels::bres_calc(x1, x2, q1, adt1, res1, bound, &qinf)
-                    },
-                );
-
-            // Update; a fresh rms Global per step keeps the pipeline free
-            // of reduction-read barriers.
-            let rms = Global::<f64>::sum(1, "rms");
-            let h = op2
-                .loop_("update", &p.cells)
-                .arg(read(&p.p_qold))
-                .arg(write(&p.p_q))
-                .arg(rw(&p.p_res))
-                .arg(read(&p.p_adt))
-                .arg(gbl_inc(&rms))
-                .run(
-                    |qold: &[f64], q: &mut [f64], res: &mut [f64], adt: &[f64], rms: &mut [f64]| {
-                        kernels::update(qold, q, res, adt, rms)
-                    },
-                );
-            last_update = Some((rms, h));
-        }
-
-        let (rms, handle) = last_update.expect("two inner steps ran");
-        // Asynchronous reduction read (paper Fig 9): the value becomes a
-        // future gated on the update loop's finalize; nothing blocks here.
-        let red = rms.reduce_async(op2);
-        if cfg.print_every > 0 && iter % cfg.print_every == 0 {
-            let after: Vec<SharedFuture<()>> = last_print.iter().cloned().collect();
-            let ncell_f = ncell as f64;
-            last_print = Some(red.then_after(&after, move |v| {
-                println!(" {iter:6} {:10.5e}", (v[0] / ncell_f).sqrt());
-            }));
-        }
-        rms_futs.push(red);
-        window_handles.push_back(handle);
-
-        // Backpressure: bound the number of in-flight iterations, draining
-        // the waited handle out of the window.
-        if cfg.window > 0 && window_handles.len() > cfg.window {
-            window_handles
-                .pop_front()
-                .expect("window is non-empty")
-                .wait();
-        }
-    }
-
-    // One fence at the end — the only global synchronization of the run
-    // (it also covers the tracked reduce and print nodes).
-    op2.fence();
-    let elapsed = t0.elapsed();
-
-    let rms_history = rms_futs
-        .iter()
-        .map(|r| (r.get_scalar() / ncell as f64).sqrt())
-        .collect();
-
+    let mut inst = PlainAirfoil::new(op2, p);
+    let out = op2_app::run(
+        &mut inst,
+        RunConfig {
+            exit: ExitPolicy::Iterations(cfg.niter),
+            window: cfg.window,
+            print_every: cfg.print_every,
+            rebalance_every: 0,
+        },
+    );
     RunResult {
-        rms_history,
-        elapsed,
-        ncell,
+        rms_history: out.residuals,
+        elapsed: out.elapsed,
+        ncell: p.cells.size(),
     }
 }
 

@@ -1,0 +1,383 @@
+//! The app-agnostic time loop.
+//!
+//! [`run`] drives any [`AppInstance`] the way the original Airfoil
+//! driver drove its five loops: per iteration it asks the instance to
+//! submit one step, chains the residual print behind the previous line's
+//! print node, feeds the residual future to the convergence policy,
+//! applies the backpressure window, optionally live-rebalances, and
+//! fences exactly once at the end. Nothing in the loop blocks on a
+//! reduction: residual values are consumed through [`ReducedFuture`]s —
+//! printing via continuations, the history after the final fence, and
+//! the data-dependent exit through [`Convergence`], which consults only
+//! futures that are already resolved.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use op2_core::hpx_rt::SharedFuture;
+use op2_core::{Convergence, LoopHandle, Op2, Op2Config, ReducedFuture, ResidualMap};
+
+/// What one [`AppInstance::step`] submitted: the iteration's residual as
+/// an asynchronous-reduction future and the handles the backpressure
+/// window should retain (one per rank — waiting on them bounds the
+/// in-flight task graph).
+pub struct StepOutput {
+    /// The step's residual reduction (raw, unscaled — see
+    /// [`AppInstance::residual_map`]).
+    pub residual: ReducedFuture<f64>,
+    /// Handles gating this iteration for the backpressure window.
+    pub gates: Vec<LoopHandle>,
+}
+
+/// What one successful rebalance did (moved here from the Airfoil shards
+/// so the harness can report it app-agnostically).
+#[derive(Debug, Clone)]
+pub struct RebalanceReport {
+    /// The agreed per-rank busy nanoseconds the decision was taken from.
+    pub busy_ns: Vec<u64>,
+    /// Quantized per-element cost level of each rank's old shard.
+    pub levels: Vec<u64>,
+    /// Rows that changed owner rank.
+    pub rows_crossing: usize,
+    /// Cached loop schedules retired with the old shards.
+    pub specs_dropped: usize,
+}
+
+/// A declared application ready to iterate: one object per world (plain)
+/// or locality group (sharded), owning or borrowing its sets, maps and
+/// dats. [`run`] is generic over this trait, so instances may borrow
+/// (`PlainAirfoil<'a>`) or own (`Box<dyn AppInstance>`) their problem.
+pub trait AppInstance {
+    /// Submits one time-loop iteration (`iter` counts from 1) and
+    /// returns its residual future and window gates. Must not block.
+    fn step(&mut self, iter: usize) -> StepOutput;
+
+    /// Maps the raw reduced residual to the reported one (e.g. the
+    /// Airfoil `sqrt(rms / ncell)`). Applied to printed lines, the
+    /// convergence check and the collected history alike.
+    fn residual_map(&self) -> ResidualMap;
+
+    /// Whether this process prints residual lines (under a distributed
+    /// transport only the process hosting rank 0 does).
+    fn prints_here(&self) -> bool {
+        true
+    }
+
+    /// Waits for everything submitted so far (the run's single fence).
+    fn fence(&self);
+
+    /// Checks for imbalance and live-repartitions; `None` means nothing
+    /// changed. Plain (single-world) instances keep the default.
+    fn rebalance(&mut self) -> Option<RebalanceReport> {
+        None
+    }
+
+    /// The evolving primary state, flattened for cross-backend
+    /// comparison (sharded instances gather owned rows into global
+    /// numbering). Call after [`run`] — it does not fence.
+    fn state(&self) -> Vec<f64>;
+}
+
+/// An application: the factory for [`AppInstance`]s plus its `.op2`
+/// source. One value per workload (airfoil, heat, jac), reusable across
+/// worlds — the farm and the app-matrix tests iterate `&[&dyn App]`.
+pub trait App {
+    /// Short name (also the generated programme name).
+    fn name(&self) -> &'static str;
+
+    /// The `.op2` spec this app's wrappers were generated from.
+    fn spec(&self) -> &'static str;
+
+    /// Declares the app on an existing world (the farm-tenant shape:
+    /// every job receives a fresh world and carries its declarations).
+    /// The instance borrows the world, so it lives no longer than `op2`.
+    fn declare<'a>(&self, op2: &'a Op2) -> Box<dyn AppInstance + 'a>;
+
+    /// Declares the app sharded over `nranks` simulated localities.
+    fn declare_sharded(&self, config: Op2Config, nranks: usize) -> Box<dyn AppInstance>;
+
+    /// The run configuration the app's spec asks for (apps with a
+    /// `converge` declaration exit on it).
+    fn default_run(&self) -> RunConfig;
+}
+
+/// When the time loop ends.
+pub enum ExitPolicy {
+    /// Exactly this many iterations.
+    Iterations(usize),
+    /// Data-dependent: stop when the policy's scaled residual drops
+    /// below tolerance (checked through resolved futures only — see
+    /// [`Convergence`]), with the policy's cap as the iteration bound.
+    Converge(Convergence),
+}
+
+/// Harness parameters (the app-agnostic subset of the old Airfoil
+/// `SolverConfig`).
+pub struct RunConfig {
+    /// Exit policy (iteration count or convergence).
+    pub exit: ExitPolicy,
+    /// Backpressure window: in-flight iterations before the submitter
+    /// waits on the oldest (0 = fully synchronous).
+    pub window: usize,
+    /// Print the scaled residual every so many iterations (0 = never).
+    pub print_every: usize,
+    /// Call [`AppInstance::rebalance`] every so many iterations (0 =
+    /// never; skipped after the final iteration).
+    pub rebalance_every: usize,
+}
+
+impl RunConfig {
+    /// A fixed-length run with the given window, nothing printed.
+    pub fn iterations(niter: usize, window: usize) -> RunConfig {
+        RunConfig {
+            exit: ExitPolicy::Iterations(niter),
+            window,
+            print_every: 0,
+            rebalance_every: 0,
+        }
+    }
+
+    /// A convergence-driven run with the given window, nothing printed.
+    pub fn converge(conv: Convergence, window: usize) -> RunConfig {
+        RunConfig {
+            exit: ExitPolicy::Converge(conv),
+            window,
+            print_every: 0,
+            rebalance_every: 0,
+        }
+    }
+}
+
+/// Result of a [`run`].
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The scaled residual of every completed iteration.
+    pub residuals: Vec<f64>,
+    /// Wall time of the whole time loop (submission to fence).
+    pub elapsed: Duration,
+    /// Iterations actually run (`< max` iff the exit converged early).
+    pub iterations: usize,
+    /// `(iteration, scaled residual)` of the observation that crossed
+    /// the tolerance, if the run exited on convergence.
+    pub converged: Option<(usize, f64)>,
+}
+
+impl RunOutcome {
+    /// Final scaled residual.
+    pub fn final_residual(&self) -> f64 {
+        *self.residuals.last().expect("at least one iteration")
+    }
+}
+
+/// Runs the time loop over `inst` (see module docs for the loop shape).
+///
+/// With `ExitPolicy::Iterations` the control flow is statement-for-
+/// statement the pre-harness Airfoil driver: same submission order, same
+/// print chaining, same window drain, same single fence — which is what
+/// keeps a 1-rank Seq airfoil run bitwise identical to the old code.
+pub fn run<I: AppInstance + ?Sized>(inst: &mut I, cfg: RunConfig) -> RunOutcome {
+    let scale = inst.residual_map();
+    let prints_here = inst.prints_here();
+    let (max_iters, mut conv) = match cfg.exit {
+        ExitPolicy::Iterations(n) => (n, None),
+        ExitPolicy::Converge(mut c) => {
+            // The policy compares what the app reports: inject the app's
+            // scaling unless the caller already set one.
+            c.ensure_scale(Arc::clone(&scale));
+            (c.max_iters(), Some(c))
+        }
+    };
+    let t0 = Instant::now();
+
+    let mut futs: Vec<ReducedFuture<f64>> = Vec::with_capacity(max_iters);
+    // Backpressure window: the waited prefix is drained, so handle
+    // memory is O(window * nranks), not O(niter * nranks).
+    let mut window_gates: VecDeque<Vec<LoopHandle>> = VecDeque::with_capacity(cfg.window + 1);
+    // Print nodes chain linearly so residual lines stay ordered without
+    // a blocking read in the loop.
+    let mut last_print: Option<SharedFuture<()>> = None;
+    let mut iterations = 0;
+
+    for iter in 1..=max_iters {
+        let StepOutput { residual, gates } = inst.step(iter);
+
+        if prints_here && cfg.print_every > 0 && iter % cfg.print_every == 0 {
+            let after: Vec<SharedFuture<()>> = last_print.iter().cloned().collect();
+            let scale = Arc::clone(&scale);
+            last_print = Some(residual.then_after(&after, move |v| {
+                println!(" {iter:6} {:10.5e}", scale(v[0]));
+            }));
+        }
+        if let Some(c) = conv.as_mut() {
+            c.observe(iter, &residual);
+        }
+        futs.push(residual);
+        window_gates.push_back(gates);
+
+        // Backpressure: bound in-flight iterations across all ranks,
+        // draining the waited handles out of the window.
+        if cfg.window > 0 && window_gates.len() > cfg.window {
+            for h in window_gates.pop_front().expect("window is non-empty") {
+                h.wait();
+            }
+        }
+        iterations = iter;
+
+        // Data-dependent exit: consults only already-resolved residual
+        // futures, so the check never blocks the loop.
+        if let Some(c) = conv.as_mut() {
+            if c.should_stop(iter) {
+                break;
+            }
+        }
+
+        // Feedback-driven live repartitioning: between iterations, never
+        // after the last one.
+        if cfg.rebalance_every > 0 && iter % cfg.rebalance_every == 0 && iter < max_iters {
+            if let Some(rep) = inst.rebalance() {
+                if prints_here {
+                    eprintln!(
+                        " rebalance @ iter {iter}: levels {:?}, {} rows changed rank, \
+                         {} cached schedules retired",
+                        rep.levels, rep.rows_crossing, rep.specs_dropped
+                    );
+                }
+            }
+        }
+    }
+
+    // One fence at the end — the only global synchronization of the run
+    // (it also covers the tracked reduce and print nodes).
+    inst.fence();
+    let elapsed = t0.elapsed();
+
+    let residuals: Vec<f64> = futs.iter().map(|r| scale(r.get_scalar())).collect();
+    let converged = conv.as_ref().and_then(Convergence::converged);
+
+    RunOutcome {
+        residuals,
+        elapsed,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::args::{gbl_inc, rw};
+    use op2_core::{Dat, Global, Set};
+
+    /// A scalar toy app: one dat halves itself each step, the residual
+    /// is the sum of its values — so the residual sequence is exactly
+    /// `n/2, n/4, ...` and convergence behavior is analytic.
+    struct Halver {
+        op2: Op2,
+        cells: Set,
+        x: Dat<f64>,
+        /// Fence inside every step, so each residual future is already
+        /// resolved when the harness observes it — makes the exact exit
+        /// iteration deterministic for the convergence tests (real apps
+        /// never do this; their exit lands within the resolution lag).
+        eager: bool,
+    }
+
+    impl Halver {
+        fn new(n: usize) -> Halver {
+            let op2 = Op2::new(Op2Config::seq());
+            let cells = op2.decl_set(n, "cells");
+            let x = op2.decl_dat(&cells, 1, "x", vec![1.0f64; n]);
+            Halver {
+                op2,
+                cells,
+                x,
+                eager: false,
+            }
+        }
+
+        fn eager(n: usize) -> Halver {
+            Halver {
+                eager: true,
+                ..Halver::new(n)
+            }
+        }
+    }
+
+    impl AppInstance for Halver {
+        fn step(&mut self, _iter: usize) -> StepOutput {
+            let g = Global::<f64>::sum(1, "total");
+            let h = self
+                .op2
+                .loop_("halve", &self.cells)
+                .arg(rw(&self.x))
+                .arg(gbl_inc(&g))
+                .run(|x: &mut [f64], t: &mut [f64]| {
+                    x[0] *= 0.5;
+                    t[0] += x[0];
+                });
+            let residual = g.reduce_async(&self.op2);
+            if self.eager {
+                self.op2.fence();
+            }
+            StepOutput {
+                residual,
+                gates: vec![h],
+            }
+        }
+
+        fn residual_map(&self) -> ResidualMap {
+            let n = self.cells.size() as f64;
+            Arc::new(move |v| v / n)
+        }
+
+        fn fence(&self) {
+            self.op2.fence();
+        }
+
+        fn state(&self) -> Vec<f64> {
+            self.x.snapshot()
+        }
+    }
+
+    #[test]
+    fn fixed_iterations_run_to_the_count() {
+        let mut app = Halver::new(8);
+        let out = run(&mut app, RunConfig::iterations(5, 2));
+        assert_eq!(out.iterations, 5);
+        assert_eq!(out.residuals.len(), 5);
+        assert!(out.converged.is_none());
+        // Scaled residual of iteration k is 2^-k.
+        for (k, r) in out.residuals.iter().enumerate() {
+            assert_eq!(*r, 0.5f64.powi(k as i32 + 1));
+        }
+        assert!(app.state().iter().all(|&v| v == 0.5f64.powi(5)));
+    }
+
+    #[test]
+    fn convergence_exit_stops_early() {
+        let mut app = Halver::eager(4);
+        // 2^-k < 1e-3 first at k = 10; the eager toy resolves each
+        // future before it is observed, so the exit lands exactly there.
+        let out = run(
+            &mut app,
+            RunConfig::converge(Convergence::new(1e-3, 1, 100), 2),
+        );
+        assert_eq!(out.iterations, 10);
+        let (at, value) = out.converged.expect("must converge");
+        assert_eq!(at, 10);
+        assert!(value < 1e-3);
+        assert_eq!(out.residuals.len(), 10);
+    }
+
+    #[test]
+    fn convergence_cap_bounds_a_non_converging_run() {
+        let mut app = Halver::new(4);
+        let out = run(
+            &mut app,
+            RunConfig::converge(Convergence::new(1e-300, 1, 7), 0),
+        );
+        assert_eq!(out.iterations, 7);
+        assert!(out.converged.is_none());
+    }
+}

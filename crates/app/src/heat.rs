@@ -1,0 +1,351 @@
+//! Explicit heat diffusion on the triangulated unit square, driven by
+//! the translator-generated wrappers (`specs/heat.op2` →
+//! `tests/golden/heat_hpx.rs`, `include!`d below).
+//!
+//! Physics: each edge moves heat between its endpoints proportionally to
+//! their temperature difference; an explicit Euler step applies the
+//! accumulated flux (Dirichlet boundary nodes held fixed) and records
+//! the largest temperature change into a `ReduceOp::Max` global — whose
+//! generated [`Convergence`] policy ends the run once the field stops
+//! moving. The reduction operator is chosen at `Global` creation (the
+//! DSL declares only shape), so the same `arg gbl : inc` lowering serves
+//! Sum and Max apps alike.
+//!
+//! Sharded: nodes are the partitioned set ([`declare_node_graph_shards`]
+//! numbers them owned-first), `temp` is halo-linked (edge kernels read
+//! both endpoints), while `flux` carries halo rows that are *not*
+//! linked: partition-boundary edges run redundantly on both ranks, so
+//! flux increments into mirror rows are dead values no loop reads —
+//! exactly the Airfoil `res` pattern.
+
+use std::sync::Arc;
+
+use op2_core::locality::LocalityGroup;
+use op2_core::transport::InProcessTransport;
+use op2_core::{Dat, Global, Op2, Op2Config, ReduceOp, ResidualMap, Set};
+use op2_mesh::{unit_square, TriMesh};
+
+use crate::harness::{App, AppInstance, RunConfig, StepOutput};
+use crate::shard::{declare_node_graph_shards, NodeGraphShard};
+
+/// The translator-generated loop wrappers and convergence constructor
+/// (kept as a checked-in golden file; see the spec header for the
+/// regeneration command).
+mod generated {
+    include!("../../translator/tests/golden/heat_hpx.rs");
+}
+
+pub use generated::{delta_convergence, op_par_loop_apply_flux, op_par_loop_edge_flux};
+
+/// Explicit Euler step size (interior nodes of the triangulation have
+/// degree at most 8, so this keeps the scheme stable).
+pub const ALPHA: f64 = 0.1;
+
+/// Initial condition: a hot disc in the centre of the unit square, cold
+/// elsewhere (the boundary ring stays fixed at zero).
+fn initial_temps(mesh: &TriMesh) -> Vec<f64> {
+    (0..mesh.nnode)
+        .map(|v| {
+            let (x, y) = (mesh.x[2 * v], mesh.x[2 * v + 1]);
+            if ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt() < 0.25 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// The heat-diffusion kernels, shared by the plain and sharded
+/// instances (the generated wrappers carry the access descriptors; these
+/// carry the arithmetic).
+mod kernels {
+    /// Edge loop: scatter the endpoint temperature difference into both
+    /// flux accumulators.
+    pub fn edge_flux(t0: &[f64], t1: &[f64], f0: &mut [f64], f1: &mut [f64]) {
+        let d = t1[0] - t0[0];
+        f0[0] += d;
+        f1[0] -= d;
+    }
+
+    /// Node loop: apply the flux (boundary held fixed), track the
+    /// largest change, reset the accumulator.
+    pub fn apply_flux(alpha: f64, t: &mut [f64], f: &mut [f64], b: &[i32], d: &mut [f64]) {
+        if b[0] == 0 {
+            let change = alpha * f[0];
+            t[0] += change;
+            if change.abs() > d[0] {
+                d[0] = change.abs();
+            }
+        }
+        f[0] = 0.0;
+    }
+}
+
+/// The heat-diffusion [`App`]: a triangulated `n x n` unit square.
+pub struct HeatApp {
+    mesh: TriMesh,
+}
+
+impl HeatApp {
+    /// An `n x n` triangulated unit square (the example's size is 64).
+    pub fn new(n: usize) -> HeatApp {
+        HeatApp {
+            mesh: unit_square(n),
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &TriMesh {
+        &self.mesh
+    }
+}
+
+impl App for HeatApp {
+    fn name(&self) -> &'static str {
+        "heat"
+    }
+
+    fn spec(&self) -> &'static str {
+        include_str!("../../translator/specs/heat.op2")
+    }
+
+    fn declare<'a>(&self, op2: &'a Op2) -> Box<dyn AppInstance + 'a> {
+        let mesh = &self.mesh;
+        let nodes = op2.decl_set(mesh.nnode, "nodes");
+        let edges = op2.decl_set(mesh.nedge, "edges");
+        let pedge = op2.decl_map(&edges, &nodes, 2, mesh.edge_nodes.clone(), "pedge");
+        let temp = op2.decl_dat(&nodes, 1, "temp", initial_temps(mesh));
+        let flux = op2.decl_dat(&nodes, 1, "flux", vec![0.0f64; mesh.nnode]);
+        let boundary = op2.decl_dat(&nodes, 1, "boundary", mesh.node_boundary.clone());
+        Box::new(PlainHeat {
+            op2,
+            nodes,
+            edges,
+            pedge,
+            temp,
+            flux,
+            boundary,
+        })
+    }
+
+    fn declare_sharded(&self, config: Op2Config, nranks: usize) -> Box<dyn AppInstance> {
+        let mesh = &self.mesh;
+        let group =
+            LocalityGroup::with_transport(config, Arc::new(InProcessTransport::new(nranks)));
+        let (shards, spec) = declare_node_graph_shards(&group, mesh.nnode, &mesh.edge_nodes);
+
+        let temps0 = initial_temps(mesh);
+        let parts: Vec<HeatPart> = shards
+            .into_iter()
+            .map(|s| {
+                let op2 = group.rank(s.rank);
+                let rows = s.n_owned + s.n_halo;
+                let t0: Vec<f64> = s.l2g.iter().map(|&g| temps0[g as usize]).collect();
+                let b0: Vec<i32> = s.l2g[..s.n_owned]
+                    .iter()
+                    .map(|&g| mesh.node_boundary[g as usize])
+                    .collect();
+                let temp = op2.decl_dat_halo(&s.nodes, 1, "temp", t0, s.n_halo);
+                let flux = op2.decl_dat_halo(&s.nodes, 1, "flux", vec![0.0; rows], s.n_halo);
+                let boundary = op2.decl_dat(&s.nodes, 1, "boundary", b0);
+                HeatPart {
+                    shard: s,
+                    temp,
+                    flux,
+                    boundary,
+                }
+            })
+            .collect();
+
+        // Implicit communication: only temp is exchanged (flux halo
+        // increments are dead values — see module docs).
+        let temps: Vec<Dat<f64>> = parts.iter().map(|p| p.temp.clone()).collect();
+        group.link_halo(&temps, &spec);
+
+        Box::new(ShardedHeat {
+            group,
+            parts,
+            nnode_global: mesh.nnode,
+        })
+    }
+
+    fn default_run(&self) -> RunConfig {
+        RunConfig::converge(generated::delta_convergence(), 16)
+    }
+}
+
+struct PlainHeat<'a> {
+    op2: &'a Op2,
+    nodes: Set,
+    edges: Set,
+    pedge: op2_core::Map,
+    temp: Dat<f64>,
+    flux: Dat<f64>,
+    boundary: Dat<i32>,
+}
+
+impl AppInstance for PlainHeat<'_> {
+    fn step(&mut self, _iter: usize) -> StepOutput {
+        generated::op_par_loop_edge_flux(
+            self.op2,
+            &self.edges,
+            &self.temp,
+            &self.flux,
+            &self.pedge,
+            kernels::edge_flux,
+        );
+        let delta = Global::<f64>::new(1, ReduceOp::Max, "delta");
+        let h = generated::op_par_loop_apply_flux(
+            self.op2,
+            &self.nodes,
+            &self.temp,
+            &self.flux,
+            &self.boundary,
+            &delta,
+            |t: &mut [f64], f: &mut [f64], b: &[i32], d: &mut [f64]| {
+                kernels::apply_flux(ALPHA, t, f, b, d)
+            },
+        );
+        StepOutput {
+            residual: delta.reduce_async(self.op2),
+            gates: vec![h],
+        }
+    }
+
+    fn residual_map(&self) -> ResidualMap {
+        // The max temperature change is already in reported units.
+        Arc::new(|v| v)
+    }
+
+    fn fence(&self) {
+        self.op2.fence();
+    }
+
+    fn state(&self) -> Vec<f64> {
+        self.temp.snapshot()
+    }
+}
+
+struct HeatPart {
+    shard: NodeGraphShard,
+    temp: Dat<f64>,
+    flux: Dat<f64>,
+    boundary: Dat<i32>,
+}
+
+struct ShardedHeat {
+    group: LocalityGroup,
+    parts: Vec<HeatPart>,
+    nnode_global: usize,
+}
+
+impl AppInstance for ShardedHeat {
+    fn step(&mut self, _iter: usize) -> StepOutput {
+        for p in &self.parts {
+            let op2 = self.group.rank(p.shard.rank);
+            generated::op_par_loop_edge_flux(
+                op2,
+                &p.shard.edges,
+                &p.temp,
+                &p.flux,
+                &p.shard.pedge,
+                kernels::edge_flux,
+            );
+        }
+        let mut deltas = Vec::with_capacity(self.parts.len());
+        let mut gates = Vec::with_capacity(self.parts.len());
+        for p in &self.parts {
+            let op2 = self.group.rank(p.shard.rank);
+            let delta = Global::<f64>::new(1, ReduceOp::Max, "delta");
+            let h = generated::op_par_loop_apply_flux(
+                op2,
+                &p.shard.nodes,
+                &p.temp,
+                &p.flux,
+                &p.boundary,
+                &delta,
+                |t: &mut [f64], f: &mut [f64], b: &[i32], d: &mut [f64]| {
+                    kernels::apply_flux(ALPHA, t, f, b, d)
+                },
+            );
+            deltas.push(delta);
+            gates.push(h);
+        }
+        // Cross-rank max as a reduction-tree future: Max combines the
+        // same way Sum does, nothing blocks.
+        StepOutput {
+            residual: self.group.allreduce(&deltas),
+            gates,
+        }
+    }
+
+    fn residual_map(&self) -> ResidualMap {
+        Arc::new(|v| v)
+    }
+
+    fn prints_here(&self) -> bool {
+        self.group.local_ranks().contains(&0)
+    }
+
+    fn fence(&self) {
+        self.group.fence();
+    }
+
+    fn state(&self) -> Vec<f64> {
+        assert!(
+            self.group.transport().all_local(),
+            "state() needs every rank's rows in this process"
+        );
+        let mut t = vec![0.0f64; self.nnode_global];
+        for p in &self.parts {
+            let local = p.temp.read();
+            for (i, &g) in p.shard.l2g[..p.shard.n_owned].iter().enumerate() {
+                t[g as usize] = local.row(i)[0];
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run;
+
+    #[test]
+    fn plain_heat_converges_on_the_async_reduction_path() {
+        let app = HeatApp::new(16);
+        let op2 = Op2::new(Op2Config::seq());
+        let mut inst = app.declare(&op2);
+        let out = run(inst.as_mut(), app.default_run());
+        let (at, v) = out.converged.expect("the field must settle");
+        assert!(at < generated::delta_convergence().max_iters());
+        assert!(v < 1e-6);
+        // Diffusion with a fixed cold boundary: bounded by the initial
+        // extremes, and finite everywhere.
+        let t = inst.state();
+        assert!(t
+            .iter()
+            .all(|&x| x.is_finite() && (-1e-9..=1.0 + 1e-9).contains(&x)));
+    }
+
+    #[test]
+    fn sharded_heat_matches_plain_within_roundoff() {
+        let app = HeatApp::new(12);
+        let op2 = Op2::new(Op2Config::seq());
+        let mut plain = app.declare(&op2);
+        run(plain.as_mut(), RunConfig::iterations(50, 8));
+        let reference = plain.state();
+
+        // Per-rank edge order permutes the flux additions, so agreement
+        // is to roundoff, not bitwise.
+        let mut sharded = app.declare_sharded(Op2Config::seq(), 3);
+        run(sharded.as_mut(), RunConfig::iterations(50, 8));
+        let got = sharded.state();
+        assert_eq!(reference.len(), got.len());
+        for (a, b) in reference.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The application-layer matrix bench: every translator-generated app
+//! (airfoil, heat, jac) through the one generic harness, on the plain
+//! backends and on a sharded locality group.
+//!
+//! Two things are measured per app:
+//!
+//! * **Throughput** — wall time and iterations/second of a
+//!   fixed-iteration run per configuration (Seq / ForkJoin / Dataflow
+//!   plain worlds, plus a multi-rank Dataflow locality group), so the
+//!   per-app cost of the harness and of sharding is visible side by side.
+//! * **Translator leverage** — the spec's line count against the line
+//!   count of the Rust the translator generates from it (the OP2
+//!   "source-to-source" payoff): how much hand-written kernel-wrapper
+//!   code each app did *not* have to write.
+//!
+//! Gates (always on): every configuration of every app must finish with
+//! a finite residual history, and every spec must translate cleanly.
+//!
+//! Writes `BENCH_apps.json`. Options: `--iters`, `--threads`,
+//! `--ranks`, `--window`, `--csv PATH`, `--json PATH`.
+
+use std::time::Instant;
+
+use op2_app::{run, App, RunConfig};
+use op2_bench::Table;
+use op2_core::{Op2, Op2Config};
+use op2_translator::{translate, CodegenBackend};
+
+struct Args {
+    iters: usize,
+    threads: usize,
+    ranks: usize,
+    window: usize,
+    csv: Option<std::path::PathBuf>,
+    json_path: String,
+}
+
+fn parse_args() -> Args {
+    let host = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut args = Args {
+        iters: 60,
+        threads: host.clamp(2, 8),
+        ranks: 2,
+        window: 8,
+        csv: None,
+        json_path: "BENCH_apps.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--iters" => args.iters = value("--iters").parse().expect("--iters"),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--ranks" => args.ranks = value("--ranks").parse().expect("--ranks"),
+            "--window" => args.window = value("--window").parse().expect("--window"),
+            "--csv" => args.csv = Some(value("--csv").into()),
+            "--json" => args.json_path = value("--json"),
+            "--help" | "-h" => {
+                println!(
+                    "app_matrix options:\n\
+                     --iters N    iterations per run (default 60)\n\
+                     --threads N  worker threads for the threaded backends (default host, 2..=8)\n\
+                     --ranks N    local ranks in the sharded configuration (default 2)\n\
+                     --window N   in-flight iteration window (default 8)\n\
+                     --csv PATH   also write CSV\n\
+                     --json PATH  JSON baseline (default BENCH_apps.json)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+/// Non-empty, non-comment lines — the count a human reads as "lines of
+/// code" for both the `.op2` spec and the generated Rust.
+fn loc(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+struct ConfigPoint {
+    config: String,
+    wall_s: f64,
+    iters_per_s: f64,
+    final_residual: f64,
+}
+
+struct AppPoint {
+    name: &'static str,
+    spec_loc: usize,
+    gen_loc: usize,
+    points: Vec<ConfigPoint>,
+}
+
+fn bench_app(app: &dyn App, args: &Args, failed: &mut bool) -> AppPoint {
+    let spec_loc = loc(app.spec());
+    let gen_loc = match translate(app.spec(), CodegenBackend::Hpx) {
+        Ok(code) => loc(&code),
+        Err(errs) => {
+            eprintln!("FAIL {}: spec does not translate: {errs:?}", app.name());
+            *failed = true;
+            0
+        }
+    };
+
+    let cfg = || RunConfig::iterations(args.iters, args.window);
+    let mut points = Vec::new();
+
+    let plain: Vec<(String, Op2Config)> = vec![
+        ("seq".into(), Op2Config::seq()),
+        (
+            format!("fork_join({})", args.threads),
+            Op2Config::fork_join(args.threads),
+        ),
+        (
+            format!("dataflow({})", args.threads),
+            Op2Config::dataflow(args.threads),
+        ),
+    ];
+    for (cname, config) in plain {
+        let op2 = Op2::new(config);
+        let mut inst = app.declare(&op2);
+        let t0 = Instant::now();
+        let out = run(inst.as_mut(), cfg());
+        let wall_s = t0.elapsed().as_secs_f64();
+        let r = out.final_residual();
+        if !r.is_finite() {
+            eprintln!("FAIL {}/{cname}: non-finite residual", app.name());
+            *failed = true;
+        }
+        points.push(ConfigPoint {
+            config: cname,
+            wall_s,
+            iters_per_s: out.iterations as f64 / wall_s,
+            final_residual: r,
+        });
+    }
+
+    let cname = format!("dataflow({}) x{}", args.threads, args.ranks);
+    let mut inst = app.declare_sharded(Op2Config::dataflow(args.threads), args.ranks);
+    let t0 = Instant::now();
+    let out = run(inst.as_mut(), cfg());
+    let wall_s = t0.elapsed().as_secs_f64();
+    let r = out.final_residual();
+    if !r.is_finite() {
+        eprintln!("FAIL {}/{cname}: non-finite residual", app.name());
+        *failed = true;
+    }
+    points.push(ConfigPoint {
+        config: cname,
+        wall_s,
+        iters_per_s: out.iterations as f64 / wall_s,
+        final_residual: r,
+    });
+
+    AppPoint {
+        name: app.name(),
+        spec_loc,
+        gen_loc,
+        points,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("app_matrix: every generated app through the generic harness");
+    println!(
+        "iters={} threads={} ranks={} window={}",
+        args.iters, args.threads, args.ranks, args.window
+    );
+
+    // The three apps the translator currently generates; airfoil sized so
+    // a Seq run still finishes in well under a second.
+    let apps: Vec<Box<dyn App>> = vec![
+        Box::new(airfoil_cfd::AirfoilApp::new(40, 20)),
+        Box::new(op2_app::HeatApp::new(24)),
+        Box::new(op2_app::JacApp::new(24)),
+    ];
+
+    let mut failed = false;
+    let mut table = Table::new(vec![
+        "app",
+        "config",
+        "wall_s",
+        "iters_per_s",
+        "spec_loc",
+        "gen_loc",
+        "leverage",
+    ]);
+    let mut results: Vec<AppPoint> = Vec::new();
+    for app in &apps {
+        let p = bench_app(app.as_ref(), &args, &mut failed);
+        let leverage = p.gen_loc as f64 / p.spec_loc.max(1) as f64;
+        println!(
+            "  {}: spec {} LoC -> generated {} LoC ({leverage:.1}x)",
+            p.name, p.spec_loc, p.gen_loc
+        );
+        for c in &p.points {
+            table.row(vec![
+                p.name.to_string(),
+                c.config.clone(),
+                format!("{:.4}", c.wall_s),
+                format!("{:.1}", c.iters_per_s),
+                p.spec_loc.to_string(),
+                p.gen_loc.to_string(),
+                format!("{leverage:.1}x"),
+            ]);
+        }
+        results.push(p);
+    }
+    println!("{}", table.render());
+    if let Some(csv) = &args.csv {
+        table.write_csv(csv).expect("write CSV");
+    }
+
+    // Hand-rolled JSON (offline build: no serde).
+    let mut json = String::from("{\n  \"bench\": \"app_matrix\",\n");
+    json.push_str(&format!(
+        "  \"iters\": {}, \"threads\": {}, \"ranks\": {}, \"window\": {}, \
+         \"host_threads\": {},\n  \"apps\": [\n",
+        args.iters,
+        args.threads,
+        args.ranks,
+        args.window,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    for (i, p) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"app\": \"{}\", \"spec_loc\": {}, \"generated_loc\": {}, \
+             \"results\": [\n",
+            p.name, p.spec_loc, p.gen_loc
+        ));
+        for (j, c) in p.points.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"config\": \"{}\", \"wall_seconds\": {:.4}, \
+                 \"iters_per_second\": {:.2}, \"final_residual\": {:e}}}{}\n",
+                c.config,
+                c.wall_s,
+                c.iters_per_s,
+                c.final_residual,
+                if j + 1 < p.points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.json_path, json).expect("write JSON baseline");
+    println!("wrote {}", args.json_path);
+
+    if failed {
+        std::process::exit(1);
+    }
+}

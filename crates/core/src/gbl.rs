@@ -409,14 +409,26 @@ impl<T: Reducible> ReducedFuture<T> {
 
     /// Blocks until the reduction (and its producing nodes) completed.
     /// Workers help-execute while waiting.
+    ///
+    /// A call that actually has to block is counted under
+    /// `op2.reduce.blocking_reads` — the counter that proves (or
+    /// disproves) a time loop's "zero blocking residual reads" claim.
     pub fn wait(&self) {
+        if !self.done.is_ready() {
+            hpx_rt::static_counter!("op2.reduce.blocking_reads").fetch_add(1, Ordering::Relaxed);
+        }
         self.done.wait();
     }
 
     /// Blocks until available, then returns the reduced vector
     /// (re-panicking if a contributing loop panicked). Call this *after*
     /// the solve loop — inside it, chain [`ReducedFuture::then`] instead.
+    /// Like [`ReducedFuture::wait`], a call that finds the value not yet
+    /// ready counts under `op2.reduce.blocking_reads`.
     pub fn get(&self) -> Vec<T> {
+        if !self.value.is_ready() {
+            hpx_rt::static_counter!("op2.reduce.blocking_reads").fetch_add(1, Ordering::Relaxed);
+        }
         self.value.get()
     }
 

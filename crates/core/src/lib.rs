@@ -46,6 +46,7 @@
 
 mod arg;
 mod config;
+pub mod convergence;
 mod dat;
 pub mod diag;
 mod driver;
@@ -67,6 +68,7 @@ pub use arg::{
     GblReadArg, IncTag, ReadTag, RwTag, WriteTag,
 };
 pub use config::{Backend, Op2Config, DEFAULT_BLOCK_SIZE};
+pub use convergence::{Convergence, ResidualMap};
 pub use dat::{Dat, DatReadGuard, DatWriteGuard, Layout};
 pub use driver::{
     __dataflow_direct_blocks, __dataflow_resolved_block_size, plan_for, LoopHandle, SpecShare,
@@ -75,11 +77,6 @@ pub use driver::{
 pub use gbl::{Global, ReduceOp, ReducedFuture, Reducible};
 pub use map::Map;
 pub use par_loop::ParLoop;
-#[allow(deprecated)]
-pub use par_loop::{
-    par_loop1, par_loop10, par_loop2, par_loop3, par_loop4, par_loop5, par_loop6, par_loop7,
-    par_loop8, par_loop9,
-};
 pub use plan::{validate_coloring, Plan};
 pub use set::Set;
 pub use types::{Access, OpType};

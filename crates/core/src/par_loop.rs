@@ -25,8 +25,8 @@
 //! increments — the code the OP2 translator would generate by hand,
 //! expressed once per arity *internally* (the macro below) but behind a
 //! single user-visible entry point. The [`par_loop!`] macro offers the
-//! same surface in one expression. The old `par_loop1..par_loop10` free
-//! functions remain as `#[deprecated]` shims over the builder.
+//! same surface in one expression. (The pre-v2 `par_loop1..par_loop10`
+//! free functions are gone; the builder is the only loop surface.)
 //!
 //! Under the [`Dataflow`](crate::Backend::Dataflow) backend `run` returns
 //! immediately; the returned [`LoopHandle`] wraps the loop's completion
@@ -158,7 +158,7 @@ macro_rules! par_loop {
 }
 
 macro_rules! gen_par_loop {
-    ($fname:ident, $arity:literal; $( $A:ident / $a:ident / $idx:tt ),+ ) => {
+    ( $( $A:ident / $a:ident / $idx:tt ),+ ) => {
         impl<'w, $($A: ArgSpec,)+> ParLoop<'w, ($($A,)+)> {
             /// Submits the loop, applying `kernel` to every element of the
             /// iteration set with the accumulated arguments' views; see
@@ -343,44 +343,70 @@ macro_rules! gen_par_loop {
                 LoopHandle::new(name, done)
             }
         }
-
-        /// Applies `kernel` to every element of `set` with the given
-        #[doc = concat!(stringify!($arity), " argument(s).")]
-        ///
-        /// Deprecated shim over the arity-free builder; see the module
-        /// docs.
-        #[deprecated(
-            since = "0.3.0",
-            note = "use the arity-free builder `op2.loop_(name, set).arg(…).run(kernel)` \
-                    (or the `par_loop!` macro)"
-        )]
-        pub fn $fname<$($A,)+ K>(
-            world: &Op2,
-            name: &str,
-            set: &Set,
-            args: ($($A,)+),
-            kernel: K,
-        ) -> LoopHandle
-        where
-            $($A: ArgSpec,)+
-            K: for<'e> Fn($(<$A as ArgSpec>::View<'e>),+) + Send + Sync + 'static,
-        {
-            let ($($a,)+) = args;
-            world.loop_(name, set)$(.arg($a))+.run(kernel)
-        }
     };
 }
 
-gen_par_loop!(par_loop1, 1; A0/a0/0);
-gen_par_loop!(par_loop2, 2; A0/a0/0, A1/a1/1);
-gen_par_loop!(par_loop3, 3; A0/a0/0, A1/a1/1, A2/a2/2);
-gen_par_loop!(par_loop4, 4; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3);
-gen_par_loop!(par_loop5, 5; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4);
-gen_par_loop!(par_loop6, 6; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4, A5/a5/5);
-gen_par_loop!(par_loop7, 7; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4, A5/a5/5, A6/a6/6);
-gen_par_loop!(par_loop8, 8; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4, A5/a5/5, A6/a6/6, A7/a7/7);
-gen_par_loop!(par_loop9, 9; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4, A5/a5/5, A6/a6/6, A7/a7/7, A8/a8/8);
-gen_par_loop!(par_loop10, 10; A0/a0/0, A1/a1/1, A2/a2/2, A3/a3/3, A4/a4/4, A5/a5/5, A6/a6/6, A7/a7/7, A8/a8/8, A9/a9/9);
+gen_par_loop!(A0 / a0 / 0);
+gen_par_loop!(A0 / a0 / 0, A1 / a1 / 1);
+gen_par_loop!(A0 / a0 / 0, A1 / a1 / 1, A2 / a2 / 2);
+gen_par_loop!(A0 / a0 / 0, A1 / a1 / 1, A2 / a2 / 2, A3 / a3 / 3);
+gen_par_loop!(
+    A0 / a0 / 0,
+    A1 / a1 / 1,
+    A2 / a2 / 2,
+    A3 / a3 / 3,
+    A4 / a4 / 4
+);
+gen_par_loop!(
+    A0 / a0 / 0,
+    A1 / a1 / 1,
+    A2 / a2 / 2,
+    A3 / a3 / 3,
+    A4 / a4 / 4,
+    A5 / a5 / 5
+);
+gen_par_loop!(
+    A0 / a0 / 0,
+    A1 / a1 / 1,
+    A2 / a2 / 2,
+    A3 / a3 / 3,
+    A4 / a4 / 4,
+    A5 / a5 / 5,
+    A6 / a6 / 6
+);
+gen_par_loop!(
+    A0 / a0 / 0,
+    A1 / a1 / 1,
+    A2 / a2 / 2,
+    A3 / a3 / 3,
+    A4 / a4 / 4,
+    A5 / a5 / 5,
+    A6 / a6 / 6,
+    A7 / a7 / 7
+);
+gen_par_loop!(
+    A0 / a0 / 0,
+    A1 / a1 / 1,
+    A2 / a2 / 2,
+    A3 / a3 / 3,
+    A4 / a4 / 4,
+    A5 / a5 / 5,
+    A6 / a6 / 6,
+    A7 / a7 / 7,
+    A8 / a8 / 8
+);
+gen_par_loop!(
+    A0 / a0 / 0,
+    A1 / a1 / 1,
+    A2 / a2 / 2,
+    A3 / a3 / 3,
+    A4 / a4 / 4,
+    A5 / a5 / 5,
+    A6 / a6 / 6,
+    A7 / a7 / 7,
+    A8 / a8 / 8,
+    A9 / a9 / 9
+);
 
 #[cfg(test)]
 mod tests {

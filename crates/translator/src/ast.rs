@@ -168,6 +168,25 @@ pub struct LoopDecl {
     pub pos: Pos,
 }
 
+/// `converge GBL : tol T, every N, max M;` — a data-dependent loop exit:
+/// stop once the (scaled) reduced value of `GBL` drops below `tol`,
+/// checking every `every` iterations, with a hard cap of `max`. Lowered
+/// onto the asynchronous-reduction path (`op2_core::Convergence` over
+/// `ReducedFuture`s), so the check never blocks the time loop.
+#[derive(Debug, Clone)]
+pub struct ConvergeDecl {
+    /// The residual global the exit is driven by.
+    pub gbl: String,
+    /// Tolerance (in the solver's scaled residual units).
+    pub tol: f64,
+    /// Check interval in iterations.
+    pub every: usize,
+    /// Hard iteration cap.
+    pub max: usize,
+    /// Declaration position.
+    pub pos: Pos,
+}
+
 /// A parsed `.op2` file.
 #[derive(Debug, Clone, Default)]
 pub struct Program {
@@ -183,6 +202,8 @@ pub struct Program {
     pub gbls: Vec<GblDecl>,
     /// Declared loops.
     pub loops: Vec<LoopDecl>,
+    /// Declared convergence exits.
+    pub converges: Vec<ConvergeDecl>,
 }
 
 impl Program {
@@ -204,5 +225,10 @@ impl Program {
     /// Looks up a set by name.
     pub fn set(&self, name: &str) -> Option<&SetDecl> {
         self.sets.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a convergence exit by its driving global.
+    pub fn converge(&self, gbl: &str) -> Option<&ConvergeDecl> {
+        self.converges.iter().find(|c| c.gbl == gbl)
     }
 }

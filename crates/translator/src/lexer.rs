@@ -109,14 +109,50 @@ pub fn lex(src: &str) -> Result<Vec<Token>, TranslateError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     bump!();
                 }
+                // Float continuation: a fraction (`.` followed by a digit
+                // — not `..` or a field access) and/or an exponent.
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    bump!();
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        while i < j {
+                            bump!();
+                        }
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            bump!();
+                        }
+                    }
+                }
                 let text = &src[start..i];
-                let value = text
-                    .parse::<u64>()
-                    .map_err(|_| TranslateError::new(format!("invalid integer `{text}`"), pos))?;
-                out.push(Token {
-                    tok: Tok::Int(value),
-                    pos,
-                });
+                if is_float {
+                    // Validated here so the parser's conversion is
+                    // infallible for lexed tokens.
+                    text.parse::<f64>()
+                        .map_err(|_| TranslateError::new(format!("invalid float `{text}`"), pos))?;
+                    out.push(Token {
+                        tok: Tok::Float(text.to_owned()),
+                        pos,
+                    });
+                } else {
+                    let value = text.parse::<u64>().map_err(|_| {
+                        TranslateError::new(format!("invalid integer `{text}`"), pos)
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Int(value),
+                        pos,
+                    });
+                }
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
@@ -174,6 +210,26 @@ mod tests {
         let toks = lex("// hello\nset /* inline */ a;").unwrap();
         assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "set"));
         assert_eq!(toks.len(), 4); // set, a, ;, eof
+    }
+
+    #[test]
+    fn lexes_float_literals() {
+        let toks = lex("tol 1e-12, 2.5, 3.25e+4, 7e3, 10").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[1], Tok::Float(s) if s == "1e-12"));
+        assert!(matches!(kinds[3], Tok::Float(s) if s == "2.5"));
+        assert!(matches!(kinds[5], Tok::Float(s) if s == "3.25e+4"));
+        assert!(matches!(kinds[7], Tok::Float(s) if s == "7e3"));
+        assert!(matches!(kinds[9], Tok::Int(10)));
+    }
+
+    #[test]
+    fn bare_e_suffix_is_not_a_float() {
+        // `2e` with no exponent digits: `2` then ident `e` (two tokens),
+        // not a malformed float.
+        let toks = lex("dim 2e;").unwrap();
+        assert!(matches!(&toks[1].tok, Tok::Int(2)));
+        assert!(matches!(&toks[2].tok, Tok::Ident(s) if s == "e"));
     }
 
     #[test]

@@ -4,15 +4,17 @@
 //!
 //! ```text
 //! program   := "program" IDENT ";" decl*
-//! decl      := set | map | dat | gbl | loop
+//! decl      := set | map | dat | gbl | loop | converge
 //! set       := "set" IDENT ";"
 //! map       := "map" IDENT ":" IDENT "->" IDENT "," "dim" INT ";"
 //! dat       := "dat" IDENT ":" IDENT "," "dim" INT "," TYPE ";"
 //! gbl       := "gbl" IDENT ":" "dim" INT "," TYPE ";"
 //! loop      := "loop" IDENT "over" IDENT "{" arg* "}"
 //! arg       := "arg" IDENT ("gbl" | ["via" IDENT "[" INT "]"]) ":" ACCESS ";"
+//! converge  := "converge" IDENT ":" "tol" NUM "," "every" INT "," "max" INT ";"
 //! TYPE      := "f64" | "f32" | "i32" | "i64" | "double" | "float" | "int" | "long"
 //! ACCESS    := "read" | "write" | "rw" | "inc"
+//! NUM       := FLOAT | INT
 //! ```
 
 use crate::ast::*;
@@ -76,6 +78,20 @@ impl Parser {
         let t = self.next();
         match t.tok {
             Tok::Int(v) => Ok((v as usize, t.pos)),
+            other => Err(TranslateError::new(
+                format!("expected {what}, found {other}"),
+                t.pos,
+            )),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<(f64, Pos), TranslateError> {
+        let t = self.next();
+        match t.tok {
+            // Lexemes are validated by the lexer, so the parse is
+            // infallible here.
+            Tok::Float(s) => Ok((s.parse::<f64>().expect("lexer-validated float"), t.pos)),
+            Tok::Int(v) => Ok((v as f64, t.pos)),
             other => Err(TranslateError::new(
                 format!("expected {what}, found {other}"),
                 t.pos,
@@ -177,6 +193,27 @@ impl Parser {
                             kernel,
                             set,
                             args,
+                            pos,
+                        });
+                    }
+                    "converge" => {
+                        self.next();
+                        let (gbl, pos) = self.ident("residual global name")?;
+                        self.expect(Tok::Colon)?;
+                        self.keyword("tol")?;
+                        let (tol, _) = self.number("a tolerance")?;
+                        self.expect(Tok::Comma)?;
+                        self.keyword("every")?;
+                        let (every, _) = self.integer("a check interval")?;
+                        self.expect(Tok::Comma)?;
+                        self.keyword("max")?;
+                        let (max, _) = self.integer("an iteration cap")?;
+                        self.expect(Tok::Semi)?;
+                        program.converges.push(ConvergeDecl {
+                            gbl,
+                            tol,
+                            every,
+                            max,
                             pos,
                         });
                     }
@@ -295,6 +332,32 @@ mod tests {
             LoopArg::Gbl { gbl, .. } => assert_eq!(gbl, "rms"),
             other => panic!("wrong arg: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_converge_declaration() {
+        let src =
+            "program x; gbl resid : dim 1, f64; converge resid : tol 1e-12, every 2, max 500;";
+        let p = parse(src).unwrap();
+        let c = &p.converges[0];
+        assert_eq!(c.gbl, "resid");
+        assert_eq!(c.tol, 1e-12);
+        assert_eq!(c.every, 2);
+        assert_eq!(c.max, 500);
+        assert!(p.converge("resid").is_some());
+    }
+
+    #[test]
+    fn converge_tolerance_accepts_an_integer() {
+        let p =
+            parse("program x; gbl r : dim 1, f64; converge r : tol 1, every 1, max 10;").unwrap();
+        assert_eq!(p.converges[0].tol, 1.0);
+    }
+
+    #[test]
+    fn converge_rejects_a_missing_field() {
+        let err = parse("program x; converge r : tol 1e-9, max 10;").unwrap_err();
+        assert!(err.message.contains("every"));
     }
 
     #[test]

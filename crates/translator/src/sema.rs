@@ -180,6 +180,57 @@ pub fn check(program: &Program) -> Vec<TranslateError> {
         }
     }
 
+    for (i, c) in program.converges.iter().enumerate() {
+        if program.converges[..i].iter().any(|prev| prev.gbl == c.gbl) {
+            errors.push(TranslateError::new(
+                format!("converge: duplicate exit for global `{}`", c.gbl),
+                c.pos,
+            ));
+        }
+        match program.gbl(&c.gbl) {
+            None => {
+                errors.push(TranslateError::new(
+                    format!("converge: unknown global `{}`", c.gbl),
+                    c.pos,
+                ));
+            }
+            Some(g) => {
+                // The exit compares one scalar residual; dim-1 f64 is the
+                // shape `Convergence` (and `ReducedFuture::get_scalar`)
+                // consumes.
+                if g.dim != 1 || g.ty != ScalarType::F64 {
+                    errors.push(TranslateError::new(
+                        format!(
+                            "converge: global `{}` must be dim 1, f64 (found dim {}, {})",
+                            c.gbl,
+                            g.dim,
+                            g.ty.rust_name()
+                        ),
+                        c.pos,
+                    ));
+                }
+            }
+        }
+        if c.tol.is_nan() || c.tol <= 0.0 {
+            errors.push(TranslateError::new(
+                format!("converge `{}`: tolerance must be positive", c.gbl),
+                c.pos,
+            ));
+        }
+        if c.every == 0 {
+            errors.push(TranslateError::new(
+                format!("converge `{}`: check interval must be at least 1", c.gbl),
+                c.pos,
+            ));
+        }
+        if c.max == 0 {
+            errors.push(TranslateError::new(
+                format!("converge `{}`: iteration cap must be at least 1", c.gbl),
+                c.pos,
+            ));
+        }
+    }
+
     errors
 }
 
@@ -261,6 +312,25 @@ mod tests {
         }
         src.push('}');
         assert!(errors_of(&src).iter().any(|e| e.contains("exceeds")));
+    }
+
+    #[test]
+    fn converge_checks_global_shape_and_parameters() {
+        let errs =
+            errors_of("program p; gbl v : dim 3, f64; converge v : tol 1e-9, every 1, max 10;");
+        assert!(errs.iter().any(|e| e.contains("must be dim 1, f64")));
+        let errs = errors_of("program p; converge ghost : tol 1e-9, every 1, max 10;");
+        assert!(errs.iter().any(|e| e.contains("unknown global")));
+        let errs = errors_of(
+            "program p; gbl r : dim 1, f64; \
+             converge r : tol 1e-9, every 1, max 10; \
+             converge r : tol 1e-6, every 1, max 10;",
+        );
+        assert!(errs.iter().any(|e| e.contains("duplicate exit")));
+        let errs =
+            errors_of("program p; gbl r : dim 1, f64; converge r : tol 1e-9, every 0, max 0;");
+        assert!(errs.iter().any(|e| e.contains("check interval")));
+        assert!(errs.iter().any(|e| e.contains("iteration cap")));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum Tok {
     Ident(String),
     /// Unsigned integer literal.
     Int(u64),
+    /// Floating-point literal (`1.5`, `1e-12`, `2.5e3`), kept as its
+    /// lexeme so `Tok` stays `Eq`; the parser converts to `f64`.
+    Float(String),
     /// `:`
     Colon,
     /// `;`
@@ -47,6 +50,7 @@ impl std::fmt::Display for Tok {
         match self {
             Tok::Ident(s) => write!(f, "`{s}`"),
             Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(s) => write!(f, "`{s}`"),
             Tok::Colon => f.write_str("`:`"),
             Tok::Semi => f.write_str("`;`"),
             Tok::Comma => f.write_str("`,`"),

@@ -11,6 +11,8 @@ use op2_translator::{
 };
 
 const AIRFOIL: &str = include_str!("../specs/airfoil.op2");
+const HEAT: &str = include_str!("../specs/heat.op2");
+const JAC: &str = include_str!("../specs/jac.op2");
 
 #[test]
 fn airfoil_spec_is_semantically_valid() {
@@ -37,6 +39,52 @@ fn airfoil_openmp_matches_golden() {
         generated, golden,
         "openmp codegen drifted; regenerate golden"
     );
+}
+
+#[test]
+fn heat_spec_is_semantically_valid() {
+    let program = check_source(HEAT).expect("heat.op2 must check clean");
+    assert_eq!(program.name, "heat");
+    assert_eq!(program.loops.len(), 2);
+    let c = program.converge("delta").expect("heat has a converge decl");
+    assert_eq!((c.tol, c.every, c.max), (1e-6, 50, 2000));
+}
+
+#[test]
+fn heat_hpx_matches_golden() {
+    let generated = translate(HEAT, CodegenBackend::Hpx).unwrap();
+    let golden = include_str!("golden/heat_hpx.rs");
+    assert_eq!(generated, golden, "hpx codegen drifted; regenerate golden");
+}
+
+#[test]
+fn jac_spec_is_semantically_valid() {
+    let program = check_source(JAC).expect("jac.op2 must check clean");
+    assert_eq!(program.name, "jac");
+    assert_eq!(program.loops.len(), 2);
+    let c = program.converge("resid").expect("jac has a converge decl");
+    assert_eq!((c.tol, c.every, c.max), (1e-12, 1, 500));
+}
+
+#[test]
+fn jac_hpx_matches_golden() {
+    let generated = translate(JAC, CodegenBackend::Hpx).unwrap();
+    let golden = include_str!("golden/jac_hpx.rs");
+    assert_eq!(generated, golden, "hpx codegen drifted; regenerate golden");
+}
+
+#[test]
+fn converge_decls_lower_onto_the_async_reduction_path() {
+    // The generated constructor is the only hook the app layer needs:
+    // parameters travel from the spec into `Convergence::new`, and the
+    // doc steers users to observe/should_stop (never a blocking read).
+    let heat = translate(HEAT, CodegenBackend::Hpx).unwrap();
+    assert!(heat.contains("pub fn delta_convergence() -> Convergence"));
+    assert!(heat.contains("Convergence::new(1e-6, 50, 2000)"));
+    let jac = translate(JAC, CodegenBackend::Hpx).unwrap();
+    assert!(jac.contains("pub fn resid_convergence() -> Convergence"));
+    assert!(jac.contains("Convergence::new(1e-12, 1, 500)"));
+    assert!(jac.contains("never blocks"));
 }
 
 #[test]

@@ -9,6 +9,10 @@
 //! * [`op2`] — the OP2 loop framework (sets/maps/dats, plans & coloring,
 //!   fork-join and dataflow backends);
 //! * [`mesh`] — unstructured-mesh generators and utilities;
+//! * [`app`] — the app-agnostic harness (the [`app::App`] /
+//!   [`app::AppInstance`] traits, the generic time loop with
+//!   convergence-driven exit, the shard planner) plus the
+//!   translator-generated heat and Jacobi applications;
 //! * [`airfoil`] — the Airfoil CFD evaluation application;
 //! * [`translator`] — the `op2c` source-to-source translator.
 //!
@@ -20,6 +24,7 @@
 
 pub use airfoil_cfd as airfoil;
 pub use hpx_rt as hpx;
+pub use op2_app as app;
 pub use op2_core as op2;
 pub use op2_mesh as mesh;
 pub use op2_translator as translator;

@@ -236,6 +236,66 @@ fn soa_layout_matches_aos_across_backends() {
     }
 }
 
+/// The app-generic matrix: every [`App`] (airfoil, heat, jac) × every
+/// backend × plain and ≥2-rank sharded localities reproduces its own Seq
+/// single-world reference through the one shared harness — nothing in
+/// the application layer is airfoil-specific.
+#[test]
+fn every_app_agrees_across_backends_and_shardings() {
+    use op2_hpx::airfoil::AirfoilApp;
+    use op2_hpx::app::{run, App, HeatApp, JacApp, RunConfig};
+
+    let apps: Vec<Box<dyn App>> = vec![
+        Box::new(AirfoilApp::new(16, 8)),
+        Box::new(HeatApp::new(12)),
+        Box::new(JacApp::new(12)),
+    ];
+    // Fixed iterations (not the spec's convergence exit) so every
+    // backend runs the same step count and histories are comparable.
+    let cfg = || RunConfig::iterations(12, 4);
+
+    for app in &apps {
+        let name = app.name();
+        let op2 = Op2::new(Op2Config::seq());
+        let mut reference = app.declare(&op2);
+        let out_ref = run(reference.as_mut(), cfg());
+        let state_ref = reference.state();
+        assert!(all_finite(&out_ref.residuals) && all_finite(&state_ref));
+
+        // Plain worlds on the threaded backends (and the SoA layout).
+        for (cname, config) in [
+            ("fork_join(2)", Op2Config::fork_join(2)),
+            ("dataflow(2)", Op2Config::dataflow(2)),
+            (
+                "dataflow(2)+soa",
+                Op2Config::dataflow(2).with_layout(Layout::SoA),
+            ),
+        ] {
+            let op2 = Op2::new(config);
+            let mut inst = app.declare(&op2);
+            let out = run(inst.as_mut(), cfg());
+            let d_res = max_rel_diff(&out_ref.residuals, &out.residuals);
+            let d_state = max_scaled_diff(&state_ref, &inst.state(), 1.0);
+            assert!(d_res < 1e-7, "{name}/{cname}: residuals deviate {d_res:e}");
+            assert!(d_state < 1e-9, "{name}/{cname}: state deviates {d_state:e}");
+        }
+
+        // Sharded localities, two and three ranks.
+        for (cname, config, nranks) in [
+            ("seq x2", Op2Config::seq(), 2),
+            ("fork_join(2) x2", Op2Config::fork_join(2), 2),
+            ("dataflow(2) x3", Op2Config::dataflow(2), 3),
+        ] {
+            let mut inst = app.declare_sharded(config, nranks);
+            let out = run(inst.as_mut(), cfg());
+            let d_res = max_rel_diff(&out_ref.residuals, &out.residuals);
+            let d_state = max_scaled_diff(&state_ref, &inst.state(), 1.0);
+            assert!(d_res < 1e-7, "{name}/{cname}: residuals deviate {d_res:e}");
+            assert!(d_state < 1e-9, "{name}/{cname}: state deviates {d_state:e}");
+        }
+    }
+}
+
 #[test]
 fn repeated_runs_on_one_context_continue_the_flow() {
     let op2 = Op2::new(Op2Config::dataflow(2));

@@ -308,6 +308,69 @@ fn different_shapes_do_not_collide() {
     );
 }
 
+/// Two different *applications* on one farm: an airfoil tenant (quad
+/// mesh, five CFD loops) and a heat tenant (triangulated square, two
+/// generated loops) interleave jobs through the same shared spec cache.
+/// The cache keys are shape-based, so the apps neither collide nor evict
+/// each other: each app's first job builds its own specs, and each app's
+/// rerun hits its own warm entries without building anything new.
+#[test]
+fn mixed_app_tenants_share_the_farm_without_colliding() {
+    use op2_hpx::airfoil::AirfoilApp;
+    use op2_hpx::app::{run, App, HeatApp, RunConfig};
+
+    let farm = SolverFarm::new(FarmConfig::with_threads(2).with_lanes(2));
+    let cfd = farm.register("mixed_cfd", Priority::Normal);
+    let heat = farm.register("mixed_heat", Priority::Normal);
+    let airfoil_app = Arc::new(AirfoilApp::new(16, 8));
+    let heat_app = Arc::new(HeatApp::new(12));
+
+    let submit_airfoil = |farm: &SolverFarm| {
+        let app = Arc::clone(&airfoil_app);
+        farm.submit(&cfd, move |op2| {
+            let mut inst = app.declare(op2);
+            let out = run(inst.as_mut(), RunConfig::iterations(2, 4));
+            assert!(out.final_residual().is_finite());
+        });
+    };
+    let submit_heat = |farm: &SolverFarm| {
+        let app = Arc::clone(&heat_app);
+        farm.submit(&heat, move |op2| {
+            let mut inst = app.declare(op2);
+            let out = run(inst.as_mut(), RunConfig::iterations(3, 4));
+            assert!(out.final_residual() >= 0.0);
+        });
+    };
+
+    submit_airfoil(&farm);
+    farm.drain();
+    let built_after_airfoil = farm.spec_share().built();
+    assert!(built_after_airfoil > 0, "airfoil must build its specs");
+
+    submit_heat(&farm);
+    farm.drain();
+    let built_after_heat = farm.spec_share().built();
+    assert!(
+        built_after_heat > built_after_airfoil,
+        "heat's triangle loops must key their own entries, not reuse airfoil's"
+    );
+
+    // Reruns of both apps, interleaved: all warm, nothing rebuilt.
+    let hits_before_rerun = farm.spec_share().hits();
+    submit_heat(&farm);
+    submit_airfoil(&farm);
+    farm.drain();
+    assert_eq!(
+        farm.spec_share().built(),
+        built_after_heat,
+        "reruns of either app must not rebuild specs"
+    );
+    assert!(
+        farm.spec_share().hits() > hits_before_rerun,
+        "reruns must hit the warm shape-keyed entries"
+    );
+}
+
 /// The same warm sharing works without a farm: two hand-built worlds
 /// given the same `SpecShare` + feedback handles hit each other's specs.
 /// (Both must be shared — granularity is resolved from the feedback
